@@ -1,0 +1,172 @@
+//! Hardware weight-decoder model (paper Fig. 6).
+//!
+//! Each decoder consumes one 7-byte packed block (1 index byte + 6 data
+//! bytes, the format produced by `fineq-core`) and emits, per cluster,
+//! three sign-magnitude weights tagged with their scale class. The MUX
+//! structure of Fig. 6 selects either three 2-bit fields or two 3-bit
+//! fields plus a constant `000` for the sacrificed position; 2-bit fields
+//! are zero-extended to 3 bits.
+//!
+//! This is implemented directly on the packed bytes, independently of the
+//! `fineq-core` unpacking code, so the two act as cross-checks on the
+//! wire format.
+
+use fineq_core::pack::{BLOCK_BYTES, CLUSTERS_PER_BLOCK};
+
+/// One decoded weight lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedWeight {
+    /// Sign bit (true = negative).
+    pub negative: bool,
+    /// Magnitude (0..=3 after zero-extension).
+    pub magnitude: u8,
+    /// Whether the field was a 3-bit (outlier) field — selects the `s3`
+    /// accumulator; 2-bit fields use `s2`.
+    pub three_bit: bool,
+}
+
+impl DecodedWeight {
+    /// The signed integer value of the lane.
+    pub fn signed(&self) -> i32 {
+        if self.negative {
+            -(self.magnitude as i32)
+        } else {
+            self.magnitude as i32
+        }
+    }
+}
+
+/// Behavioural model of one Fig. 6 decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HardwareDecoder {
+    clusters_decoded: u64,
+}
+
+impl HardwareDecoder {
+    /// A fresh decoder with zeroed activity counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clusters decoded so far (one decoder cycle each).
+    pub fn clusters_decoded(&self) -> u64 {
+        self.clusters_decoded
+    }
+
+    /// Decodes a 7-byte block into `8 clusters x 3 lanes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not exactly [`BLOCK_BYTES`] long.
+    pub fn decode_block(&mut self, block: &[u8]) -> [[DecodedWeight; 3]; CLUSTERS_PER_BLOCK] {
+        assert_eq!(block.len(), BLOCK_BYTES, "decoder consumes 7-byte blocks");
+        let index = block[0];
+        let mut data = 0u64;
+        for i in 0..6 {
+            data |= (block[1 + i] as u64) << (8 * i);
+        }
+        let zero = DecodedWeight { negative: false, magnitude: 0, three_bit: false };
+        let mut out = [[zero; 3]; CLUSTERS_PER_BLOCK];
+        for (k, lanes) in out.iter_mut().enumerate() {
+            let code = (index >> (2 * (k / 2))) & 0b11;
+            let six = ((data >> (6 * k)) & 0x3F) as u8;
+            *lanes = Self::decode_cluster(code, six);
+            self.clusters_decoded += 1;
+        }
+        out
+    }
+
+    /// The Fig. 6 MUX network for one cluster.
+    fn decode_cluster(code: u8, six: u8) -> [DecodedWeight; 3] {
+        let two_bit = |field: u8| DecodedWeight {
+            negative: (field >> 1) & 1 == 1,
+            magnitude: field & 1, // zero-extended to 3 bits
+            three_bit: false,
+        };
+        let three_bit = |field: u8| DecodedWeight {
+            negative: (field >> 2) & 1 == 1,
+            magnitude: field & 0b11,
+            three_bit: true,
+        };
+        let zero = DecodedWeight { negative: false, magnitude: 0, three_bit: true };
+        match code {
+            0b00 => [two_bit(six & 0b11), two_bit((six >> 2) & 0b11), two_bit((six >> 4) & 0b11)],
+            0b01 => [zero, three_bit(six & 0b111), three_bit((six >> 3) & 0b111)],
+            0b10 => [three_bit(six & 0b111), zero, three_bit((six >> 3) & 0b111)],
+            0b11 => [three_bit(six & 0b111), three_bit((six >> 3) & 0b111), zero],
+            _ => unreachable!("2-bit code"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fineq_core::{ClusterCode, PackedChannel};
+
+    fn packed_demo() -> PackedChannel {
+        let codes = [ClusterCode::AllTwoBit, ClusterCode::ZeroSecond, ClusterCode::ZeroThird];
+        let q = [[1, -1, 0], [0, 1, 1], [3, 0, -2], [-3, 0, 1], [2, -2, 0]];
+        PackedChannel::pack(0.3, 0.1, 15, &codes, &q)
+    }
+
+    #[test]
+    fn decoder_agrees_with_software_unpacker() {
+        let ch = packed_demo();
+        let mut dec = HardwareDecoder::new();
+        let lanes = dec.decode_block(&ch.blocks()[0..7]);
+        for (k, cluster) in lanes.iter().enumerate().take(ch.n_clusters()) {
+            let expect = ch.cluster_ints(k);
+            for (j, lane) in cluster.iter().enumerate() {
+                assert_eq!(lane.signed(), expect[j], "cluster {k} lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_class_follows_the_code() {
+        let ch = packed_demo();
+        let mut dec = HardwareDecoder::new();
+        let lanes = dec.decode_block(&ch.blocks()[0..7]);
+        // Cluster 0 is 2-bit; cluster 2 is an outlier cluster.
+        assert!(lanes[0].iter().all(|w| !w.three_bit));
+        assert!(lanes[2].iter().all(|w| w.three_bit));
+    }
+
+    #[test]
+    fn sacrificed_lane_is_constant_zero() {
+        let ch = packed_demo();
+        let mut dec = HardwareDecoder::new();
+        let lanes = dec.decode_block(&ch.blocks()[0..7]);
+        // Cluster 2 uses code 10 (second value zeroed).
+        assert_eq!(lanes[2][1].magnitude, 0);
+        assert!(!lanes[2][1].negative);
+    }
+
+    #[test]
+    fn activity_counter_tracks_clusters() {
+        let ch = packed_demo();
+        let mut dec = HardwareDecoder::new();
+        let _ = dec.decode_block(&ch.blocks()[0..7]);
+        assert_eq!(dec.clusters_decoded(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "7-byte blocks")]
+    fn wrong_block_size_panics() {
+        let mut dec = HardwareDecoder::new();
+        let _ = dec.decode_block(&[0u8; 6]);
+    }
+
+    #[test]
+    fn all_two_bit_magnitudes_fit_one_bit() {
+        let codes = [ClusterCode::AllTwoBit];
+        let q = [[1, 0, -1], [0, 0, 0]];
+        let ch = PackedChannel::pack(1.0, 1.0 / 3.0, 6, &codes, &q[..2]);
+        let mut dec = HardwareDecoder::new();
+        let lanes = dec.decode_block(&ch.blocks()[0..7]);
+        for lane in &lanes[0] {
+            assert!(lane.magnitude <= 1);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # fineq-accel
+//!
+//! Behavioural and cycle-level model of the FineQ accelerator
+//! (paper Section IV) and its baseline, a conventional MAC systolic array.
+//!
+//! The paper implements the design in Verilog and synthesizes it with
+//! Synopsys DC at 45 nm; that flow cannot ship here, so this crate models
+//! the architecture at unit granularity with an explicit cost model whose
+//! per-unit constants are calibrated to the paper's synthesis results
+//! (Table III). The *behaviour* — temporal bitstream generation with
+//! early termination, input-stationary dataflow, per-column adder-tree
+//! accumulation with sign handling, and the Fig. 6 cluster decoder — is
+//! simulated faithfully, so cycle counts and therefore energy ratios are
+//! consequences of the model, not inputs.
+//!
+//! ## Scale handling
+//!
+//! FineQ clusters carry two Eq. 1 scales per channel (`s2` for 2-bit
+//! fields, `s3 = s2 / 3` for 3-bit fields). The accumulator keeps **two
+//! integer partial sums per output column** — one per scale class — and
+//! the vector unit combines them as `s2 ⋅ acc2 + s3 ⋅ acc3` during
+//! post-processing. This keeps temporal streams short (2-bit magnitudes
+//! stream at most one `1`; 3-bit at most three) and makes the array's
+//! output *bit-exact* with the software dequantized matmul, which the
+//! tests assert.
+//!
+//! ## Example
+//!
+//! ```
+//! use fineq_accel::temporal::TemporalEncoder;
+//!
+//! let stream = TemporalEncoder::encode(2, 3);
+//! assert_eq!(stream, vec![true, true, false]);
+//! ```
+
+pub mod array;
+pub mod cost;
+pub mod decoder;
+pub mod sim;
+pub mod systolic;
+pub mod temporal;
+pub mod workload;
+
+pub use array::{TemporalArray, TemporalRunStats};
+pub use cost::{AcceleratorKind, CostModel, ModuleCosts};
+pub use decoder::HardwareDecoder;
+pub use sim::{PipelineSim, SimConfig, SimReport};
+pub use systolic::{SystolicArray, SystolicRunStats};
+pub use workload::{Gemm, Workload};

@@ -1,0 +1,80 @@
+//! Temporal (unary) coding of weight magnitudes — the paper's Fig. 5(b/c).
+//!
+//! Temporal coding is a lossless unary scheme: a magnitude `m` becomes a
+//! bitstream containing `m` ones. The parallel temporal encoder broadcasts
+//! one bit per weight per cycle to its PE column, and the control unit
+//! raises a termination signal when every in-flight magnitude is
+//! exhausted — so a broadcast step costs `max(magnitude)` cycles (one
+//! cycle minimum, to pass even all-zero weights through the pipeline).
+
+/// Behavioural model of the paper's temporal encoder (value register,
+/// counter, comparator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalEncoder;
+
+impl TemporalEncoder {
+    /// Encodes a magnitude into a fixed-length bitstream of `len` cycles
+    /// (ones first, the comparator's output pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude > len`.
+    pub fn encode(magnitude: u8, len: usize) -> Vec<bool> {
+        assert!(
+            magnitude as usize <= len,
+            "magnitude {magnitude} does not fit a {len}-cycle stream"
+        );
+        (0..len).map(|c| c < magnitude as usize).collect()
+    }
+
+    /// Decodes a bitstream back to its magnitude (number of ones) — used
+    /// by tests to show the coding is lossless.
+    pub fn decode(stream: &[bool]) -> u8 {
+        stream.iter().filter(|&&b| b).count() as u8
+    }
+
+    /// Cycles a broadcast group of magnitudes occupies with early
+    /// termination: the largest magnitude, floored at one cycle.
+    pub fn group_cycles(magnitudes: impl IntoIterator<Item = u8>) -> usize {
+        let max = magnitudes.into_iter().map(|m| m as usize).max().unwrap_or(0);
+        max.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_two_is_11_one_is_01() {
+        // Fig. 7: value 2 -> "11", value 1 -> "01" (one `1` in 2 cycles).
+        assert_eq!(TemporalEncoder::encode(2, 2), vec![true, true]);
+        assert_eq!(TemporalEncoder::decode(&[false, true]), 1);
+    }
+
+    #[test]
+    fn coding_is_lossless_for_all_3bit_magnitudes() {
+        for m in 0..=7u8 {
+            let s = TemporalEncoder::encode(m, 7);
+            assert_eq!(TemporalEncoder::decode(&s), m);
+        }
+    }
+
+    #[test]
+    fn zero_magnitude_is_all_zero_stream() {
+        assert_eq!(TemporalEncoder::encode(0, 3), vec![false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_magnitude_panics() {
+        let _ = TemporalEncoder::encode(4, 3);
+    }
+
+    #[test]
+    fn group_cycles_is_max_with_floor_one() {
+        assert_eq!(TemporalEncoder::group_cycles([0, 0, 0]), 1);
+        assert_eq!(TemporalEncoder::group_cycles([1, 3, 2]), 3);
+        assert_eq!(TemporalEncoder::group_cycles([]), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Accelerator workloads: the GEMM mixes of the LLaMA-family models the
+//! paper evaluates (Fig. 9), plus the synthetic weight generator used to
+//! populate them.
+
+use fineq_tensor::{Matrix, Rng};
+
+/// One GEMM: `m x k` weights applied to `k x n` activations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gemm {
+    /// Layer name (for reports).
+    pub name: String,
+    /// Output features (weight rows).
+    pub m: usize,
+    /// Input features (weight cols / reduction dim).
+    pub k: usize,
+    /// Tokens in flight (activation columns).
+    pub n: usize,
+    /// How many identical instances of this GEMM the model runs
+    /// (layer count x per-block multiplicity).
+    pub count: usize,
+}
+
+impl Gemm {
+    /// Multiply-accumulate operations of all instances.
+    pub fn total_macs(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64) * (self.count as u64)
+    }
+}
+
+/// A named set of GEMMs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Workload label (e.g. "LLaMA-2-7B").
+    pub name: String,
+    /// The GEMM mix.
+    pub gemms: Vec<Gemm>,
+}
+
+impl Workload {
+    /// The transformer-block GEMM mix of a model with the given real
+    /// dimensions, serving `tokens` tokens per step.
+    ///
+    /// Per block: QKV (3x `d x d`), attention output (`d x d`), FFN up
+    /// (`d_ff x d`) and FFN down (`d x d_ff`) — the paper Fig. 2a block.
+    pub fn llama_like(name: &str, d: usize, d_ff: usize, n_layers: usize, tokens: usize) -> Self {
+        let gemms = vec![
+            Gemm { name: "attn.qkv".into(), m: d, k: d, n: tokens, count: 3 * n_layers },
+            Gemm { name: "attn.o".into(), m: d, k: d, n: tokens, count: n_layers },
+            Gemm { name: "ffn.up".into(), m: d_ff, k: d, n: tokens, count: n_layers },
+            Gemm { name: "ffn.down".into(), m: d, k: d_ff, n: tokens, count: n_layers },
+        ];
+        Self { name: name.to_string(), gemms }
+    }
+
+    /// Total MACs across the workload.
+    pub fn total_macs(&self) -> u64 {
+        self.gemms.iter().map(Gemm::total_macs).sum()
+    }
+}
+
+/// Draws an LLM-like weight sample for workload simulation: a Laplace
+/// bulk plus **sparse** spikes concentrated in salient channels —
+/// mirroring the paper's Fig. 3b (outliers are ~0.3 % of weights). The
+/// sparsity matters for the temporal array: a typical 64-weight broadcast
+/// chunk then sits well below its row's absmax, so its 3-bit magnitudes
+/// are small and streams terminate early.
+pub fn sample_weights(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    let bulk = 0.01f32;
+    let mut strong = vec![false; rows];
+    for s in strong.iter_mut() {
+        *s = rng.chance(0.06);
+    }
+    Matrix::from_fn(rows, cols, |r, _| {
+        // Salient rows: a fixed fraction of spiky entries. Bulk rows: a
+        // fixed *expected number* of background spikes per row, so stream
+        // statistics do not drift with layer width.
+        let spike_p = if strong[r] { 0.01 } else { 0.68 / cols as f64 };
+        if rng.chance(spike_p) {
+            let mag = rng.uniform_range(0.08, 0.2);
+            if rng.chance(0.5) {
+                mag
+            } else {
+                -mag
+            }
+        } else {
+            rng.normal(0.0, bulk)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama7b_block_mix() {
+        let w = Workload::llama_like("7B", 4096, 11008, 32, 256);
+        assert_eq!(w.gemms.len(), 4);
+        assert_eq!(w.gemms[0].count, 96); // 3 QKV x 32 layers
+        // 7B block MACs: (4*d*d + 2*d*dff) * L * tokens.
+        let expect = (4 * 4096u64 * 4096 + 2 * 4096 * 11008) * 32 * 256;
+        assert_eq!(w.total_macs(), expect);
+    }
+
+    #[test]
+    fn gemm_macs_multiply_out() {
+        let g = Gemm { name: "t".into(), m: 2, k: 3, n: 5, count: 7 };
+        assert_eq!(g.total_macs(), 2 * 3 * 5 * 7);
+    }
+
+    #[test]
+    fn sampled_weights_have_sparse_spikes() {
+        let mut rng = Rng::seed_from(9);
+        let w = sample_weights(256, 2048, &mut rng);
+        let spikes = w.as_slice().iter().filter(|v| v.abs() >= 0.08).count();
+        let frac = spikes as f64 / w.len() as f64;
+        // Fig. 3b regime: a fraction of a percent of weights are outliers.
+        assert!(frac > 0.0002 && frac < 0.01, "spike fraction {frac}");
+        // ... and they concentrate: some rows hold many, most hold few.
+        let per_row: Vec<usize> = (0..256)
+            .map(|r| w.row(r).iter().filter(|v| v.abs() >= 0.08).count())
+            .collect();
+        let max_row = per_row.iter().copied().max().unwrap_or(0);
+        assert!(max_row >= 5, "expected a salient row with several spikes, max {max_row}");
+    }
+}

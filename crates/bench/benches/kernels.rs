@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the core kernels: FineQ quantization,
+//! packing/decoding, the temporal-coding array and the baseline MAC
+//! array, plus a transformer forward pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fineq::accel::{SystolicArray, TemporalArray};
+use fineq::core::FineQuantizer;
+use fineq::lm::builder::{build_fitted_model, BuilderSpec};
+use fineq::lm::corpus::Corpus;
+use fineq::quant::{Calibration, Gptq, Rtn, WeightQuantizer};
+use fineq::tensor::{Matrix, Rng};
+use std::hint::black_box;
+
+fn weights(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        let v = rng.laplace(0.0, 0.02);
+        if rng.chance(0.01) {
+            v * 15.0
+        } else {
+            v
+        }
+    })
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let w = weights(128, 768, 1);
+    let mut rng = Rng::seed_from(2);
+    let x = Matrix::from_fn(256, 768, |_, _| rng.normal(0.0, 1.0));
+    let calib = Calibration::from_activations(x);
+    let none = Calibration::none();
+
+    let mut g = c.benchmark_group("quantize_128x768");
+    g.bench_function("fineq", |b| {
+        let q = FineQuantizer::paper();
+        b.iter(|| black_box(q.quantize(black_box(&w), &none)))
+    });
+    g.bench_function("fineq_packed", |b| {
+        let q = FineQuantizer::paper();
+        b.iter(|| black_box(q.quantize_packed(black_box(&w))))
+    });
+    g.bench_function("rtn2", |b| {
+        let q = Rtn::new(2);
+        b.iter(|| black_box(q.quantize(black_box(&w), &none)))
+    });
+    g.bench_function("gptq2", |b| {
+        let q = Gptq::new(2);
+        b.iter(|| black_box(q.quantize(black_box(&w), &calib)))
+    });
+    g.finish();
+}
+
+fn bench_pack_decode(c: &mut Criterion) {
+    let w = weights(64, 1536, 3);
+    let q = FineQuantizer::paper();
+    let packed = q.quantize_packed(&w);
+    c.bench_function("dequantize_packed_64x1536", |b| {
+        b.iter(|| black_box(packed.dequantize()))
+    });
+    c.bench_function("hardware_decode_64x1536", |b| {
+        b.iter_batched(
+            fineq::accel::HardwareDecoder::new,
+            |mut dec| {
+                for ch in packed.channels() {
+                    for block in ch.blocks().chunks(7) {
+                        black_box(dec.decode_block(block));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_arrays(c: &mut Criterion) {
+    let w = weights(32, 256, 5);
+    let packed = FineQuantizer::paper().quantize_packed(&w);
+    let mut rng = Rng::seed_from(6);
+    let x = Matrix::from_fn(256, 64, |_, _| rng.normal(0.0, 1.0));
+    let mut g = c.benchmark_group("array_gemm_32x256x64");
+    g.bench_function("temporal", |b| {
+        let arr = TemporalArray::paper();
+        b.iter(|| black_box(arr.matmul(black_box(&packed), black_box(&x))))
+    });
+    g.bench_function("systolic", |b| {
+        let arr = SystolicArray::paper();
+        b.iter(|| black_box(arr.matmul(black_box(&w), black_box(&x))))
+    });
+    g.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let corpus = Corpus::wiki_like(64, 7);
+    let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 2048, 3);
+    let tokens = corpus.generate(256, 9).tokens().to_vec();
+    c.bench_function("transformer_forward_256tok", |b| {
+        b.iter(|| black_box(model.forward(black_box(&tokens))))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quantizers, bench_pack_decode, bench_arrays, bench_forward
+}
+criterion_main!(kernels);

@@ -1,0 +1,21 @@
+//! Regenerates every table and figure of the paper's evaluation section
+//! in one pass. This target intentionally uses `harness = false` with a
+//! plain `main`: the "benchmark" is the full experiment sweep, and its
+//! output is the artifact (tee it into `bench_output.txt`).
+//!
+//! Set `FINEQ_FAST=1` to shrink the accuracy experiments for a smoke run.
+
+fn main() {
+    let sizes = fineq_bench::EvalSizes::from_env();
+    println!("FineQ paper reproduction — full experiment sweep");
+    println!("(sizes: {sizes:?})");
+    print!("{}", fineq_bench::table3());
+    print!("{}", fineq_bench::fig8());
+    print!("{}", fineq_bench::fig2b());
+    print!("{}", fineq_bench::fig9());
+    print!("{}", fineq_bench::ablations());
+    print!("{}", fineq_bench::fig3b(sizes));
+    print!("{}", fineq_bench::fig1(sizes));
+    print!("{}", fineq_bench::table2(sizes));
+    print!("{}", fineq_bench::table1(sizes));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's `ablations` experiment. Run with `--release`;
+//! set `FINEQ_FAST=1` for a reduced smoke run.
+fn main() {
+    
+    print!("{}", fineq_bench::ablations());
+}

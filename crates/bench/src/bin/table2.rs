@@ -1,0 +1,6 @@
+//! Regenerates the paper's `table2` experiment. Run with `--release`;
+//! set `FINEQ_FAST=1` for a reduced smoke run.
+fn main() {
+    let sizes = fineq_bench::EvalSizes::from_env();
+    print!("{}", fineq_bench::table2(sizes));
+}

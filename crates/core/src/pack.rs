@@ -1,0 +1,497 @@
+//! Bit-exact packed storage format (Fig. 4 step 5 of the paper).
+//!
+//! Clusters are stored eight at a time in 7-byte blocks:
+//!
+//! ```text
+//! byte 0        : index byte — four 2-bit codes, one per cluster *pair*
+//!                 (pair p occupies bits [2p, 2p+2), LSB first)
+//! bytes 1..=6   : 48 data bits — cluster k occupies bits [6k, 6k+6)
+//! ```
+//!
+//! Within a cluster's 6 data bits:
+//!
+//! * normal layout (`00`): three 2-bit sign-magnitude fields
+//!   (`bit0 = magnitude`, `bit1 = sign`), positions in order;
+//! * outlier layouts: two 3-bit sign-magnitude fields
+//!   (`bits 0..2 = magnitude`, `bit2 = sign`) for the two stored
+//!   positions, in order — the sacrificed position is implicit in the code.
+//!
+//! 7 bytes per 24 weights is exactly **2⅓ bits per weight**, the number the
+//! paper reports, and every block starts on a byte boundary (the paper's
+//! "aligned memory access").
+//!
+//! The same bytes are consumed by the hardware decoder model in
+//! `fineq-accel`, which re-implements the Fig. 6 datapath on this layout.
+
+use crate::cluster::Cluster;
+use crate::encoding::ClusterCode;
+use fineq_quant::SymmetricGrid;
+use fineq_tensor::Matrix;
+
+/// Number of clusters per packed block.
+pub const CLUSTERS_PER_BLOCK: usize = 8;
+/// Bytes per packed block (1 index byte + 6 data bytes).
+pub const BLOCK_BYTES: usize = 7;
+
+/// Encodes a signed value into an `n`-bit sign-magnitude field
+/// (`n - 1` magnitude bits, sign in the top bit). Negative zero is
+/// normalized to `+0`.
+fn to_sign_mag(q: i32, bits: u32) -> u8 {
+    let mag_bits = bits - 1;
+    let max_mag = (1u32 << mag_bits) - 1;
+    let mag = q.unsigned_abs().min(max_mag);
+    let sign = if q < 0 && mag != 0 { 1u32 } else { 0 };
+    ((sign << mag_bits) | mag) as u8
+}
+
+/// Decodes an `n`-bit sign-magnitude field.
+fn from_sign_mag(field: u8, bits: u32) -> i32 {
+    let mag_bits = bits - 1;
+    let mag = (field as u32 & ((1 << mag_bits) - 1)) as i32;
+    if (field as u32 >> mag_bits) & 1 == 1 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Packs a cluster's three integer codes into its 6 data bits.
+fn pack_cluster(q: [i32; 3], code: ClusterCode) -> u8 {
+    match code.zeroed_position() {
+        None => {
+            let f0 = to_sign_mag(q[0], 2);
+            let f1 = to_sign_mag(q[1], 2);
+            let f2 = to_sign_mag(q[2], 2);
+            f0 | (f1 << 2) | (f2 << 4)
+        }
+        Some(z) => {
+            let stored: Vec<u8> = (0..3)
+                .filter(|&p| p != z)
+                .map(|p| to_sign_mag(q[p], 3))
+                .collect();
+            stored[0] | (stored[1] << 3)
+        }
+    }
+}
+
+/// Unpacks a cluster's 6 data bits into three integer codes.
+fn unpack_cluster(bits6: u8, code: ClusterCode) -> [i32; 3] {
+    let mut out = [0i32; 3];
+    match code.zeroed_position() {
+        None => {
+            out[0] = from_sign_mag(bits6 & 0b11, 2);
+            out[1] = from_sign_mag((bits6 >> 2) & 0b11, 2);
+            out[2] = from_sign_mag((bits6 >> 4) & 0b11, 2);
+        }
+        Some(z) => {
+            let fields = [bits6 & 0b111, (bits6 >> 3) & 0b111];
+            let mut fi = 0;
+            for (p, item) in out.iter_mut().enumerate() {
+                if p == z {
+                    *item = 0;
+                } else {
+                    *item = from_sign_mag(fields[fi], 3);
+                    fi += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One packed weight channel: two fp16-accounted Eq. 1 scales plus the
+/// 7-byte cluster blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedChannel {
+    scale2: f32,
+    scale3: f32,
+    len: usize,
+    n_clusters: usize,
+    blocks: Vec<u8>,
+}
+
+impl PackedChannel {
+    /// Packs a channel from its final per-pair codes and per-cluster
+    /// integer values.
+    ///
+    /// `codes[p]` applies to clusters `2p` and `2p + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` does not cover every cluster.
+    pub fn pack(
+        scale2: f32,
+        scale3: f32,
+        len: usize,
+        codes: &[ClusterCode],
+        quantized: &[[i32; 3]],
+    ) -> Self {
+        let n_clusters = quantized.len();
+        assert_eq!(
+            codes.len(),
+            n_clusters.div_ceil(2),
+            "one code per cluster pair required"
+        );
+        let n_blocks = n_clusters.div_ceil(CLUSTERS_PER_BLOCK);
+        let mut blocks = vec![0u8; n_blocks * BLOCK_BYTES];
+        for b in 0..n_blocks {
+            let base = b * BLOCK_BYTES;
+            // Index byte: 4 pair codes.
+            let mut idx = 0u8;
+            for p_in_block in 0..4 {
+                let pair = b * 4 + p_in_block;
+                if pair < codes.len() {
+                    idx |= codes[pair].bits() << (2 * p_in_block);
+                }
+            }
+            blocks[base] = idx;
+            // 48 data bits.
+            let mut data = 0u64;
+            for k_in_block in 0..CLUSTERS_PER_BLOCK {
+                let k = b * CLUSTERS_PER_BLOCK + k_in_block;
+                if k >= n_clusters {
+                    break;
+                }
+                let code = codes[k / 2];
+                let six = pack_cluster(quantized[k], code) as u64;
+                data |= six << (6 * k_in_block);
+            }
+            for (i, byte) in blocks[base + 1..base + 7].iter_mut().enumerate() {
+                *byte = ((data >> (8 * i)) & 0xFF) as u8;
+            }
+        }
+        Self { scale2, scale3, len, n_clusters, blocks }
+    }
+
+    /// Reassembles a channel from its stored parts (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block byte count does not match the cluster count
+    /// implied by `len`.
+    pub fn from_raw_parts(scale2: f32, scale3: f32, len: usize, blocks: Vec<u8>) -> Self {
+        let n_clusters = len.div_ceil(3);
+        let expect = n_clusters.div_ceil(CLUSTERS_PER_BLOCK) * BLOCK_BYTES;
+        assert_eq!(blocks.len(), expect, "block bytes must match channel length");
+        Self { scale2, scale3, len, n_clusters, blocks }
+    }
+
+    /// Eq. 1 scale for 2-bit fields (`absmax / 1`).
+    pub fn scale2(&self) -> f32 {
+        self.scale2
+    }
+
+    /// Eq. 1 scale for 3-bit fields (`absmax / 3`).
+    pub fn scale3(&self) -> f32 {
+        self.scale3
+    }
+
+    /// Logical (unpadded) number of weights in the channel.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored clusters (including a zero-padded tail cluster).
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// The raw packed bytes (`n_blocks * 7`), exactly what the accelerator's
+    /// weight buffer would hold.
+    pub fn blocks(&self) -> &[u8] {
+        &self.blocks
+    }
+
+    /// The code governing cluster `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_clusters()`.
+    pub fn code_of(&self, k: usize) -> ClusterCode {
+        assert!(k < self.n_clusters, "cluster {k} out of range");
+        let pair = k / 2;
+        let block = pair / 4;
+        let idx = self.blocks[block * BLOCK_BYTES];
+        ClusterCode::from_bits((idx >> (2 * (pair % 4))) & 0b11)
+    }
+
+    /// The three integer codes of cluster `k` (zeroed position reads 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_clusters()`.
+    pub fn cluster_ints(&self, k: usize) -> [i32; 3] {
+        assert!(k < self.n_clusters, "cluster {k} out of range");
+        let block = k / CLUSTERS_PER_BLOCK;
+        let base = block * BLOCK_BYTES;
+        let mut data = 0u64;
+        for i in 0..6 {
+            data |= (self.blocks[base + 1 + i] as u64) << (8 * i);
+        }
+        let six = ((data >> (6 * (k % CLUSTERS_PER_BLOCK))) & 0x3F) as u8;
+        unpack_cluster(six, self.code_of(k))
+    }
+
+    /// Decodes the channel back to real weights (padding stripped).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let g2 = grid_from_scale(self.scale2, 2);
+        let g3 = grid_from_scale(self.scale3, 3);
+        let mut out = Vec::with_capacity(self.len);
+        for k in 0..self.n_clusters {
+            let code = self.code_of(k);
+            let dq = Cluster::dequantize(self.cluster_ints(k), code, &g2, &g3);
+            for (j, &v) in dq.iter().enumerate() {
+                if k * 3 + j < self.len {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes the channel to **unified 3-bit integers in `scale3` units**:
+    /// 2-bit values are rescaled by 3 (exact, since `s2 = 3·s3`), so the
+    /// whole channel shares one scale — the integer-domain form the
+    /// temporal-coding accelerator consumes. Magnitudes stay within 3.
+    pub fn dequantize_ints_unified(&self) -> Vec<i8> {
+        let mut out = Vec::with_capacity(self.len);
+        for k in 0..self.n_clusters {
+            let code = self.code_of(k);
+            let q = self.cluster_ints(k);
+            for (j, &v) in q.iter().enumerate() {
+                if k * 3 + j >= self.len {
+                    continue;
+                }
+                let unified = match code.bit_width_at(j) {
+                    2 => v * 3,
+                    _ => v,
+                };
+                out.push(unified as i8);
+            }
+        }
+        out
+    }
+
+    /// Storage bytes of the packed blocks.
+    pub fn data_bytes(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Rebuilds a grid whose step is already known (used on the decode side,
+/// where only the scales are stored).
+fn grid_from_scale(scale: f32, bits: u8) -> SymmetricGrid {
+    let qmax = (1i32 << (bits - 1)) - 1;
+    SymmetricGrid::from_abs_max(scale * qmax as f32, bits)
+}
+
+/// A fully packed weight matrix: one [`PackedChannel`] per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    channels: Vec<PackedChannel>,
+}
+
+impl PackedMatrix {
+    /// Assembles a matrix from its packed channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel lengths disagree with `cols` or the channel count
+    /// with `rows`.
+    pub fn new(rows: usize, cols: usize, channels: Vec<PackedChannel>) -> Self {
+        assert_eq!(channels.len(), rows, "one packed channel per row");
+        for ch in &channels {
+            assert_eq!(ch.len(), cols, "channel length must equal cols");
+        }
+        Self { rows, cols, channels }
+    }
+
+    /// Number of rows (output channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (weights per channel).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The packed channels.
+    pub fn channels(&self) -> &[PackedChannel] {
+        &self.channels
+    }
+
+    /// Decodes the whole matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (r, ch) in self.channels.iter().enumerate() {
+            let vals = ch.dequantize();
+            out.row_mut(r).copy_from_slice(&vals);
+        }
+        out
+    }
+
+    /// Data-only storage cost in bits per weight (the paper's 2.33 for
+    /// matrices whose rows are multiples of 24).
+    pub fn avg_bits_data(&self) -> f64 {
+        let bytes: usize = self.channels.iter().map(|c| c.data_bytes()).sum();
+        (bytes * 8) as f64 / (self.rows * self.cols).max(1) as f64
+    }
+
+    /// Total storage cost including the two fp16 Eq. 1 scales per channel.
+    pub fn avg_bits_total(&self) -> f64 {
+        let scale_bits = (self.rows * 2 * 16) as f64;
+        self.avg_bits_data() + scale_bits / (self.rows * self.cols).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_magnitude_round_trips() {
+        for q in -3i32..=3 {
+            assert_eq!(from_sign_mag(to_sign_mag(q, 3), 3), q, "3-bit {q}");
+        }
+        for q in -1i32..=1 {
+            assert_eq!(from_sign_mag(to_sign_mag(q, 2), 2), q, "2-bit {q}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_normalizes_to_plus_zero() {
+        assert_eq!(to_sign_mag(0, 3), 0);
+        assert_eq!(to_sign_mag(-0, 3), 0);
+    }
+
+    #[test]
+    fn sign_magnitude_clamps_overlarge_magnitudes() {
+        assert_eq!(from_sign_mag(to_sign_mag(9, 3), 3), 3);
+        assert_eq!(from_sign_mag(to_sign_mag(-9, 3), 3), -3);
+    }
+
+    #[test]
+    fn cluster_pack_unpack_all_codes() {
+        for code in ClusterCode::ALL {
+            let q = match code.zeroed_position() {
+                None => [1, 0, -1],
+                Some(0) => [0, -3, 2],
+                Some(1) => [3, 0, -2],
+                Some(2) => [-1, 3, 0],
+                _ => unreachable!(),
+            };
+            let packed = pack_cluster(q, code);
+            assert!(packed < 64, "6 bits only");
+            assert_eq!(unpack_cluster(packed, code), q, "{code}");
+        }
+    }
+
+    fn demo_channel() -> PackedChannel {
+        // 5 clusters (15 weights), mixed codes: pairs (00, 10, 11-single).
+        let codes = [ClusterCode::AllTwoBit, ClusterCode::ZeroSecond, ClusterCode::ZeroThird];
+        let q = [
+            [1, -1, 0],
+            [0, 1, 1],
+            [3, 0, -2],
+            [-3, 0, 1],
+            [2, -2, 0],
+        ];
+        PackedChannel::pack(0.3, 0.1, 15, &codes, &q)
+    }
+
+    #[test]
+    fn block_layout_is_seven_bytes_per_eight_clusters() {
+        let ch = demo_channel();
+        assert_eq!(ch.n_clusters(), 5);
+        assert_eq!(ch.data_bytes(), BLOCK_BYTES); // 5 clusters fit one block
+        let ch2 = PackedChannel::pack(
+            1.0,
+            1.0 / 3.0,
+            27,
+            &[ClusterCode::AllTwoBit; 5],
+            &[[0, 0, 0]; 9],
+        );
+        assert_eq!(ch2.data_bytes(), 2 * BLOCK_BYTES); // 9 clusters -> 2 blocks
+    }
+
+    #[test]
+    fn code_of_reads_back_pair_codes() {
+        let ch = demo_channel();
+        assert_eq!(ch.code_of(0), ClusterCode::AllTwoBit);
+        assert_eq!(ch.code_of(1), ClusterCode::AllTwoBit);
+        assert_eq!(ch.code_of(2), ClusterCode::ZeroSecond);
+        assert_eq!(ch.code_of(3), ClusterCode::ZeroSecond);
+        assert_eq!(ch.code_of(4), ClusterCode::ZeroThird);
+    }
+
+    #[test]
+    fn cluster_ints_read_back_quantized_values() {
+        let ch = demo_channel();
+        assert_eq!(ch.cluster_ints(0), [1, -1, 0]);
+        assert_eq!(ch.cluster_ints(2), [3, 0, -2]);
+        assert_eq!(ch.cluster_ints(4), [2, -2, 0]);
+    }
+
+    #[test]
+    fn dequantize_applies_correct_scales() {
+        let ch = demo_channel();
+        let dq = ch.dequantize();
+        assert_eq!(dq.len(), 15);
+        // Cluster 0 (code 00, scale2 = 0.3): [0.3, -0.3, 0].
+        assert!((dq[0] - 0.3).abs() < 1e-6);
+        assert!((dq[1] + 0.3).abs() < 1e-6);
+        assert_eq!(dq[2], 0.0);
+        // Cluster 2 (code 10, scale3 = 0.1): [0.3, 0, -0.2].
+        assert!((dq[6] - 0.3).abs() < 1e-6);
+        assert_eq!(dq[7], 0.0);
+        assert!((dq[8] + 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unified_ints_rescale_two_bit_fields_by_three() {
+        let ch = demo_channel();
+        let ints = ch.dequantize_ints_unified();
+        // Cluster 0 was 2-bit [1,-1,0] -> [3,-3,0] in scale3 units.
+        assert_eq!(&ints[0..3], &[3, -3, 0]);
+        // Cluster 2 was 3-bit [3,0,-2] -> unchanged.
+        assert_eq!(&ints[6..9], &[3, 0, -2]);
+        // Consistency: ints * scale3 == dequantize().
+        let dq = ch.dequantize();
+        for (i, &q) in ints.iter().enumerate() {
+            assert!((q as f32 * ch.scale3() - dq[i]).abs() < 1e-6, "weight {i}");
+        }
+    }
+
+    #[test]
+    fn packed_matrix_avg_bits_is_seven_thirds_for_aligned_shapes() {
+        // 24 weights per row -> exactly one block per row -> 56/24 bits.
+        let codes = vec![ClusterCode::AllTwoBit; 4];
+        let q = vec![[0i32, 0, 0]; 8];
+        let ch = PackedChannel::pack(1.0, 1.0 / 3.0, 24, &codes, &q);
+        let m = PackedMatrix::new(2, 24, vec![ch.clone(), ch]);
+        assert!((m.avg_bits_data() - 7.0 / 3.0).abs() < 1e-12);
+        assert!(m.avg_bits_total() > m.avg_bits_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "one code per cluster pair")]
+    fn pack_rejects_missing_codes() {
+        let _ = PackedChannel::pack(1.0, 0.3, 9, &[ClusterCode::AllTwoBit], &[[0, 0, 0]; 3]);
+    }
+
+    #[test]
+    fn empty_channel_packs_to_nothing() {
+        let ch = PackedChannel::pack(0.0, 0.0, 0, &[], &[]);
+        assert!(ch.is_empty());
+        assert_eq!(ch.data_bytes(), 0);
+        assert!(ch.dequantize().is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! The [`FineQuantizer`]: Algorithm 1 of the paper, end to end.
+
+use crate::cluster::{split_channel, Cluster};
+use crate::encoding::ClusterCode;
+use crate::pack::{PackedChannel, PackedMatrix};
+use crate::stats::ClusterStats;
+use fineq_quant::{Calibration, QuantResult, SymmetricGrid, WeightQuantizer};
+use fineq_tensor::Matrix;
+
+/// Configuration of the FineQ algorithm.
+///
+/// The defaults are the paper's settings; the other knobs exist for the
+/// ablation studies in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FineQConfig {
+    /// Outlier rule: a cluster is an outlier cluster when
+    /// `max|w| > outlier_threshold * min|w|`. Paper: 4.
+    pub outlier_threshold: f32,
+    /// Enforce one shared code per adjacent cluster pair (paper: on).
+    /// Disabling stores one code per cluster (2 index bits per cluster
+    /// instead of 1) — the ablation for the paper's compression strategy.
+    pub pair_constraint: bool,
+    /// Bits for values of normal clusters. Paper: 2.
+    pub normal_bits: u8,
+    /// Bits for protected values of outlier clusters. Paper: 3.
+    pub outlier_bits: u8,
+}
+
+impl FineQConfig {
+    /// The paper's configuration: threshold 4, pair constraint on, 2-bit
+    /// normals, 3-bit outliers.
+    pub fn paper() -> Self {
+        Self { outlier_threshold: 4.0, pair_constraint: true, normal_bits: 2, outlier_bits: 3 }
+    }
+
+    /// Whether this configuration matches the bit-exact packed format
+    /// (2-bit normals, 3-bit outliers, shared pair codes).
+    pub fn is_packable(&self) -> bool {
+        self.normal_bits == 2 && self.outlier_bits == 3 && self.pair_constraint
+    }
+
+    /// Analytic storage cost in data+index bits per weight.
+    ///
+    /// With the paper settings this is `(6 + 1) / 3 = 2.33`; without the
+    /// pair constraint the index doubles to 2 bits per cluster (2.67).
+    pub fn nominal_bits(&self) -> f64 {
+        let data = (3.0 * self.normal_bits as f64).max(2.0 * self.outlier_bits as f64);
+        let index = if self.pair_constraint { 1.0 } else { 2.0 };
+        (data + index) / 3.0
+    }
+}
+
+impl Default for FineQConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Result of quantizing one channel before packing.
+#[derive(Debug, Clone)]
+struct ChannelPlan {
+    scale2: f32,
+    scale3: f32,
+    len: usize,
+    /// One code per cluster (duplicated across a pair when the constraint
+    /// is active).
+    codes: Vec<ClusterCode>,
+    quantized: Vec<[i32; 3]>,
+    dequantized: Vec<f32>,
+}
+
+/// FineQ quantizer (Algorithm 1 of the paper).
+///
+/// See the crate-level docs for the pipeline description and an example.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FineQuantizer {
+    config: FineQConfig,
+}
+
+impl FineQuantizer {
+    /// Quantizer with the paper's configuration.
+    pub fn paper() -> Self {
+        Self { config: FineQConfig::paper() }
+    }
+
+    /// Quantizer with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bit-widths are outside `2..=8` or the threshold is not
+    /// positive.
+    pub fn with_config(config: FineQConfig) -> Self {
+        assert!((2..=8).contains(&config.normal_bits), "normal bits must be 2..=8");
+        assert!((2..=8).contains(&config.outlier_bits), "outlier bits must be 2..=8");
+        assert!(config.outlier_threshold > 0.0, "threshold must be positive");
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FineQConfig {
+        &self.config
+    }
+
+    fn grids(&self, abs_max: f32) -> (SymmetricGrid, SymmetricGrid) {
+        (
+            SymmetricGrid::from_abs_max(abs_max, self.config.normal_bits),
+            SymmetricGrid::from_abs_max(abs_max, self.config.outlier_bits),
+        )
+    }
+
+    /// Runs Algorithm 1 on one channel.
+    fn plan_channel(&self, channel: &[f32]) -> ChannelPlan {
+        let abs_max = channel.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let (g2, g3) = self.grids(abs_max);
+        let (clusters, len) = split_channel(channel);
+        let threshold = self.config.outlier_threshold;
+
+        // Preliminary per-cluster codes (Alg. 1 lines 5–14). Without the
+        // pair constraint (ablation) every cluster instead picks its own
+        // error-minimizing code — the best any per-cluster scheme can do.
+        let mut codes: Vec<ClusterCode> = if self.config.pair_constraint {
+            clusters.iter().map(|c| c.preliminary_code(threshold)).collect()
+        } else {
+            clusters.iter().map(|c| Self::best_single_code(c, &g2, &g3)).collect()
+        };
+
+        // Pair harmonization (Alg. 1 lines 15–25): adjacent clusters share
+        // one code; disagreements are fine-tuned by minimizing joint error.
+        if self.config.pair_constraint {
+            let mut p = 0;
+            while p + 1 < clusters.len() {
+                if codes[p] != codes[p + 1] {
+                    let best = Self::best_joint_code(&clusters[p], &clusters[p + 1], &g2, &g3);
+                    codes[p] = best;
+                    codes[p + 1] = best;
+                }
+                p += 2;
+            }
+            // A trailing lone cluster keeps its preliminary code.
+        }
+
+        let quantized: Vec<[i32; 3]> = clusters
+            .iter()
+            .zip(&codes)
+            .map(|(c, &code)| c.quantize(code, &g2, &g3))
+            .collect();
+
+        let mut dequantized = Vec::with_capacity(len);
+        for (k, (&q, &code)) in quantized.iter().zip(&codes).enumerate() {
+            let dq = Cluster::dequantize(q, code, &g2, &g3);
+            for (j, &v) in dq.iter().enumerate() {
+                if k * 3 + j < len {
+                    dequantized.push(v);
+                }
+            }
+        }
+
+        ChannelPlan { scale2: g2.scale(), scale3: g3.scale(), len, codes, quantized, dequantized }
+    }
+
+    /// Exhaustive per-cluster code choice (used by the no-pair-constraint
+    /// ablation): the error-optimal layout for a single cluster.
+    fn best_single_code(c: &Cluster, g2: &SymmetricGrid, g3: &SymmetricGrid) -> ClusterCode {
+        let mut best = ClusterCode::AllTwoBit;
+        let mut best_err = f64::INFINITY;
+        for code in ClusterCode::ALL {
+            let err = c.reconstruction_error(code, g2, g3);
+            if err < best_err {
+                best_err = err;
+                best = code;
+            }
+        }
+        best
+    }
+
+    /// The paper's fine-tuning: evaluate all four codes on the pair and
+    /// keep the one minimizing total squared reconstruction error. Ties
+    /// resolve to the lowest wire value for determinism.
+    fn best_joint_code(
+        a: &Cluster,
+        b: &Cluster,
+        g2: &SymmetricGrid,
+        g3: &SymmetricGrid,
+    ) -> ClusterCode {
+        let mut best = ClusterCode::AllTwoBit;
+        let mut best_err = f64::INFINITY;
+        for code in ClusterCode::ALL {
+            let err = a.reconstruction_error(code, g2, g3)
+                + b.reconstruction_error(code, g2, g3);
+            if err < best_err {
+                best_err = err;
+                best = code;
+            }
+        }
+        best
+    }
+
+    /// Quantizes a matrix into the bit-exact packed format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not packable (see
+    /// [`FineQConfig::is_packable`]); non-paper ablation configurations
+    /// must use [`WeightQuantizer::quantize`] instead.
+    pub fn quantize_packed(&self, w: &Matrix) -> PackedMatrix {
+        assert!(
+            self.config.is_packable(),
+            "packed format requires the paper configuration (2/3-bit, pair constraint)"
+        );
+        let channels: Vec<PackedChannel> = (0..w.rows())
+            .map(|r| {
+                let plan = self.plan_channel(w.row(r));
+                // Collapse duplicated per-cluster codes into per-pair codes.
+                let pair_codes: Vec<ClusterCode> =
+                    plan.codes.iter().step_by(2).copied().collect();
+                PackedChannel::pack(
+                    plan.scale2,
+                    plan.scale3,
+                    plan.len,
+                    &pair_codes,
+                    &plan.quantized,
+                )
+            })
+            .collect();
+        PackedMatrix::new(w.rows(), w.cols(), channels)
+    }
+
+    /// Computes per-cluster statistics (encoding histogram, outlier
+    /// fraction) without packing.
+    pub fn stats(&self, w: &Matrix) -> ClusterStats {
+        let mut stats = ClusterStats::default();
+        for r in 0..w.rows() {
+            let plan = self.plan_channel(w.row(r));
+            stats.absorb_channel(&plan.codes);
+        }
+        stats
+    }
+}
+
+impl WeightQuantizer for FineQuantizer {
+    fn name(&self) -> String {
+        if self.config == FineQConfig::paper() {
+            "FineQ".to_string()
+        } else {
+            format!(
+                "FineQ(t={},pair={},{}b/{}b)",
+                self.config.outlier_threshold,
+                self.config.pair_constraint,
+                self.config.normal_bits,
+                self.config.outlier_bits
+            )
+        }
+    }
+
+    fn quantize(&self, w: &Matrix, _calib: &Calibration) -> QuantResult {
+        if self.config.is_packable() {
+            // Route through the real storage format so that what the
+            // experiments measure is what the hardware would read.
+            let packed = self.quantize_packed(w);
+            let dequantized = packed.dequantize();
+            QuantResult { dequantized, avg_bits: packed.avg_bits_total() }
+        } else {
+            let mut dq = Matrix::zeros(w.rows(), w.cols());
+            for r in 0..w.rows() {
+                let plan = self.plan_channel(w.row(r));
+                dq.row_mut(r).copy_from_slice(&plan.dequantized);
+            }
+            let scale_overhead = 32.0 / w.cols().max(1) as f64;
+            QuantResult { dequantized: dq, avg_bits: self.config.nominal_bits() + scale_overhead }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fineq_tensor::Rng;
+
+    /// The full Fig. 4 walk-through from the paper.
+    #[test]
+    fn paper_walkthrough_fig4() {
+        let w = Matrix::from_rows(&[
+            vec![0.10, 0.12, 0.11, 0.12, 0.13, 0.04],
+            vec![0.27, 0.03, 0.11, 0.19, 0.01, 0.16],
+            vec![0.04, 0.02, 0.04, 0.04, 0.04, 0.03],
+            vec![0.17, 0.12, 0.01, 0.01, 0.24, 0.03],
+        ]);
+        let q = FineQuantizer::paper();
+        let packed = q.quantize_packed(&w);
+
+        // Step 3: bit-width allocation (per-pair codes after
+        // harmonization) — "00 10 00 11" in the paper's index byte.
+        let expect_codes = [
+            ClusterCode::AllTwoBit,
+            ClusterCode::ZeroSecond,
+            ClusterCode::AllTwoBit,
+            ClusterCode::ZeroThird,
+        ];
+        for (r, &code) in expect_codes.iter().enumerate() {
+            assert_eq!(packed.channels()[r].code_of(0), code, "row {r} cluster 0");
+            assert_eq!(packed.channels()[r].code_of(1), code, "row {r} cluster 1");
+        }
+
+        // Step 4: quantized integers.
+        assert_eq!(packed.channels()[0].cluster_ints(0), [1, 1, 1]);
+        assert_eq!(packed.channels()[0].cluster_ints(1), [1, 1, 0]);
+        assert_eq!(packed.channels()[1].cluster_ints(0), [3, 0, 1]);
+        assert_eq!(packed.channels()[1].cluster_ints(1), [2, 0, 2]);
+        assert_eq!(packed.channels()[2].cluster_ints(0), [1, 1, 1]);
+        assert_eq!(packed.channels()[2].cluster_ints(1), [1, 1, 1]);
+        // Row 4 under code 11 with s3 = 0.24/3 = 0.08:
+        // (0.17, 0.12, —) -> (2, 2, 0); (0.01, 0.24, —) -> (0, 3, 0).
+        // (The paper's figure prints "2 3 0" for the second cluster, which
+        // is inconsistent with its own Eq. 1 scale; see DESIGN.md.)
+        assert_eq!(packed.channels()[3].cluster_ints(0), [2, 2, 0]);
+        assert_eq!(packed.channels()[3].cluster_ints(1), [0, 3, 0]);
+
+        // Step 5: the index byte of each row's block is the row code
+        // repeated for the single stored pair... codes occupy bits [0,2).
+        for (r, &code) in expect_codes.iter().enumerate() {
+            assert_eq!(packed.channels()[r].blocks()[0] & 0b11, code.bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn row4_harmonization_forces_shared_code() {
+        // Row 4 of Fig. 4: cluster 1 prefers ZeroThird (0.01 weakest),
+        // cluster 2 prefers ZeroFirst (0.01 weakest). The pair constraint
+        // fine-tunes to a single shared code.
+        let q = FineQuantizer::paper();
+        let w = Matrix::from_rows(&[vec![0.17, 0.12, 0.01, 0.01, 0.24, 0.03]]);
+        let packed = q.quantize_packed(&w);
+        assert_eq!(packed.channels()[0].code_of(0), packed.channels()[0].code_of(1));
+    }
+
+    #[test]
+    fn packed_path_and_direct_path_agree() {
+        let mut rng = Rng::seed_from(42);
+        let w = Matrix::from_fn(9, 48, |_, _| rng.laplace(0.0, 0.02));
+        let q = FineQuantizer::paper();
+        let packed = q.quantize_packed(&w).dequantize();
+        let direct = {
+            let mut dq = Matrix::zeros(w.rows(), w.cols());
+            for r in 0..w.rows() {
+                let plan = q.plan_channel(w.row(r));
+                dq.row_mut(r).copy_from_slice(&plan.dequantized);
+            }
+            dq
+        };
+        assert_eq!(packed, direct, "bit-packing must be lossless");
+    }
+
+    #[test]
+    fn avg_bits_approaches_two_point_three_three() {
+        let mut rng = Rng::seed_from(1);
+        // 4096 columns: scale overhead becomes negligible.
+        let w = Matrix::from_fn(4, 4096, |_, _| rng.normal(0.0, 0.02));
+        let q = FineQuantizer::paper();
+        let packed = q.quantize_packed(&w);
+        assert!((packed.avg_bits_data() - 7.0 / 3.0).abs() < 0.01, "{}", packed.avg_bits_data());
+        assert!(packed.avg_bits_total() < 2.35);
+    }
+
+    #[test]
+    fn outlier_is_preserved_with_three_bits() {
+        // A channel with one strong outlier: FineQ must keep it within
+        // one 3-bit step, while its cluster-mates survive at reduced
+        // precision.
+        let w = Matrix::from_rows(&[vec![0.9, 0.01, 0.02, 0.03, 0.02, 0.01]]);
+        let q = FineQuantizer::paper();
+        let out = q.quantize(&w, &Calibration::none());
+        let dq = out.dequantized;
+        assert!((dq[(0, 0)] - 0.9).abs() <= 0.15, "outlier error {}", (dq[(0, 0)] - 0.9).abs());
+    }
+
+    #[test]
+    fn uniform_channel_quantizes_all_two_bit() {
+        let w = Matrix::from_rows(&[vec![0.1, 0.11, 0.12, 0.105, 0.095, 0.115]]);
+        let q = FineQuantizer::paper();
+        let stats = q.stats(&w);
+        assert_eq!(stats.outlier_clusters, 0);
+        assert_eq!(stats.total_clusters, 2);
+    }
+
+    #[test]
+    fn threshold_ablation_changes_outlier_rate() {
+        let mut rng = Rng::seed_from(3);
+        let w = Matrix::from_fn(8, 96, |_, _| rng.laplace(0.0, 0.02));
+        let strict = FineQuantizer::with_config(FineQConfig {
+            outlier_threshold: 2.0,
+            ..FineQConfig::paper()
+        });
+        let loose = FineQuantizer::with_config(FineQConfig {
+            outlier_threshold: 8.0,
+            ..FineQConfig::paper()
+        });
+        assert!(strict.stats(&w).outlier_clusters > loose.stats(&w).outlier_clusters);
+    }
+
+    #[test]
+    fn no_pair_constraint_reduces_error_but_costs_bits() {
+        let mut rng = Rng::seed_from(4);
+        let w = Matrix::from_fn(8, 192, |_, _| rng.laplace(0.0, 0.05));
+        let paper = FineQuantizer::paper();
+        let free = FineQuantizer::with_config(FineQConfig {
+            pair_constraint: false,
+            ..FineQConfig::paper()
+        });
+        let out_paper = paper.quantize(&w, &Calibration::none());
+        let out_free = free.quantize(&w, &Calibration::none());
+        assert!(out_free.dequantized.mse(&w) <= out_paper.dequantized.mse(&w) + 1e-12);
+        assert!(out_free.avg_bits > out_paper.avg_bits);
+    }
+
+    #[test]
+    fn non_multiple_of_three_channels_work() {
+        let mut rng = Rng::seed_from(5);
+        for cols in [1usize, 2, 4, 5, 7, 25] {
+            let w = Matrix::from_fn(3, cols, |_, _| rng.normal(0.0, 0.1));
+            let out = FineQuantizer::paper().quantize(&w, &Calibration::none());
+            assert_eq!(out.dequantized.cols(), cols);
+        }
+    }
+
+    #[test]
+    fn all_zero_matrix_stays_zero() {
+        let w = Matrix::zeros(4, 12);
+        let out = FineQuantizer::paper().quantize(&w, &Calibration::none());
+        assert_eq!(out.dequantized, w);
+    }
+
+    #[test]
+    fn name_reflects_configuration() {
+        assert_eq!(FineQuantizer::paper().name(), "FineQ");
+        let ablate = FineQuantizer::with_config(FineQConfig {
+            outlier_threshold: 2.0,
+            ..FineQConfig::paper()
+        });
+        assert!(ablate.name().contains("t=2"));
+    }
+
+    #[test]
+    fn nominal_bits_formula() {
+        assert!((FineQConfig::paper().nominal_bits() - 7.0 / 3.0).abs() < 1e-12);
+        let free = FineQConfig { pair_constraint: false, ..FineQConfig::paper() };
+        assert!((free.nominal_bits() - 8.0 / 3.0).abs() < 1e-12);
+    }
+}

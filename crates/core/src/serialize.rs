@@ -1,0 +1,172 @@
+//! Byte serialization of the packed format.
+//!
+//! A [`PackedMatrix`](crate::PackedMatrix) is what a deployment would ship
+//! to the accelerator's off-chip memory, so it needs a stable on-disk
+//! form. The layout is deliberately simple and versioned:
+//!
+//! ```text
+//! magic    : 4 bytes  "FNQ1"
+//! rows     : u32 LE
+//! cols     : u32 LE
+//! channels : rows x {
+//!     scale2    : f32 LE
+//!     scale3    : f32 LE
+//!     blocks    : ceil(ceil(cols/3) / 8) x 7 bytes (see `pack`)
+//! }
+//! ```
+//!
+//! Channel lengths and block counts are implied by `cols`, so the format
+//! has no per-channel framing and a fixed, seekable stride.
+
+use crate::pack::{PackedChannel, PackedMatrix, BLOCK_BYTES, CLUSTERS_PER_BLOCK};
+
+/// Magic header identifying the format (version 1).
+pub const MAGIC: &[u8; 4] = b"FNQ1";
+
+/// Errors from [`from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than its header or declared payload.
+    Truncated,
+    /// Wrong magic bytes (not a FineQ v1 blob).
+    BadMagic,
+    /// Header declares an empty or overflowing shape.
+    BadShape,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "unexpected end of input"),
+            DecodeError::BadMagic => write!(f, "missing FNQ1 magic"),
+            DecodeError::BadShape => write!(f, "invalid matrix shape in header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialized byte size of a matrix with the given shape.
+pub fn byte_size(rows: usize, cols: usize) -> usize {
+    let blocks = cols.div_ceil(3).div_ceil(CLUSTERS_PER_BLOCK);
+    4 + 8 + rows * (8 + blocks * BLOCK_BYTES)
+}
+
+/// Serializes a packed matrix to bytes.
+pub fn to_bytes(m: &PackedMatrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(byte_size(m.rows(), m.cols()));
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for ch in m.channels() {
+        out.extend_from_slice(&ch.scale2().to_le_bytes());
+        out.extend_from_slice(&ch.scale3().to_le_bytes());
+        out.extend_from_slice(ch.blocks());
+    }
+    out
+}
+
+/// Deserializes a packed matrix from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated input, wrong magic, or a
+/// degenerate shape.
+pub fn from_bytes(bytes: &[u8]) -> Result<PackedMatrix, DecodeError> {
+    if bytes.len() < 12 {
+        return Err(DecodeError::Truncated);
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let rows = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let cols = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if rows == 0 || cols == 0 || rows.checked_mul(cols).is_none() {
+        return Err(DecodeError::BadShape);
+    }
+    let n_clusters = cols.div_ceil(3);
+    let block_bytes = n_clusters.div_ceil(CLUSTERS_PER_BLOCK) * BLOCK_BYTES;
+    let stride = 8 + block_bytes;
+    if bytes.len() != 12 + rows * stride {
+        return Err(DecodeError::Truncated);
+    }
+    let mut channels = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let base = 12 + r * stride;
+        let scale2 = f32::from_le_bytes(bytes[base..base + 4].try_into().expect("4 bytes"));
+        let scale3 = f32::from_le_bytes(bytes[base + 4..base + 8].try_into().expect("4 bytes"));
+        let blocks = &bytes[base + 8..base + 8 + block_bytes];
+        channels.push(PackedChannel::from_raw_parts(scale2, scale3, cols, blocks.to_vec()));
+    }
+    Ok(PackedMatrix::new(rows, cols, channels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FineQuantizer;
+    use fineq_tensor::{Matrix, Rng};
+
+    fn sample_packed(rows: usize, cols: usize, seed: u64) -> PackedMatrix {
+        let mut rng = Rng::seed_from(seed);
+        let w = Matrix::from_fn(rows, cols, |_, _| {
+            let v = rng.laplace(0.0, 0.03);
+            if rng.chance(0.03) {
+                v * 12.0
+            } else {
+                v
+            }
+        });
+        FineQuantizer::paper().quantize_packed(&w)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for (rows, cols) in [(1usize, 3usize), (5, 47), (16, 96)] {
+            let m = sample_packed(rows, cols, rows as u64 * 31 + cols as u64);
+            let bytes = to_bytes(&m);
+            assert_eq!(bytes.len(), byte_size(rows, cols));
+            let back = from_bytes(&bytes).expect("round trip");
+            assert_eq!(back, m, "{rows}x{cols}");
+            assert_eq!(back.dequantize(), m.dequantize());
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let m = sample_packed(2, 6, 1);
+        let mut bytes = to_bytes(&m);
+        bytes[0] = b'X';
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let m = sample_packed(3, 24, 2);
+        let bytes = to_bytes(&m);
+        assert_eq!(from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(from_bytes(&bytes[..8]).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let m = sample_packed(2, 9, 3);
+        let mut bytes = to_bytes(&m);
+        bytes.push(0);
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn zero_shape_is_rejected() {
+        let m = sample_packed(1, 3, 4);
+        let mut bytes = to_bytes(&m);
+        bytes[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadShape);
+    }
+
+    #[test]
+    fn size_formula_matches_paper_budget() {
+        // 24-wide rows: 8 clusters = 1 block of 7 bytes + 8 scale bytes.
+        assert_eq!(byte_size(1, 24), 4 + 8 + 8 + 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Aggregate cluster statistics: encoding usage and outlier rates.
+//!
+//! These quantify the paper's Observation II — most clusters are normal
+//! (2-bit), a small fraction trigger outlier protection — and feed the
+//! Fig. 3b experiment.
+
+use crate::encoding::ClusterCode;
+
+/// Histogram of cluster encodings across a matrix or model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Total clusters seen.
+    pub total_clusters: usize,
+    /// Clusters using an outlier (3-bit) layout.
+    pub outlier_clusters: usize,
+    /// Count per wire code (`00`, `01`, `10`, `11`).
+    pub code_counts: [usize; 4],
+}
+
+impl ClusterStats {
+    /// Folds one channel's final per-cluster codes into the statistics.
+    pub fn absorb_channel(&mut self, codes: &[ClusterCode]) {
+        for &code in codes {
+            self.total_clusters += 1;
+            self.code_counts[code.bits() as usize] += 1;
+            if code.is_outlier() {
+                self.outlier_clusters += 1;
+            }
+        }
+    }
+
+    /// Merges statistics from another matrix/layer.
+    pub fn merge(&mut self, other: &ClusterStats) {
+        self.total_clusters += other.total_clusters;
+        self.outlier_clusters += other.outlier_clusters;
+        for (a, b) in self.code_counts.iter_mut().zip(other.code_counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Fraction of clusters using outlier protection (0 when empty).
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.total_clusters == 0 {
+            0.0
+        } else {
+            self.outlier_clusters as f64 / self.total_clusters as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} clusters, {:.2}% outlier-protected (codes 00/01/10/11: {}/{}/{}/{})",
+            self.total_clusters,
+            100.0 * self.outlier_fraction(),
+            self.code_counts[0],
+            self.code_counts[1],
+            self.code_counts[2],
+            self.code_counts[3],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_counts_codes() {
+        let mut s = ClusterStats::default();
+        s.absorb_channel(&[
+            ClusterCode::AllTwoBit,
+            ClusterCode::ZeroSecond,
+            ClusterCode::ZeroSecond,
+        ]);
+        assert_eq!(s.total_clusters, 3);
+        assert_eq!(s.outlier_clusters, 2);
+        assert_eq!(s.code_counts, [1, 0, 2, 0]);
+        assert!((s.outlier_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ClusterStats::default();
+        a.absorb_channel(&[ClusterCode::AllTwoBit]);
+        let mut b = ClusterStats::default();
+        b.absorb_channel(&[ClusterCode::ZeroFirst, ClusterCode::ZeroThird]);
+        a.merge(&b);
+        assert_eq!(a.total_clusters, 3);
+        assert_eq!(a.outlier_clusters, 2);
+        assert_eq!(a.code_counts, [1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fraction() {
+        assert_eq!(ClusterStats::default().outlier_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = ClusterStats::default();
+        assert!(!s.to_string().is_empty());
+    }
+}

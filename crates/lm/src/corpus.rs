@@ -1,0 +1,411 @@
+//! Topical low-rank Markov corpora: the synthetic stand-ins for WikiText-2
+//! and C4.
+//!
+//! Text is generated from an explicit **logit teacher**: within a document
+//! carrying latent topic `z`,
+//!
+//! ```text
+//! P(next = v | cur, z) = softmax_v( zipf_bias[v] + tau * (B[cur] · C)[v] + gamma * T[z][v] )
+//! ```
+//!
+//! * `zipf_bias` tilts the marginal toward Zipfian token frequencies;
+//! * `B (vocab x k)`, `C (k x vocab)` give the bigram structure an
+//!   intrinsic rank `k` — mirroring how real language models factor
+//!   next-token structure through a `d`-dimensional embedding;
+//! * `T (topics x vocab)` are per-topic logit tilts, constant within a
+//!   document, so long contexts carry genuine predictive value (the
+//!   mechanism behind the paper's Table II sequence-length sweep).
+//!
+//! The teacher is exact and differentiably simple: its logits are affine
+//! in `(B[cur], onehot(z))`, so a transformer whose embeddings contain
+//! `B[cur]` and whose attention averages topic evidence can represent it —
+//! which is what [`crate::builder`] constructs and ridge-fits.
+
+use fineq_tensor::{Matrix, Rng, Zipf};
+
+/// Parameters of a synthetic corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Intrinsic rank of the bigram logit structure.
+    pub rank: usize,
+    /// Number of latent topics.
+    pub n_topics: usize,
+    /// Bigram logit temperature (larger = peakier = lower entropy).
+    pub bigram_temp: f32,
+    /// Topic logit strength (larger = more context value).
+    pub topic_temp: f32,
+    /// Weight of the Zipfian log-frequency bias.
+    pub zipf_weight: f32,
+    /// Zipf exponent of the marginal tilt.
+    pub zipf_s: f64,
+    /// Tokens per document (topic resample boundary).
+    pub doc_len: usize,
+}
+
+/// A generated token stream with its per-token latent topic (kept so the
+/// head-fitting teacher can compute exact conditional distributions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenStream {
+    tokens: Vec<usize>,
+    topics: Vec<usize>,
+}
+
+impl TokenStream {
+    /// The token ids.
+    pub fn tokens(&self) -> &[usize] {
+        &self.tokens
+    }
+
+    /// Latent topic id of each position.
+    pub fn topics(&self) -> &[usize] {
+        &self.topics
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// A fully-specified synthetic corpus (generator + exact teacher).
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    spec: CorpusSpec,
+    /// Bigram left factor, `vocab x rank` (unit-variance coordinates).
+    b: Matrix,
+    /// Bigram right factor, `rank x vocab` (scaled by `1/sqrt(rank)`).
+    c: Matrix,
+    /// Topic logit tilts, `n_topics x vocab`.
+    t: Matrix,
+    /// Zipfian log-frequency bias, length `vocab`.
+    bias: Vec<f32>,
+}
+
+impl Corpus {
+    /// Builds a corpus from a spec and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (sizes of zero, `rank >= vocab`,
+    /// one-token documents).
+    pub fn build(spec: CorpusSpec, seed: u64) -> Self {
+        assert!(spec.vocab > 1, "vocabulary must have at least two tokens");
+        assert!(spec.rank > 0 && spec.rank < spec.vocab, "rank must be in 1..vocab");
+        assert!(spec.n_topics > 0, "at least one topic required");
+        assert!(spec.doc_len > 1, "documents must be longer than one token");
+        let mut rng = Rng::seed_from(seed);
+        let zipf = Zipf::new(spec.vocab, spec.zipf_s);
+        let b = Matrix::from_fn(spec.vocab, spec.rank, |_, _| rng.normal(0.0, 1.0));
+        let inv_sqrt_k = 1.0 / (spec.rank as f32).sqrt();
+        let c = Matrix::from_fn(spec.rank, spec.vocab, |_, _| rng.normal(0.0, inv_sqrt_k));
+        // Topics are sparse membership sets ("topical words"): each topic
+        // boosts a random subset of roughly vocab / n_topics tokens. A
+        // single token is therefore weak topic evidence, while a window of
+        // text identifies the topic reliably — giving long contexts their
+        // value.
+        let members = (spec.vocab / spec.n_topics).max(4);
+        let mut t = Matrix::zeros(spec.n_topics, spec.vocab);
+        for z in 0..spec.n_topics {
+            let mut chosen = 0;
+            while chosen < members {
+                let v = rng.below(spec.vocab);
+                if t[(z, v)] == 0.0 {
+                    t[(z, v)] = 1.0;
+                    chosen += 1;
+                }
+            }
+        }
+        let bias: Vec<f32> =
+            (0..spec.vocab).map(|v| spec.zipf_weight * (zipf.pmf(v).ln() as f32)).collect();
+        Self { spec, b, c, t, bias }
+    }
+
+    /// WikiText-2 stand-in: structured text — strong bigram peaks, strong
+    /// topics (lower entropy than [`Corpus::c4_like`]).
+    pub fn wiki_like(vocab: usize, seed: u64) -> Self {
+        Self::build(
+            CorpusSpec {
+                vocab,
+                rank: (vocab / 6).max(8),
+                n_topics: 8,
+                bigram_temp: 2.4,
+                topic_temp: 1.8,
+                zipf_weight: 0.35,
+                zipf_s: 1.05,
+                doc_len: 768,
+            },
+            seed,
+        )
+    }
+
+    /// C4 stand-in: noisier web text — flatter transitions, weaker topics.
+    pub fn c4_like(vocab: usize, seed: u64) -> Self {
+        Self::build(
+            CorpusSpec {
+                vocab,
+                rank: (vocab / 6).max(8),
+                n_topics: 12,
+                bigram_temp: 1.9,
+                topic_temp: 1.5,
+                zipf_weight: 0.30,
+                zipf_s: 0.95,
+                doc_len: 640,
+            },
+            seed,
+        )
+    }
+
+    /// The spec this corpus was built from.
+    pub fn spec(&self) -> &CorpusSpec {
+        &self.spec
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.spec.vocab
+    }
+
+    /// The bigram left factor `B` (`vocab x rank`). The model builder
+    /// plants these coordinates inside its token embeddings, mirroring how
+    /// trained LLMs encode next-token structure in embedding space.
+    pub fn bigram_factors(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Topic membership matrix (`n_topics x vocab`, entries 0/1). The
+    /// model builder plants per-topic directions on member tokens'
+    /// embeddings, mirroring topical clustering in trained embedding
+    /// spaces.
+    pub fn topic_matrix(&self) -> &Matrix {
+        &self.t
+    }
+
+    /// Raw (unnormalized) teacher logits for `(cur, topic)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cur` or `topic` is out of range.
+    pub fn teacher_logits(&self, cur: usize, topic: usize) -> Vec<f32> {
+        assert!(cur < self.spec.vocab, "token out of range");
+        assert!(topic < self.spec.n_topics, "topic out of range");
+        let brow = self.b.row(cur);
+        let trow = self.t.row(topic);
+        (0..self.spec.vocab)
+            .map(|v| {
+                let mut bc = 0.0f32;
+                for (k, &bk) in brow.iter().enumerate() {
+                    bc += bk * self.c[(k, v)];
+                }
+                self.bias[v] + self.spec.bigram_temp * bc + self.spec.topic_temp * trow[v]
+            })
+            .collect()
+    }
+
+    /// Mean-centered teacher logits — the ridge-regression targets for the
+    /// fitted readout head (softmax is shift-invariant, and centering
+    /// removes the per-position offset a linear readout would otherwise
+    /// have to spend capacity on).
+    pub fn teacher_fit_targets(&self, cur: usize, topic: usize) -> Vec<f32> {
+        let mut z = self.teacher_logits(cur, topic);
+        let mean: f32 = z.iter().sum::<f32>() / z.len() as f32;
+        z.iter_mut().for_each(|x| *x -= mean);
+        z
+    }
+
+    /// Exact next-token distribution `softmax(teacher_logits)`.
+    pub fn conditional(&self, cur: usize, topic: usize) -> Vec<f64> {
+        let z = self.teacher_logits(cur, topic);
+        let max = z.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut p: Vec<f64> = z.iter().map(|&x| ((x - max) as f64).exp()).collect();
+        let sum: f64 = p.iter().sum();
+        p.iter_mut().for_each(|x| *x /= sum);
+        p
+    }
+
+    /// Generates a token stream of `n_tokens`, resampling the latent topic
+    /// every `doc_len` tokens.
+    pub fn generate(&self, n_tokens: usize, seed: u64) -> TokenStream {
+        let mut rng = Rng::seed_from(seed ^ 0x5EED_C0FF);
+        let mut tokens = Vec::with_capacity(n_tokens);
+        let mut topics = Vec::with_capacity(n_tokens);
+        let mut topic = rng.below(self.spec.n_topics);
+        let mut cur = rng.below(self.spec.vocab);
+        for i in 0..n_tokens {
+            if i % self.spec.doc_len == 0 {
+                topic = rng.below(self.spec.n_topics);
+            }
+            cur = rng.categorical(&self.conditional(cur, topic));
+            tokens.push(cur);
+            topics.push(topic);
+        }
+        TokenStream { tokens, topics }
+    }
+
+    /// Cross-entropy (nats/token) of the *oracle* teacher that knows the
+    /// latent topic — the floor any model's perplexity is compared to.
+    pub fn oracle_cross_entropy(&self, stream: &TokenStream) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for t in 0..stream.len().saturating_sub(1) {
+            // Topic switches at document boundaries make the first token
+            // of a document unpredictable; skip it, as windowed eval does
+            // implicitly for the window-initial position.
+            if (t + 1) % self.spec.doc_len == 0 {
+                continue;
+            }
+            let p = self.conditional(stream.tokens[t], stream.topics[t])[stream.tokens[t + 1]];
+            total -= p.max(1e-300).ln();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_is_a_distribution() {
+        let c = Corpus::wiki_like(64, 3);
+        let p = c.conditional(3, 1);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn teacher_logits_depend_on_both_token_and_topic() {
+        let c = Corpus::wiki_like(64, 5);
+        let same_topic: f32 = c
+            .teacher_logits(1, 0)
+            .iter()
+            .zip(c.teacher_logits(2, 0))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let same_token: f32 = c
+            .teacher_logits(1, 0)
+            .iter()
+            .zip(c.teacher_logits(1, 1))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(same_topic > 1.0, "token must matter");
+        assert!(same_token > 1.0, "topic must matter");
+    }
+
+    #[test]
+    fn fit_targets_are_centered() {
+        let c = Corpus::wiki_like(64, 7);
+        let z = c.teacher_fit_targets(5, 2);
+        let mean: f32 = z.iter().sum::<f32>() / z.len() as f32;
+        assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let c = Corpus::wiki_like(48, 7);
+        assert_eq!(c.generate(500, 1), c.generate(500, 1));
+        assert_ne!(c.generate(500, 1), c.generate(500, 2));
+    }
+
+    #[test]
+    fn topics_change_only_at_document_boundaries() {
+        let c = Corpus::wiki_like(48, 9);
+        let s = c.generate(c.spec().doc_len * 3, 4);
+        for i in 1..s.len() {
+            if i % c.spec().doc_len != 0 {
+                assert_eq!(s.topics()[i], s.topics()[i - 1], "position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_are_in_vocabulary() {
+        let c = Corpus::c4_like(32, 2);
+        let s = c.generate(2_000, 8);
+        assert!(s.tokens().iter().all(|&t| t < 32));
+    }
+
+    #[test]
+    fn c4_is_higher_entropy_than_wiki() {
+        let wiki = Corpus::wiki_like(128, 11);
+        let c4 = Corpus::c4_like(128, 11);
+        let sw = wiki.generate(20_000, 5);
+        let sc = c4.generate(20_000, 5);
+        let hw = wiki.oracle_cross_entropy(&sw);
+        let hc = c4.oracle_cross_entropy(&sc);
+        assert!(hc > hw, "c4-like entropy {hc:.3} should exceed wiki-like {hw:.3}");
+    }
+
+    #[test]
+    fn oracle_entropy_is_finite_and_below_uniform() {
+        let c = Corpus::wiki_like(64, 13);
+        let s = c.generate(10_000, 3);
+        let h = c.oracle_cross_entropy(&s);
+        assert!(h > 0.0 && h < (64f64).ln(), "oracle entropy {h}");
+    }
+
+    #[test]
+    fn topic_knowledge_lowers_entropy() {
+        // Scoring with the wrong topic must be worse than with the true
+        // topic — the predictive value Table II's long windows capture.
+        let c = Corpus::wiki_like(64, 17);
+        let s = c.generate(8_000, 9);
+        let mut right = 0.0f64;
+        let mut wrong = 0.0f64;
+        let mut n = 0;
+        for t in 0..s.len() - 1 {
+            if (t + 1) % c.spec().doc_len == 0 {
+                continue;
+            }
+            let z = s.topics()[t];
+            let zw = (z + 1) % c.spec().n_topics;
+            right -= c.conditional(s.tokens()[t], z)[s.tokens()[t + 1]].max(1e-300).ln();
+            wrong -= c.conditional(s.tokens()[t], zw)[s.tokens()[t + 1]].max(1e-300).ln();
+            n += 1;
+        }
+        assert!(wrong / n as f64 > right / n as f64 + 0.2);
+    }
+
+    #[test]
+    fn zipf_bias_tilts_the_marginal() {
+        let c = Corpus::wiki_like(64, 19);
+        let s = c.generate(30_000, 21);
+        let mut counts = vec![0usize; 64];
+        for &t in s.tokens() {
+            counts[t] += 1;
+        }
+        // Not a strict Zipf law (bigram/topic structure dominates), but the
+        // marginal must be clearly non-uniform.
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max > 4.0 * min.max(1.0), "marginal should be skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must be in")]
+    fn oversized_rank_is_rejected() {
+        let spec = CorpusSpec {
+            vocab: 8,
+            rank: 8,
+            n_topics: 2,
+            bigram_temp: 1.0,
+            topic_temp: 1.0,
+            zipf_weight: 0.1,
+            zipf_s: 1.0,
+            doc_len: 16,
+        };
+        let _ = Corpus::build(spec, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Serving-memory layout model (paper Fig. 2b).
+//!
+//! The paper motivates weight quantization with the memory breakdown of
+//! serving LLaMA-2-13B on a 40 GB NVIDIA A100: ~65 % model weights, ~30 %
+//! KV cache, ~5 % other (activations, workspace). This module reproduces
+//! that arithmetic and extends it with quantized-weight scenarios.
+
+/// Bytes in one (decimal) gigabyte, the unit GPU marketing capacities use
+/// (an "A100 40GB" exposes 40e9 bytes).
+pub const GB: f64 = 1e9;
+
+/// Analytic memory model of an LLM serving deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingMemory {
+    /// Total parameters.
+    pub params: f64,
+    /// Transformer layers.
+    pub n_layers: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Device memory in bytes.
+    pub device_bytes: f64,
+    /// Bits per stored weight (16 for fp16; 2.33 for FineQ).
+    pub weight_bits: f64,
+    /// Bytes per KV-cache element (2 for fp16).
+    pub kv_bytes_per_elem: f64,
+}
+
+impl ServingMemory {
+    /// LLaMA-2-13B served in fp16 on a 40 GB A100 — the paper's Fig. 2b
+    /// configuration.
+    pub fn llama2_13b_a100() -> Self {
+        Self {
+            params: 13.0e9,
+            n_layers: 40,
+            d_model: 5120,
+            device_bytes: 40.0 * GB,
+            weight_bits: 16.0,
+            kv_bytes_per_elem: 2.0,
+        }
+    }
+
+    /// Same deployment with weights stored in FineQ's 2.33-bit format.
+    pub fn with_weight_bits(mut self, bits: f64) -> Self {
+        self.weight_bits = bits;
+        self
+    }
+
+    /// Bytes used by the model weights.
+    pub fn weight_bytes(&self) -> f64 {
+        self.params * self.weight_bits / 8.0
+    }
+
+    /// Bytes used by the KV cache for `concurrent_tokens` total cached
+    /// tokens (sum over all sequences in flight): K and V per layer.
+    pub fn kv_cache_bytes(&self, concurrent_tokens: f64) -> f64 {
+        2.0 * self.n_layers as f64
+            * self.d_model as f64
+            * concurrent_tokens
+            * self.kv_bytes_per_elem
+    }
+
+    /// How many cached tokens fit after weights and `other_frac` of the
+    /// device are reserved.
+    pub fn max_concurrent_tokens(&self, other_frac: f64) -> f64 {
+        let free = self.device_bytes * (1.0 - other_frac) - self.weight_bytes();
+        (free / (2.0 * self.n_layers as f64 * self.d_model as f64 * self.kv_bytes_per_elem))
+            .max(0.0)
+    }
+
+    /// The Fig. 2b layout: fractions of device memory used by weights, KV
+    /// cache and "others" when the device is filled (others fixed at 5 %).
+    pub fn layout(&self) -> MemoryLayout {
+        let other_frac = 0.05;
+        let weights = self.weight_bytes() / self.device_bytes;
+        let kv = (1.0 - other_frac - weights).max(0.0);
+        MemoryLayout { weights_frac: weights, kv_frac: kv, other_frac }
+    }
+}
+
+/// Device-memory fractions (sums to 1 when the device is full).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryLayout {
+    /// Fraction used by model weights.
+    pub weights_frac: f64,
+    /// Fraction available to the KV cache.
+    pub kv_frac: f64,
+    /// Fraction reserved for activations and workspace.
+    pub other_frac: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_weights_are_26_gb() {
+        let m = ServingMemory::llama2_13b_a100();
+        assert!((m.weight_bytes() / 1e9 - 26.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fig2b_layout_is_65_30_5() {
+        let m = ServingMemory::llama2_13b_a100();
+        let l = m.layout();
+        assert!((l.weights_frac - 0.65).abs() < 0.05, "weights {:.3}", l.weights_frac);
+        assert!((l.kv_frac - 0.30).abs() < 0.05, "kv {:.3}", l.kv_frac);
+        assert!((l.other_frac - 0.05).abs() < 1e-12);
+        assert!((l.weights_frac + l.kv_frac + l.other_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fineq_bits_shrink_weights_by_almost_7x() {
+        let fp16 = ServingMemory::llama2_13b_a100();
+        let fineq = fp16.clone().with_weight_bits(7.0 / 3.0);
+        let ratio = fp16.weight_bytes() / fineq.weight_bytes();
+        assert!((ratio - 48.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantization_frees_kv_capacity() {
+        let fp16 = ServingMemory::llama2_13b_a100();
+        let fineq = fp16.clone().with_weight_bits(7.0 / 3.0);
+        assert!(fineq.max_concurrent_tokens(0.05) > 2.0 * fp16.max_concurrent_tokens(0.05));
+    }
+
+    #[test]
+    fn kv_cache_scales_linearly_with_tokens() {
+        let m = ServingMemory::llama2_13b_a100();
+        let one = m.kv_cache_bytes(1.0);
+        assert_eq!(m.kv_cache_bytes(1000.0), 1000.0 * one);
+        // Per-token KV: 2 * 40 * 5120 * 2 bytes = 819200.
+        assert!((one - 819_200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn oversized_model_reports_zero_kv_capacity() {
+        let mut m = ServingMemory::llama2_13b_a100();
+        m.params = 100.0e9; // does not fit in 40 GB
+        assert_eq!(m.max_concurrent_tokens(0.05), 0.0);
+    }
+}

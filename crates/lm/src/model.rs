@@ -1,0 +1,484 @@
+//! The decoder-only transformer substrate.
+//!
+//! Architecture (paper Fig. 2a): per block, RMSNorm → multi-head causal
+//! self-attention (with ALiBi positional bias) → residual add → RMSNorm →
+//! two-layer FFN → residual add; a final RMSNorm feeds the readout head.
+//!
+//! All weights are plain [`Matrix`] values with **rows = output features**,
+//! the same convention the quantizers use, so a quantizer output can be
+//! written straight back into the model (see [`Transformer::weight_mut`]).
+
+use crate::config::{Activation, ModelConfig};
+use fineq_tensor::{activation, softmax_in_place, Matrix};
+
+/// Identifies one of the six quantizable linear weights in a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightSite {
+    /// Query projection (`d_model x d_model`).
+    AttnQ,
+    /// Key projection.
+    AttnK,
+    /// Value projection.
+    AttnV,
+    /// Attention output projection.
+    AttnO,
+    /// FFN up projection (`d_ff x d_model`).
+    FfnUp,
+    /// FFN down projection (`d_model x d_ff`).
+    FfnDown,
+}
+
+impl WeightSite {
+    /// All sites in forward-pass order.
+    pub const ALL: [WeightSite; 6] = [
+        WeightSite::AttnQ,
+        WeightSite::AttnK,
+        WeightSite::AttnV,
+        WeightSite::AttnO,
+        WeightSite::FfnUp,
+        WeightSite::FfnDown,
+    ];
+
+    /// Short name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightSite::AttnQ => "attn.q",
+            WeightSite::AttnK => "attn.k",
+            WeightSite::AttnV => "attn.v",
+            WeightSite::AttnO => "attn.o",
+            WeightSite::FfnUp => "ffn.up",
+            WeightSite::FfnDown => "ffn.down",
+        }
+    }
+}
+
+/// One transformer block's weights.
+#[derive(Debug, Clone, PartialEq)]
+struct Block {
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    w1: Matrix,
+    w2: Matrix,
+}
+
+impl Block {
+    fn zeros(cfg: &ModelConfig) -> Self {
+        let d = cfg.d_model;
+        Self {
+            wq: Matrix::zeros(d, d),
+            wk: Matrix::zeros(d, d),
+            wv: Matrix::zeros(d, d),
+            wo: Matrix::zeros(d, d),
+            w1: Matrix::zeros(cfg.d_ff, d),
+            w2: Matrix::zeros(d, cfg.d_ff),
+        }
+    }
+
+    fn site(&self, site: WeightSite) -> &Matrix {
+        match site {
+            WeightSite::AttnQ => &self.wq,
+            WeightSite::AttnK => &self.wk,
+            WeightSite::AttnV => &self.wv,
+            WeightSite::AttnO => &self.wo,
+            WeightSite::FfnUp => &self.w1,
+            WeightSite::FfnDown => &self.w2,
+        }
+    }
+
+    fn site_mut(&mut self, site: WeightSite) -> &mut Matrix {
+        match site {
+            WeightSite::AttnQ => &mut self.wq,
+            WeightSite::AttnK => &mut self.wk,
+            WeightSite::AttnV => &mut self.wv,
+            WeightSite::AttnO => &mut self.wo,
+            WeightSite::FfnUp => &mut self.w1,
+            WeightSite::FfnDown => &mut self.w2,
+        }
+    }
+}
+
+/// Per-layer activation snapshots collected during a traced forward pass —
+/// the calibration inputs for GPTQ/OWQ (one matrix per linear-layer input).
+#[derive(Debug, Clone)]
+pub struct LayerTrace {
+    /// Input to `wq`/`wk`/`wv` (post-RMSNorm hidden states, `T x d_model`).
+    pub attn_input: Matrix,
+    /// Input to `wo` (concatenated head contexts, `T x d_model`).
+    pub attn_ctx: Matrix,
+    /// Input to `w1` (post-RMSNorm hidden states, `T x d_model`).
+    pub ffn_input: Matrix,
+    /// Input to `w2` (post-activation FFN hidden, `T x d_ff`).
+    pub ffn_mid: Matrix,
+}
+
+/// Full activation trace of one forward pass.
+#[derive(Debug, Clone)]
+pub struct ActivationTrace {
+    /// One entry per block.
+    pub layers: Vec<LayerTrace>,
+    /// Input to the readout head (final RMSNorm output, `T x d_model`).
+    pub final_hidden: Matrix,
+}
+
+/// A decoder-only transformer with explicit weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transformer {
+    cfg: ModelConfig,
+    embedding: Matrix,
+    blocks: Vec<Block>,
+    head: Matrix,
+}
+
+/// Row-wise RMS normalization (no learned gain; the constructed models do
+/// not need one and it keeps every quantizable parameter inside `Matrix`
+/// weights).
+fn rmsnorm_rows(m: &Matrix) -> Matrix {
+    let cols = m.cols();
+    let mut out = Matrix::zeros(m.rows(), cols);
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        let ms: f32 = row.iter().map(|x| x * x).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + 1e-6).sqrt();
+        for (o, &x) in out.row_mut(r).iter_mut().zip(row) {
+            *o = x * inv;
+        }
+    }
+    out
+}
+
+impl Transformer {
+    /// A transformer with all-zero weights (the builder fills them in).
+    pub fn zeros(cfg: ModelConfig) -> Self {
+        let blocks = (0..cfg.n_layers).map(|_| Block::zeros(&cfg)).collect();
+        let embedding = Matrix::zeros(cfg.vocab, cfg.d_model);
+        let head = Matrix::zeros(cfg.vocab, cfg.d_model);
+        Self { cfg, embedding, blocks, head }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Number of blocks.
+    pub fn n_layers(&self) -> usize {
+        self.cfg.n_layers
+    }
+
+    /// Token embedding table (`vocab x d_model`).
+    pub fn embedding(&self) -> &Matrix {
+        &self.embedding
+    }
+
+    /// Mutable token embedding table.
+    pub fn embedding_mut(&mut self) -> &mut Matrix {
+        &mut self.embedding
+    }
+
+    /// Readout head (`vocab x d_model`).
+    pub fn head(&self) -> &Matrix {
+        &self.head
+    }
+
+    /// Mutable readout head.
+    pub fn head_mut(&mut self) -> &mut Matrix {
+        &mut self.head
+    }
+
+    /// Weight matrix at `(layer, site)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= n_layers()`.
+    pub fn weight(&self, layer: usize, site: WeightSite) -> &Matrix {
+        self.blocks[layer].site(site)
+    }
+
+    /// Mutable weight matrix at `(layer, site)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= n_layers()`.
+    pub fn weight_mut(&mut self, layer: usize, site: WeightSite) -> &mut Matrix {
+        self.blocks[layer].site_mut(site)
+    }
+
+    /// Visits every block weight in deterministic order.
+    pub fn visit_weights(&self, mut f: impl FnMut(usize, WeightSite, &Matrix)) {
+        for (l, block) in self.blocks.iter().enumerate() {
+            for site in WeightSite::ALL {
+                f(l, site, block.site(site));
+            }
+        }
+    }
+
+    /// Total parameters currently held (embedding + blocks + head).
+    pub fn param_count(&self) -> usize {
+        let mut n = self.embedding.len() + self.head.len();
+        self.visit_weights(|_, _, w| n += w.len());
+        n
+    }
+
+    /// Runs the model over a token window, returning per-position logits
+    /// (`T x vocab`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id `>= vocab`.
+    pub fn forward(&self, tokens: &[usize]) -> Matrix {
+        self.forward_impl(tokens, None)
+    }
+
+    /// Like [`Transformer::forward`], additionally returning the
+    /// activation trace used to calibrate GPTQ/OWQ.
+    pub fn forward_with_trace(&self, tokens: &[usize]) -> (Matrix, ActivationTrace) {
+        let mut trace = ActivationTrace { layers: Vec::new(), final_hidden: Matrix::zeros(1, 1) };
+        let logits = self.forward_impl(tokens, Some(&mut trace));
+        (logits, trace)
+    }
+
+    fn forward_impl(&self, tokens: &[usize], mut trace: Option<&mut ActivationTrace>) -> Matrix {
+        assert!(!tokens.is_empty(), "token window must be non-empty");
+        let t_len = tokens.len();
+        let d = self.cfg.d_model;
+
+        // Embedding lookup.
+        let mut h = Matrix::zeros(t_len, d);
+        for (t, &tok) in tokens.iter().enumerate() {
+            assert!(tok < self.cfg.vocab, "token id {tok} out of vocabulary");
+            h.row_mut(t).copy_from_slice(self.embedding.row(tok));
+        }
+
+        for block in &self.blocks {
+            // ---- attention sub-block ----
+            let x = rmsnorm_rows(&h);
+            let q = x.matmul_transpose(&block.wq);
+            let k = x.matmul_transpose(&block.wk);
+            let v = x.matmul_transpose(&block.wv);
+            let ctx = self.attention(&q, &k, &v);
+            let attn_out = ctx.matmul_transpose(&block.wo);
+            h.add_in_place(&attn_out);
+
+            // ---- FFN sub-block ----
+            let x2 = rmsnorm_rows(&h);
+            let mut mid = x2.matmul_transpose(&block.w1);
+            match self.cfg.activation {
+                Activation::Relu => {
+                    for m in mid.as_mut_slice() {
+                        *m = activation::relu(*m);
+                    }
+                }
+                Activation::Silu => {
+                    for m in mid.as_mut_slice() {
+                        *m = activation::silu(*m);
+                    }
+                }
+            }
+            let ffn_out = mid.matmul_transpose(&block.w2);
+            h.add_in_place(&ffn_out);
+
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.layers.push(LayerTrace {
+                    attn_input: x,
+                    attn_ctx: ctx,
+                    ffn_input: x2,
+                    ffn_mid: mid,
+                });
+            }
+        }
+
+        let hf = rmsnorm_rows(&h);
+        let logits = hf.matmul_transpose(&self.head);
+        if let Some(tr) = trace {
+            tr.final_hidden = hf;
+        }
+        logits
+    }
+
+    /// Multi-head causal attention with ALiBi bias.
+    fn attention(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+        let t_len = q.rows();
+        let dh = self.cfg.d_head();
+        let inv_sqrt = 1.0 / (dh as f32).sqrt();
+        let mut ctx = Matrix::zeros(t_len, self.cfg.d_model);
+        let mut scores = vec![0.0f32; t_len];
+        for (head, &slope) in self.cfg.alibi_slopes.iter().enumerate() {
+            let off = head * dh;
+            for t in 0..t_len {
+                let qrow = &q.row(t)[off..off + dh];
+                for (j, s) in scores.iter_mut().enumerate().take(t + 1) {
+                    let krow = &k.row(j)[off..off + dh];
+                    let mut dot = 0.0f32;
+                    for (a, b) in qrow.iter().zip(krow) {
+                        dot += a * b;
+                    }
+                    *s = dot * inv_sqrt - slope * (t - j) as f32;
+                }
+                softmax_in_place(&mut scores[..t + 1]);
+                let crow = ctx.row_mut(t);
+                for (j, &a) in scores.iter().enumerate().take(t + 1) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let vrow = &v.row(j)[off..off + dh];
+                    for (c, &vv) in crow[off..off + dh].iter_mut().zip(vrow) {
+                        *c += a * vv;
+                    }
+                }
+            }
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fineq_tensor::Rng;
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig::new(16, 8, 2, 2, 16)
+    }
+
+    fn random_model(seed: u64) -> Transformer {
+        let cfg = tiny_cfg();
+        let mut m = Transformer::zeros(cfg.clone());
+        let mut rng = Rng::seed_from(seed);
+        *m.embedding_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 0.5));
+        *m.head_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 0.5));
+        for l in 0..m.n_layers() {
+            for site in WeightSite::ALL {
+                let (r, c) = {
+                    let w = m.weight(l, site);
+                    (w.rows(), w.cols())
+                };
+                *m.weight_mut(l, site) = Matrix::from_fn(r, c, |_, _| rng.normal(0.0, 0.05));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn forward_shape_is_tokens_by_vocab() {
+        let m = random_model(1);
+        let logits = m.forward(&[1, 2, 3, 4, 5]);
+        assert_eq!((logits.rows(), logits.cols()), (5, 16));
+        assert!(logits.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn causality_prefix_logits_do_not_depend_on_future() {
+        let m = random_model(2);
+        let full = m.forward(&[3, 1, 4, 1, 5, 9]);
+        let prefix = m.forward(&[3, 1, 4]);
+        for t in 0..3 {
+            for vtok in 0..16 {
+                assert!(
+                    (full[(t, vtok)] - prefix[(t, vtok)]).abs() < 1e-4,
+                    "position {t} token {vtok} leaked future information"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_body_model_reduces_to_embedding_head_readout() {
+        // With all-zero blocks the logits are head @ rmsnorm(embedding).
+        let cfg = tiny_cfg();
+        let mut m = Transformer::zeros(cfg.clone());
+        let mut rng = Rng::seed_from(3);
+        *m.embedding_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 1.0));
+        *m.head_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 1.0));
+        let logits = m.forward(&[7, 7]);
+        // Same token -> identical rows.
+        for vtok in 0..16 {
+            assert!((logits[(0, vtok)] - logits[(1, vtok)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn trace_shapes_match_sites() {
+        let m = random_model(4);
+        let (_, trace) = m.forward_with_trace(&[1, 2, 3, 4]);
+        assert_eq!(trace.layers.len(), 2);
+        let lt = &trace.layers[0];
+        assert_eq!((lt.attn_input.rows(), lt.attn_input.cols()), (4, 8));
+        assert_eq!((lt.attn_ctx.rows(), lt.attn_ctx.cols()), (4, 8));
+        assert_eq!((lt.ffn_input.rows(), lt.ffn_input.cols()), (4, 8));
+        assert_eq!((lt.ffn_mid.rows(), lt.ffn_mid.cols()), (4, 16));
+        assert_eq!((trace.final_hidden.rows(), trace.final_hidden.cols()), (4, 8));
+    }
+
+    #[test]
+    fn traced_and_plain_forward_agree() {
+        let m = random_model(5);
+        let tokens = [0, 3, 9, 2, 2, 7];
+        let plain = m.forward(&tokens);
+        let (traced, _) = m.forward_with_trace(&tokens);
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn weight_mutation_changes_output() {
+        let mut m = random_model(6);
+        let tokens = [1, 2, 3];
+        let before = m.forward(&tokens);
+        m.weight_mut(0, WeightSite::FfnDown).scale_in_place(0.0);
+        let after = m.forward(&tokens);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn visit_weights_enumerates_all_sites() {
+        let m = random_model(7);
+        let mut seen = Vec::new();
+        m.visit_weights(|l, s, _| seen.push((l, s)));
+        assert_eq!(seen.len(), 2 * 6);
+        assert_eq!(seen[0], (0, WeightSite::AttnQ));
+        assert_eq!(seen[11], (1, WeightSite::FfnDown));
+    }
+
+    #[test]
+    fn param_count_matches_config() {
+        let m = random_model(8);
+        assert_eq!(m.param_count(), m.config().param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oversized_token_id_panics() {
+        let m = random_model(9);
+        let _ = m.forward(&[99]);
+    }
+
+    #[test]
+    fn rmsnorm_rows_produces_unit_rms() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0, 0.0, 0.0]]);
+        let n = rmsnorm_rows(&m);
+        let ms: f32 = n.row(0).iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!((ms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn alibi_locality_heads_attend_recent_tokens() {
+        // With zero q/k the scores are pure ALiBi: a local head's context
+        // must weight the latest token most.
+        let cfg = ModelConfig::new(4, 4, 1, 2, 4);
+        let m = Transformer::zeros(cfg);
+        let q = Matrix::zeros(3, 4);
+        let k = Matrix::zeros(3, 4);
+        // v rows are one-hot in the head-1 lane so the attention weights
+        // are directly readable from the context.
+        let mut v = Matrix::zeros(3, 4);
+        v[(0, 2)] = 1.0;
+        v[(2, 3)] = 1.0;
+        let ctx = m.attention(&q, &k, &v);
+        // Head 0 (global, slope 0) at t=2: uniform 1/3 over positions.
+        // Head 1 (slope 1) at t=2 weights j=2 > j=1 > j=0.
+        let w_old = ctx[(2, 2)]; // weight on j=0 (head 1 lane 2)
+        let w_new = ctx[(2, 3)]; // weight on j=2
+        assert!(w_new > w_old, "local head must prefer the newest token");
+    }
+}

@@ -1,0 +1,187 @@
+//! AWQ (Lin et al., MLSys 2024): activation-aware weight quantization.
+//!
+//! The paper's related-work section positions AWQ as the other leading
+//! single-precision method next to GPTQ: it protects salient weights not
+//! by mixed precision but by **per-input-channel scaling** — channels
+//! with large activations get their weights scaled up before quantization
+//! (and the inverse scale folded back after), so their relative rounding
+//! error shrinks. The scale exponent `alpha` in
+//! `s_j = mean(|X_j|)^alpha` is grid-searched against the layer output
+//! error on the calibration set, as in the reference implementation.
+//!
+//! Without calibration data AWQ degenerates to plain group-wise RTN
+//! (all scales one).
+
+use crate::{AsymmetricGrid, Calibration, QuantResult, WeightQuantizer};
+use fineq_tensor::Matrix;
+
+/// Activation-aware weight quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Awq {
+    bits: u8,
+    group: usize,
+}
+
+impl Awq {
+    /// Creates the quantizer with the given bit-width and the reference
+    /// group size of 128.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn new(bits: u8) -> Self {
+        Self::with_group(bits, 128)
+    }
+
+    /// Creates the quantizer with an explicit group size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16` and `group > 0`.
+    pub fn with_group(bits: u8, group: usize) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        assert!(group > 0, "group size must be positive");
+        Self { bits, group }
+    }
+
+    /// Quantizes with a fixed per-column scale vector, returning the
+    /// dequantized weights.
+    fn quantize_scaled(&self, w: &Matrix, scales: &[f32]) -> Matrix {
+        let (rows, cols) = (w.rows(), w.cols());
+        let mut dq = Matrix::zeros(rows, cols);
+        let mut scaled_row = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (j, (&x, s)) in w.row(r).iter().zip(scales).enumerate() {
+                scaled_row[j] = x * s;
+            }
+            for g_start in (0..cols).step_by(self.group) {
+                let g_end = (g_start + self.group).min(cols);
+                let grid = AsymmetricGrid::from_slice(&scaled_row[g_start..g_end], self.bits);
+                for j in g_start..g_end {
+                    dq[(r, j)] = grid.roundtrip(scaled_row[j]) / scales[j];
+                }
+            }
+        }
+        dq
+    }
+}
+
+impl WeightQuantizer for Awq {
+    fn name(&self) -> String {
+        format!("AWQ-{}b g{}", self.bits, self.group)
+    }
+
+    fn quantize(&self, w: &Matrix, calib: &Calibration) -> QuantResult {
+        let cols = w.cols();
+        let avg_bits = self.bits as f64 + 32.0 / self.group as f64;
+        let ones = vec![1.0f32; cols];
+
+        let x = match calib.activations() {
+            Some(x) if x.cols() == cols && x.rows() > 0 => x,
+            _ => {
+                return QuantResult { dequantized: self.quantize_scaled(w, &ones), avg_bits };
+            }
+        };
+
+        // Mean absolute activation per input channel.
+        let mut act_mag = vec![0.0f32; cols];
+        for r in 0..x.rows() {
+            for (a, &v) in act_mag.iter_mut().zip(x.row(r)) {
+                *a += v.abs();
+            }
+        }
+        let n = x.rows() as f32;
+        for a in &mut act_mag {
+            *a = (*a / n).max(1e-8);
+        }
+
+        // Grid-search alpha on the calibration output error.
+        let reference = x.matmul_transpose(w);
+        let mut best = self.quantize_scaled(w, &ones);
+        let mut best_err = x.matmul_transpose(&best).sub(&reference).frobenius_norm();
+        for step in 1..=10 {
+            let alpha = step as f32 / 10.0;
+            let scales: Vec<f32> = act_mag.iter().map(|&m| m.powf(alpha).max(1e-6)).collect();
+            let cand = self.quantize_scaled(w, &scales);
+            let err = x.matmul_transpose(&cand).sub(&reference).frobenius_norm();
+            if err < best_err {
+                best_err = err;
+                best = cand;
+            }
+        }
+        QuantResult { dequantized: best, avg_bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rtn;
+    use fineq_tensor::Rng;
+
+    /// Weights plus activations where one input channel dominates.
+    fn hot_channel_setup(seed: u64) -> (Matrix, Matrix, usize) {
+        let mut rng = Rng::seed_from(seed);
+        let cols = 64;
+        let hot = 13;
+        let w = Matrix::from_fn(16, cols, |_, _| rng.laplace(0.0, 0.02));
+        let x = Matrix::from_fn(256, cols, |_, c| {
+            rng.normal(0.0, if c == hot { 4.0 } else { 0.4 })
+        });
+        (w, x, hot)
+    }
+
+    #[test]
+    fn without_calibration_awq_is_group_rtn() {
+        let mut rng = Rng::seed_from(1);
+        let w = Matrix::from_fn(8, 32, |_, _| rng.normal(0.0, 0.05));
+        let awq = Awq::with_group(3, 32).quantize(&w, &Calibration::none());
+        // Group == row width makes the grids identical to per-row RTN.
+        let rtn = Rtn::new(3).quantize(&w, &Calibration::none());
+        assert_eq!(awq.dequantized, rtn.dequantized);
+    }
+
+    #[test]
+    fn calibration_reduces_output_error() {
+        let (w, x, _) = hot_channel_setup(2);
+        let calib = Calibration::from_activations(x.clone());
+        let plain = Awq::with_group(2, 32).quantize(&w, &Calibration::none());
+        let aware = Awq::with_group(2, 32).quantize(&w, &calib);
+        let y = x.matmul_transpose(&w);
+        let err_plain = x.matmul_transpose(&plain.dequantized).sub(&y).frobenius_norm();
+        let err_aware = x.matmul_transpose(&aware.dequantized).sub(&y).frobenius_norm();
+        assert!(
+            err_aware <= err_plain,
+            "activation awareness should not hurt: {err_aware} vs {err_plain}"
+        );
+    }
+
+    #[test]
+    fn hot_channel_weights_get_finer_treatment() {
+        let (w, x, hot) = hot_channel_setup(3);
+        let calib = Calibration::from_activations(x);
+        let aware = Awq::with_group(2, 64).quantize(&w, &calib);
+        let plain = Awq::with_group(2, 64).quantize(&w, &Calibration::none());
+        let col_err = |dq: &Matrix, c: usize| -> f64 {
+            (0..w.rows()).map(|r| ((w[(r, c)] - dq[(r, c)]) as f64).powi(2)).sum()
+        };
+        assert!(
+            col_err(&aware.dequantized, hot) <= col_err(&plain.dequantized, hot) + 1e-12,
+            "hot channel should quantize at least as finely under AWQ"
+        );
+    }
+
+    #[test]
+    fn shape_and_bits_accounting() {
+        let mut rng = Rng::seed_from(4);
+        let w = Matrix::from_fn(4, 256, |_, _| rng.normal(0.0, 0.1));
+        let out = Awq::new(4).quantize(&w, &Calibration::none());
+        assert_eq!((out.dequantized.rows(), out.dequantized.cols()), (4, 256));
+        assert!((out.avg_bits - (4.0 + 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn name_mentions_group() {
+        assert_eq!(Awq::new(2).name(), "AWQ-2b g128");
+    }
+}

@@ -1,0 +1,109 @@
+//! Calibration data shared by activation-aware quantizers.
+//!
+//! GPTQ and OWQ consume a small set of input activations `X` (one row per
+//! token, one column per input feature of the layer being quantized) from
+//! which they build the layer Hessian `H = 2 XᵀX`. Methods that do not use
+//! activations simply ignore the calibration set.
+
+use fineq_tensor::Matrix;
+
+/// Optional calibration activations for one linear layer.
+#[derive(Debug, Clone, Default)]
+pub struct Calibration {
+    activations: Option<Matrix>,
+}
+
+impl Calibration {
+    /// No calibration data: Hessian-based methods fall back to an identity
+    /// Hessian (pure round-to-nearest behaviour).
+    pub fn none() -> Self {
+        Self { activations: None }
+    }
+
+    /// Wraps a sample of input activations (`n_tokens x in_features`).
+    pub fn from_activations(x: Matrix) -> Self {
+        Self { activations: Some(x) }
+    }
+
+    /// The stored activations, if any.
+    pub fn activations(&self) -> Option<&Matrix> {
+        self.activations.as_ref()
+    }
+
+    /// Builds the damped layer Hessian `H = 2 XᵀX + λI` for a layer with
+    /// `in_features` inputs.
+    ///
+    /// * Without activations (or with a feature-count mismatch, which can
+    ///   happen when a caller reuses one calibration set across layers of
+    ///   different widths) this returns the identity — making GPTQ collapse
+    ///   to RTN, the standard fallback.
+    /// * `damp_frac` is the usual GPTQ percent-damping: `λ = damp_frac *
+    ///   mean(diag(2 XᵀX))`, floored to a tiny constant for rank-deficient
+    ///   samples.
+    pub fn hessian(&self, in_features: usize, damp_frac: f64) -> Matrix {
+        let x = match &self.activations {
+            Some(x) if x.cols() == in_features && x.rows() > 0 => x,
+            _ => return Matrix::identity(in_features),
+        };
+        let xt = x.transpose();
+        let mut h = xt.matmul(x);
+        h.scale_in_place(2.0);
+        let mut diag_mean = 0.0f64;
+        for i in 0..in_features {
+            diag_mean += h[(i, i)] as f64;
+        }
+        diag_mean /= in_features as f64;
+        let damp = (damp_frac * diag_mean).max(1e-8) as f32;
+        for i in 0..in_features {
+            h[(i, i)] += damp;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fineq_tensor::Rng;
+
+    #[test]
+    fn none_yields_identity_hessian() {
+        let h = Calibration::none().hessian(4, 0.01);
+        assert_eq!(h, Matrix::identity(4));
+    }
+
+    #[test]
+    fn mismatched_width_yields_identity_hessian() {
+        let x = Matrix::zeros(10, 8);
+        let c = Calibration::from_activations(x);
+        assert_eq!(c.hessian(4, 0.01), Matrix::identity(4));
+    }
+
+    #[test]
+    fn hessian_is_symmetric_and_spd() {
+        let mut rng = Rng::seed_from(11);
+        let x = Matrix::from_fn(64, 6, |_, _| rng.normal(0.0, 1.0));
+        let h = Calibration::from_activations(x).hessian(6, 0.01);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((h[(i, j)] - h[(j, i)]).abs() < 1e-3);
+            }
+        }
+        assert!(fineq_tensor::cholesky(&h).is_ok(), "damped Hessian must be SPD");
+    }
+
+    #[test]
+    fn damping_rescues_rank_deficient_samples() {
+        // Single sample: 2xxᵀ is rank one, only damping makes it SPD.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let h = Calibration::from_activations(x).hessian(3, 0.01);
+        assert!(fineq_tensor::cholesky(&h).is_ok());
+    }
+
+    #[test]
+    fn hessian_diagonal_reflects_column_energy() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![1.0, 10.0]]);
+        let h = Calibration::from_activations(x).hessian(2, 0.0);
+        assert!(h[(1, 1)] > h[(0, 0)] * 50.0);
+    }
+}

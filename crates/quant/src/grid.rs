@@ -1,0 +1,244 @@
+//! Uniform quantization grids.
+//!
+//! Two flavours are used across the paper and its baselines:
+//!
+//! * **Symmetric** (Eq. 1 of the paper): `s = absmax / (2^(b-1) - 1)`,
+//!   `q = round(x / s)`, so a `b`-bit value covers the signed levels
+//!   `-(2^(b-1)-1) ..= 2^(b-1)-1`. For `b = 2` that is `{-1, 0, 1}`; for
+//!   `b = 3` it is `{-3 … 3}` — the sign-magnitude ranges the FineQ
+//!   accelerator consumes.
+//! * **Asymmetric** (RTN/GPTQ/OWQ grids): `scale = (max - min) / (2^b - 1)`
+//!   with an integer zero point, covering all `2^b` codes.
+
+/// Symmetric uniform grid for a given bit-width (Eq. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetricGrid {
+    scale: f32,
+    qmax: i32,
+}
+
+impl SymmetricGrid {
+    /// Builds the grid from the largest absolute value of the data it will
+    /// quantize.
+    ///
+    /// A zero `abs_max` produces a degenerate grid that maps everything to
+    /// zero, which is the correct behaviour for an all-zero channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn from_abs_max(abs_max: f32, bits: u8) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+        let qmax = (1i32 << (bits - 1)) - 1;
+        let scale = if abs_max > 0.0 { abs_max / qmax as f32 } else { 0.0 };
+        Self { scale, qmax }
+    }
+
+    /// The positive quantization bound `2^(b-1) - 1`.
+    pub fn qmax(&self) -> i32 {
+        self.qmax
+    }
+
+    /// The step size `s`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes a value to its signed integer code, clamped to the grid.
+    pub fn quantize(&self, x: f32) -> i32 {
+        if self.scale == 0.0 {
+            return 0;
+        }
+        let q = (x / self.scale).round() as i32;
+        q.clamp(-self.qmax, self.qmax)
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantize-dequantize round trip.
+    pub fn roundtrip(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+/// Asymmetric uniform grid (`2^b` codes with a zero point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymmetricGrid {
+    scale: f32,
+    zero: i32,
+    qmax: i32,
+}
+
+impl AsymmetricGrid {
+    /// Builds the grid covering `[min, max]`.
+    ///
+    /// Degenerate ranges (`min == max`) reconstruct the constant exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`, or if `min > max`.
+    pub fn from_range(min: f32, max: f32, bits: u8) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+        assert!(min <= max, "min must not exceed max");
+        // The grid must contain 0 so that zero weights stay exactly zero,
+        // the standard convention for asymmetric weight grids.
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let qmax = (1i32 << bits) - 1;
+        let scale = (max - min) / qmax as f32;
+        if scale == 0.0 {
+            return Self { scale: 0.0, zero: 0, qmax };
+        }
+        let zero = (-min / scale).round() as i32;
+        Self { scale, zero: zero.clamp(0, qmax), qmax }
+    }
+
+    /// Builds the grid from a data slice (uses its min/max).
+    pub fn from_slice(xs: &[f32], bits: u8) -> Self {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if xs.is_empty() {
+            return Self::from_range(0.0, 0.0, bits);
+        }
+        Self::from_range(min, max, bits)
+    }
+
+    /// Step size.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Integer zero point.
+    pub fn zero_point(&self) -> i32 {
+        self.zero
+    }
+
+    /// Quantizes a value to its unsigned code in `0 ..= 2^b - 1`.
+    pub fn quantize(&self, x: f32) -> i32 {
+        if self.scale == 0.0 {
+            return self.zero;
+        }
+        let q = (x / self.scale).round() as i32 + self.zero;
+        q.clamp(0, self.qmax)
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero) as f32 * self.scale
+    }
+
+    /// Quantize-dequantize round trip.
+    pub fn roundtrip(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fineq_tensor::Rng;
+
+    #[test]
+    fn symmetric_two_bit_levels_match_paper() {
+        // Eq. 1 with b = 2: qmax = 1, levels {-1, 0, 1}.
+        let g = SymmetricGrid::from_abs_max(0.13, 2);
+        assert_eq!(g.qmax(), 1);
+        assert!((g.scale() - 0.13).abs() < 1e-7);
+        assert_eq!(g.quantize(0.10), 1); // round(0.77) = 1
+        assert_eq!(g.quantize(0.04), 0); // round(0.31) = 0
+        assert_eq!(g.quantize(-0.13), -1);
+    }
+
+    #[test]
+    fn symmetric_three_bit_matches_fig4_row2() {
+        // Fig. 4 row 2: absmax 0.27, b = 3 -> s = 0.09.
+        let g = SymmetricGrid::from_abs_max(0.27, 3);
+        assert_eq!(g.qmax(), 3);
+        assert_eq!(g.quantize(0.27), 3);
+        assert_eq!(g.quantize(0.03), 0);
+        assert_eq!(g.quantize(0.11), 1);
+        assert_eq!(g.quantize(0.19), 2);
+        assert_eq!(g.quantize(0.01), 0);
+        assert_eq!(g.quantize(0.16), 2);
+    }
+
+    #[test]
+    fn symmetric_clamps_out_of_range() {
+        let g = SymmetricGrid::from_abs_max(1.0, 3);
+        assert_eq!(g.quantize(10.0), 3);
+        assert_eq!(g.quantize(-10.0), -3);
+    }
+
+    #[test]
+    fn symmetric_zero_absmax_maps_everything_to_zero() {
+        let g = SymmetricGrid::from_abs_max(0.0, 2);
+        assert_eq!(g.quantize(123.0), 0);
+        assert_eq!(g.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn symmetric_roundtrip_error_is_bounded_by_half_step() {
+        let g = SymmetricGrid::from_abs_max(2.0, 4);
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(-2.0, 2.0);
+            assert!((g.roundtrip(x) - x).abs() <= g.scale() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn asymmetric_grid_contains_zero() {
+        let g = AsymmetricGrid::from_range(0.5, 2.0, 2);
+        // Range is widened to include zero; zero must round-trip exactly.
+        assert_eq!(g.roundtrip(0.0), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_roundtrip_error_is_bounded_by_half_step() {
+        let g = AsymmetricGrid::from_range(-0.3, 0.9, 4);
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(-0.3, 0.9);
+            assert!((g.roundtrip(x) - x).abs() <= g.scale() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn asymmetric_degenerate_range_is_exact() {
+        let g = AsymmetricGrid::from_range(0.0, 0.0, 2);
+        assert_eq!(g.roundtrip(0.0), 0.0);
+        let g = AsymmetricGrid::from_slice(&[], 2);
+        assert_eq!(g.roundtrip(0.0), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_from_slice_covers_extremes() {
+        let xs = [-1.0f32, 0.0, 3.0];
+        let g = AsymmetricGrid::from_slice(&xs, 8);
+        for &x in &xs {
+            assert!((g.roundtrip(x) - x).abs() < 0.02, "{x}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_codes_stay_in_range() {
+        let g = AsymmetricGrid::from_range(-1.0, 1.0, 2);
+        for &x in &[-100.0f32, -1.0, 0.0, 1.0, 100.0] {
+            let q = g.quantize(x);
+            assert!((0..=3).contains(&q), "{x} -> {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=16")]
+    fn symmetric_rejects_one_bit() {
+        let _ = SymmetricGrid::from_abs_max(1.0, 1);
+    }
+}

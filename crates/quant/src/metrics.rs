@@ -1,0 +1,99 @@
+//! Quantization-error metrics reported alongside perplexity in the
+//! experiment tables.
+
+use fineq_tensor::Matrix;
+
+/// Error metrics between an original weight matrix and its reconstruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMetrics {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Normalized MSE: `||W - Ŵ||² / ||W||²` (0 when `W` is all zero and
+    /// perfectly reconstructed).
+    pub nmse: f64,
+    /// Signal-to-quantization-noise ratio in dB (`+inf` for an exact
+    /// reconstruction).
+    pub sqnr_db: f64,
+    /// Largest absolute element error.
+    pub max_abs_err: f64,
+}
+
+impl QuantMetrics {
+    /// Computes all metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn between(original: &Matrix, reconstructed: &Matrix) -> QuantMetrics {
+        assert_eq!(
+            (original.rows(), original.cols()),
+            (reconstructed.rows(), reconstructed.cols()),
+            "shape mismatch"
+        );
+        let n = original.len().max(1) as f64;
+        let mut err_sq = 0.0f64;
+        let mut sig_sq = 0.0f64;
+        let mut max_abs = 0.0f64;
+        for (&a, &b) in original.as_slice().iter().zip(reconstructed.as_slice()) {
+            let d = (a - b) as f64;
+            err_sq += d * d;
+            sig_sq += (a as f64) * (a as f64);
+            max_abs = max_abs.max(d.abs());
+        }
+        let mse = err_sq / n;
+        let nmse = if sig_sq > 0.0 { err_sq / sig_sq } else if err_sq > 0.0 { f64::INFINITY } else { 0.0 };
+        let sqnr_db = if err_sq == 0.0 {
+            f64::INFINITY
+        } else if sig_sq == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            10.0 * (sig_sq / err_sq).log10()
+        };
+        QuantMetrics { mse, nmse, sqnr_db, max_abs_err: max_abs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction_has_zero_error() {
+        let w = Matrix::from_rows(&[vec![1.0, -2.0, 0.5]]);
+        let m = QuantMetrics::between(&w, &w);
+        assert_eq!(m.mse, 0.0);
+        assert_eq!(m.nmse, 0.0);
+        assert_eq!(m.sqnr_db, f64::INFINITY);
+        assert_eq!(m.max_abs_err, 0.0);
+    }
+
+    #[test]
+    fn unit_error_on_unit_signal() {
+        let w = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let r = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let m = QuantMetrics::between(&w, &r);
+        assert_eq!(m.mse, 1.0);
+        assert_eq!(m.nmse, 1.0);
+        assert!((m.sqnr_db - 0.0).abs() < 1e-9);
+        assert_eq!(m.max_abs_err, 1.0);
+    }
+
+    #[test]
+    fn sqnr_improves_with_smaller_error() {
+        let w = Matrix::from_rows(&[vec![1.0, 1.0, 1.0, 1.0]]);
+        let coarse = w.map(|x| x + 0.5);
+        let fine = w.map(|x| x + 0.05);
+        let mc = QuantMetrics::between(&w, &coarse);
+        let mf = QuantMetrics::between(&w, &fine);
+        assert!(mf.sqnr_db > mc.sqnr_db + 15.0);
+    }
+
+    #[test]
+    fn zero_signal_nonzero_error_is_flagged() {
+        let w = Matrix::zeros(1, 3);
+        let r = Matrix::from_rows(&[vec![0.1, 0.0, 0.0]]);
+        let m = QuantMetrics::between(&w, &r);
+        assert_eq!(m.nmse, f64::INFINITY);
+        assert_eq!(m.sqnr_db, f64::NEG_INFINITY);
+    }
+}

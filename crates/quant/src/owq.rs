@@ -1,0 +1,188 @@
+//! OWQ (Lee et al., AAAI 2024): outlier-aware weight quantization.
+//!
+//! OWQ identifies *weak columns* — input features whose quantization error
+//! is amplified most by the layer Hessian — keeps those columns in fp16,
+//! and quantizes everything else on an asymmetric per-row grid with group
+//! size `g` (128 in the paper's comparison, giving the reported 2.25
+//! average bits: `2 + 2·16/128` for scale+zero per group, plus a small
+//! fp16-column surcharge).
+//!
+//! Column sensitivity follows the OWQ paper: `s_j = H_jj · ‖ΔW_j‖²` where
+//! `ΔW_j` is the per-column quantization residual of a plain grid pass.
+
+use crate::{AsymmetricGrid, Calibration, QuantResult, WeightQuantizer};
+use fineq_tensor::Matrix;
+
+/// Outlier-aware mixed-precision quantizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Owq {
+    bits: u8,
+    group: usize,
+    outlier_col_frac: f64,
+}
+
+impl Owq {
+    /// Creates the quantizer.
+    ///
+    /// * `bits`: precision of the normal (non-outlier) weights.
+    /// * `group`: contiguous columns sharing one grid per row (paper: 128).
+    /// * `outlier_col_frac`: fraction of columns kept at fp16 (the OWQ
+    ///   paper's default budget is of order 1 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`, `group > 0` and
+    /// `0 <= outlier_col_frac < 1`.
+    pub fn new(bits: u8, group: usize, outlier_col_frac: f64) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        assert!(group > 0, "group size must be positive");
+        assert!((0.0..1.0).contains(&outlier_col_frac), "fraction must be in [0,1)");
+        Self { bits, group, outlier_col_frac }
+    }
+
+    /// Ranks columns by OWQ sensitivity (most sensitive first).
+    fn rank_columns(&self, w: &Matrix, h_diag: &[f32]) -> Vec<usize> {
+        let cols = w.cols();
+        let mut scores = vec![0.0f64; cols];
+        // Per-column residual under a plain per-row group grid.
+        for r in 0..w.rows() {
+            let row = w.row(r);
+            for g_start in (0..cols).step_by(self.group) {
+                let g_end = (g_start + self.group).min(cols);
+                let grid = AsymmetricGrid::from_slice(&row[g_start..g_end], self.bits);
+                for c in g_start..g_end {
+                    let d = (row[c] - grid.roundtrip(row[c])) as f64;
+                    scores[c] += d * d;
+                }
+            }
+        }
+        for (c, s) in scores.iter_mut().enumerate() {
+            *s *= h_diag[c] as f64;
+        }
+        let mut order: Vec<usize> = (0..cols).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+        order
+    }
+}
+
+impl WeightQuantizer for Owq {
+    fn name(&self) -> String {
+        format!("OWQ-{}b g{}", self.bits, self.group)
+    }
+
+    fn quantize(&self, w: &Matrix, calib: &Calibration) -> QuantResult {
+        let (rows, cols) = (w.rows(), w.cols());
+        let h = calib.hessian(cols, 0.01);
+        let h_diag: Vec<f32> = (0..cols).map(|j| h[(j, j)]).collect();
+
+        let n_outlier_cols = ((cols as f64) * self.outlier_col_frac).round() as usize;
+        let ranked = self.rank_columns(w, &h_diag);
+        let mut is_outlier = vec![false; cols];
+        for &c in ranked.iter().take(n_outlier_cols) {
+            is_outlier[c] = true;
+        }
+
+        let mut dq = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = w.row(r);
+            for g_start in (0..cols).step_by(self.group) {
+                let g_end = (g_start + self.group).min(cols);
+                // Fit the grid on the normal values only: fp16 columns no
+                // longer poison the group range — OWQ's key benefit.
+                let normals: Vec<f32> = (g_start..g_end)
+                    .filter(|&c| !is_outlier[c])
+                    .map(|c| row[c])
+                    .collect();
+                let grid = AsymmetricGrid::from_slice(&normals, self.bits);
+                for c in g_start..g_end {
+                    dq[(r, c)] = if is_outlier[c] { row[c] } else { grid.roundtrip(row[c]) };
+                }
+            }
+        }
+
+        let frac = n_outlier_cols as f64 / cols.max(1) as f64;
+        let avg_bits = (1.0 - frac) * self.bits as f64
+            + frac * 16.0
+            + 32.0 / self.group as f64; // fp16 scale + zero per group
+        QuantResult { dequantized: dq, avg_bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fineq_tensor::Rng;
+
+    /// Weights with one strong outlier column plus activations that make
+    /// that column energetic.
+    fn outlier_setup(seed: u64) -> (Matrix, Calibration, usize) {
+        let mut rng = Rng::seed_from(seed);
+        let cols = 96;
+        let hot = 17;
+        let w = Matrix::from_fn(12, cols, |_, c| {
+            let base = rng.laplace(0.0, 0.01);
+            if c == hot {
+                base + rng.normal(0.0, 0.4)
+            } else {
+                base
+            }
+        });
+        let x = Matrix::from_fn(128, cols, |_, c| {
+            rng.normal(0.0, if c == hot { 2.0 } else { 0.5 })
+        });
+        (w, Calibration::from_activations(x), hot)
+    }
+
+    #[test]
+    fn hot_column_is_selected_as_outlier_and_kept_exact() {
+        let (w, calib, hot) = outlier_setup(1);
+        let out = Owq::new(2, 32, 0.02).quantize(&w, &calib);
+        for r in 0..w.rows() {
+            assert_eq!(out.dequantized[(r, hot)], w[(r, hot)], "row {r}");
+        }
+    }
+
+    #[test]
+    fn owq_beats_plain_group_rtn_on_reconstruction() {
+        let (w, calib, _) = outlier_setup(2);
+        let owq = Owq::new(2, 32, 0.02).quantize(&w, &calib);
+        let plain = Owq::new(2, 32, 0.0).quantize(&w, &Calibration::none());
+        assert!(owq.dequantized.mse(&w) < plain.dequantized.mse(&w));
+    }
+
+    #[test]
+    fn avg_bits_matches_paper_for_g128() {
+        let w = Matrix::zeros(8, 1280);
+        // 0.5% outlier columns: 0.995*2 + 0.005*16 + 32/128 = 2.32.
+        let out = Owq::new(2, 128, 0.005).quantize(&w, &Calibration::none());
+        assert!((out.avg_bits - 2.32).abs() < 0.02, "{}", out.avg_bits);
+    }
+
+    #[test]
+    fn zero_outlier_fraction_quantizes_every_column() {
+        let mut rng = Rng::seed_from(3);
+        let w = Matrix::from_fn(4, 64, |_, _| rng.normal(0.0, 0.3));
+        let out = Owq::new(2, 64, 0.0).quantize(&w, &Calibration::none());
+        let exact = w
+            .as_slice()
+            .iter()
+            .zip(out.dequantized.as_slice())
+            .filter(|(a, b)| a == b)
+            .count();
+        // With a 2-bit grid, exact hits are vanishingly rare.
+        assert!(exact < 4, "{exact} exact values suggests columns were skipped");
+    }
+
+    #[test]
+    fn group_boundaries_are_respected() {
+        // Outlier confined to the second group must not affect group 1.
+        let mut row = vec![0.01f32; 64];
+        row[40] = 5.0;
+        let w = Matrix::from_rows(&[row]);
+        let out = Owq::new(2, 32, 0.0).quantize(&w, &Calibration::none());
+        for c in 0..32 {
+            let err = (out.dequantized[(0, c)] - w[(0, c)]).abs();
+            assert!(err < 0.01, "column {c} of clean group distorted by {err}");
+        }
+    }
+}

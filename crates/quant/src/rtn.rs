@@ -1,0 +1,117 @@
+//! Round-to-nearest (RTN) baseline: a fully uniform, **asymmetric per-row**
+//! grid, as described in the paper's evaluation setup.
+//!
+//! Each output channel (row) gets its own `[min, max]` grid. Outliers no
+//! longer poison *other* rows, but inside a row that contains an outlier
+//! the step size is still huge, crushing the normal values — the paper's
+//! Observation I.
+
+use crate::{AsymmetricGrid, Calibration, QuantResult, WeightQuantizer};
+use fineq_tensor::Matrix;
+
+/// Per-row asymmetric round-to-nearest quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rtn {
+    bits: u8,
+}
+
+impl Rtn {
+    /// Creates the quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn new(bits: u8) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        Self { bits }
+    }
+
+    /// Bit-width of the grid.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+}
+
+impl WeightQuantizer for Rtn {
+    fn name(&self) -> String {
+        format!("RTN-{}b", self.bits)
+    }
+
+    fn quantize(&self, w: &Matrix, _calib: &Calibration) -> QuantResult {
+        let mut dq = Matrix::zeros(w.rows(), w.cols());
+        for r in 0..w.rows() {
+            let grid = AsymmetricGrid::from_slice(w.row(r), self.bits);
+            for (out, &x) in dq.row_mut(r).iter_mut().zip(w.row(r)) {
+                *out = grid.roundtrip(x);
+            }
+        }
+        // Per-row fp16 scale + fp16 zero point.
+        let per_row_overhead = 32.0 / w.cols().max(1) as f64;
+        QuantResult { dequantized: dq, avg_bits: self.bits as f64 + per_row_overhead }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fineq_tensor::Rng;
+
+    #[test]
+    fn rows_are_quantized_independently() {
+        // Row 0 has an outlier, row 1 does not. Row 1 must stay accurate.
+        let w = Matrix::from_rows(&[
+            vec![0.01, 0.02, -0.01, 8.0],
+            vec![0.01, 0.02, -0.01, 0.02],
+        ]);
+        let out = Rtn::new(4).quantize(&w, &Calibration::none());
+        let row1_err: f32 = out
+            .dequantized
+            .row(1)
+            .iter()
+            .zip(w.row(1))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(row1_err < 0.005, "outlier in row 0 must not affect row 1 (err {row1_err})");
+    }
+
+    #[test]
+    fn outlier_row_loses_normal_values_at_two_bits() {
+        let mut row = vec![0.01f32; 23];
+        row.push(4.0);
+        let w = Matrix::from_rows(&[row]);
+        let out = Rtn::new(2).quantize(&w, &Calibration::none());
+        // Step = 4/3: every 0.01 value rounds to 0.
+        for c in 0..23 {
+            assert_eq!(out.dequantized[(0, c)], 0.0);
+        }
+        assert!((out.dequantized[(0, 23)] - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn sixteen_bit_rtn_is_nearly_exact() {
+        let mut rng = Rng::seed_from(2);
+        let w = Matrix::from_fn(16, 64, |_, _| rng.laplace(0.0, 0.05));
+        let out = Rtn::new(16).quantize(&w, &Calibration::none());
+        assert!(out.dequantized.sub(&w).abs_max() < 1e-4);
+    }
+
+    #[test]
+    fn avg_bits_includes_row_overhead() {
+        let w = Matrix::zeros(8, 64);
+        let out = Rtn::new(2).quantize(&w, &Calibration::none());
+        assert!((out.avg_bits - (2.0 + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_bits_monotone_error() {
+        let mut rng = Rng::seed_from(4);
+        let w = Matrix::from_fn(8, 96, |_, _| rng.normal(0.0, 0.02));
+        let mut last = f64::INFINITY;
+        for bits in [2u8, 3, 4, 8] {
+            let out = Rtn::new(bits).quantize(&w, &Calibration::none());
+            let mse = out.dequantized.mse(&w);
+            assert!(mse <= last + 1e-12, "{bits}-bit mse {mse} vs previous {last}");
+            last = mse;
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Autoregressive generation with a KV cache: compare continuations and
+//! their per-token cost from the fp16 model and its FineQ-quantized
+//! counterpart.
+//!
+//! ```sh
+//! cargo run --release --example generate
+//! ```
+
+use fineq::core::FineQuantizer;
+use fineq::lm::builder::{build_fitted_model, BuilderSpec};
+use fineq::lm::corpus::Corpus;
+use fineq::lm::eval::cross_entropy;
+use fineq::lm::KvCache;
+use fineq::pipeline::{quantize_model, PipelineConfig};
+use fineq::tensor::Rng;
+
+fn main() {
+    let corpus = Corpus::wiki_like(64, 5);
+    eprintln!("fitting a small model ...");
+    let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 6_000, 2);
+    let (qmodel, report) =
+        quantize_model(&model, &FineQuantizer::paper(), None, &PipelineConfig::default());
+
+    let prompt = corpus.generate(8, 42).tokens().to_vec();
+    println!("prompt tokens        : {prompt:?}");
+    for (name, m) in [("fp16", &model), ("FineQ", &qmodel)] {
+        let mut rng = Rng::seed_from(7);
+        let continuation = m.generate(&prompt, 24, 0.8, &mut rng);
+        println!("{name:<6} continuation : {continuation:?}");
+    }
+    println!("FineQ storage        : {:.2} bits/weight", report.avg_bits);
+
+    // KV-cache accounting during a decode.
+    let mut cache = KvCache::new(model.n_layers(), model.config().d_model);
+    for &t in &prompt {
+        let _ = model.forward_step(t, &mut cache);
+    }
+    println!(
+        "KV cache after prompt: {} positions, {} bytes at fp16",
+        cache.len(),
+        cache.fp16_bytes()
+    );
+
+    // How well does each model score real corpus text?
+    let test = corpus.generate(1_024, 99);
+    let ce_fp = cross_entropy(&model, test.tokens(), 256);
+    let ce_q = cross_entropy(&qmodel, test.tokens(), 256);
+    println!("cross-entropy fp16   : {ce_fp:.3} nats/token");
+    println!("cross-entropy FineQ  : {ce_q:.3} nats/token");
+}

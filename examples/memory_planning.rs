@@ -1,0 +1,41 @@
+//! Serving-memory planning (the paper's Fig. 2b motivation): how much KV
+//! cache capacity different weight formats leave on a 40 GB device.
+//!
+//! ```sh
+//! cargo run --release --example memory_planning
+//! ```
+
+use fineq::lm::memory::ServingMemory;
+
+fn main() {
+    let base = ServingMemory::llama2_13b_a100();
+    println!("LLaMA-2-13B on a 40 GB accelerator, 5% reserved for activations\n");
+    println!(
+        "{:<22} {:>12} {:>10} {:>10} {:>16}",
+        "Weight format", "weights(GB)", "weights%", "kv-cache%", "max KV tokens"
+    );
+    for (name, bits) in [
+        ("fp16", 16.0),
+        ("int8", 8.0),
+        ("int4 (GPTQ-class)", 4.0),
+        ("PB-LLM 2.7b", 2.7),
+        ("FineQ 2.33b", 7.0 / 3.0),
+    ] {
+        let m = base.clone().with_weight_bits(bits);
+        let layout = m.layout();
+        println!(
+            "{:<22} {:>12.1} {:>9.1}% {:>9.1}% {:>16.0}",
+            name,
+            m.weight_bytes() / 1e9,
+            100.0 * layout.weights_frac,
+            100.0 * layout.kv_frac,
+            m.max_concurrent_tokens(0.05)
+        );
+    }
+    println!(
+        "\nFineQ fits the 13B model in {:.1} GB — {:.1}x more concurrent KV tokens than fp16.",
+        base.clone().with_weight_bits(7.0 / 3.0).weight_bytes() / 1e9,
+        base.clone().with_weight_bits(7.0 / 3.0).max_concurrent_tokens(0.05)
+            / base.max_concurrent_tokens(0.05)
+    );
+}

@@ -1,0 +1,50 @@
+//! Quantize a synthetic LLaMA-style model with every method of Table I and
+//! compare perplexity.
+//!
+//! ```sh
+//! cargo run --release --example quantize_llm
+//! ```
+
+use fineq::core::FineQuantizer;
+use fineq::lm::builder::{build_fitted_model, BuilderSpec};
+use fineq::lm::corpus::Corpus;
+use fineq::lm::eval::perplexity;
+use fineq::lm::SimPreset;
+use fineq::pipeline::{collect_calibration, quantize_model, PipelineConfig};
+use fineq::quant::{Gptq, Owq, PbLlm, Rtn, Uniform, WeightQuantizer};
+
+fn main() {
+    let preset = SimPreset::Sim7B;
+    let corpus = Corpus::wiki_like(256, 2024);
+    let spec = BuilderSpec::for_preset(preset);
+
+    eprintln!("building + fitting {} ...", preset.label());
+    let (model, fit) = build_fitted_model(&spec, &corpus, 24_576, 7);
+    eprintln!("fit: {} positions, mse {:.3}", fit.n_positions, fit.fit_mse);
+
+    let test = corpus.generate(4_096, 999);
+    let calib_stream = corpus.generate(1_024, 555);
+    let calib = collect_calibration(&model, calib_stream.tokens(), 256);
+    let cfg = PipelineConfig::default();
+
+    let window = 1024;
+    let fp16 = perplexity(&model, test.tokens(), window);
+    let oracle = corpus.oracle_cross_entropy(&test).exp();
+    println!("{:<16} {:>10} {:>12}", "method", "avg bits", "ppl (wiki-sim)");
+    println!("{:<16} {:>10} {:>12.2}", "oracle", "-", oracle);
+    println!("{:<16} {:>10} {:>12.2}", "FP16", "16", fp16);
+
+    let methods: Vec<Box<dyn WeightQuantizer>> = vec![
+        Box::new(Rtn::new(2)),
+        Box::new(Uniform::new(2)),
+        Box::new(Gptq::new(2)),
+        Box::new(PbLlm::new(0.10)),
+        Box::new(Owq::new(2, 32, 0.01)),
+        Box::new(FineQuantizer::paper()),
+    ];
+    for m in methods {
+        let (qmodel, report) = quantize_model(&model, m.as_ref(), Some(&calib), &cfg);
+        let ppl = perplexity(&qmodel, test.tokens(), window);
+        println!("{:<16} {:>10.2} {:>12.2}", m.name(), report.avg_bits, ppl);
+    }
+}

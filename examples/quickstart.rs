@@ -1,0 +1,48 @@
+//! Quickstart: quantize a weight matrix with FineQ, inspect the packed
+//! format, and compare against 2-bit round-to-nearest.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fineq::core::FineQuantizer;
+use fineq::quant::{Calibration, QuantMetrics, Rtn, WeightQuantizer};
+use fineq::tensor::{Matrix, Rng};
+
+fn main() {
+    // An LLM-like weight matrix: narrow bulk + channel-concentrated
+    // outliers (the paper's Fig. 3b structure).
+    let mut rng = Rng::seed_from(7);
+    let outlier_rows = [3usize, 11];
+    let w = Matrix::from_fn(16, 96, |r, _| {
+        let v = rng.laplace(0.0, 0.01);
+        if outlier_rows.contains(&r) && rng.chance(0.25) {
+            v * 20.0
+        } else {
+            v
+        }
+    });
+
+    // FineQ: cluster, protect outliers at 3 bits, pack at 2.33 bits.
+    let quantizer = FineQuantizer::paper();
+    let packed = quantizer.quantize_packed(&w);
+    println!("packed storage : {:.3} bits/weight (data only)", packed.avg_bits_data());
+    println!("with scales    : {:.3} bits/weight", packed.avg_bits_total());
+    let stats = quantizer.stats(&w);
+    println!("cluster stats  : {stats}");
+
+    // Decode and measure reconstruction error vs RTN at 2 bits.
+    let fineq_hat = packed.dequantize();
+    let rtn_hat = Rtn::new(2).quantize(&w, &Calibration::none()).dequantized;
+    let m_fineq = QuantMetrics::between(&w, &fineq_hat);
+    let m_rtn = QuantMetrics::between(&w, &rtn_hat);
+    println!("FineQ  : mse {:.3e}  sqnr {:+.1} dB", m_fineq.mse, m_fineq.sqnr_db);
+    println!("RTN-2b : mse {:.3e}  sqnr {:+.1} dB", m_rtn.mse, m_rtn.sqnr_db);
+
+    // The outlier channels are where FineQ wins.
+    for r in outlier_rows {
+        let err_f: f32 = w.row(r).iter().zip(fineq_hat.row(r)).map(|(a, b)| (a - b).abs()).sum();
+        let err_r: f32 = w.row(r).iter().zip(rtn_hat.row(r)).map(|(a, b)| (a - b).abs()).sum();
+        println!("outlier channel {r:>2}: FineQ L1 err {err_f:.3} vs RTN {err_r:.3}");
+    }
+}

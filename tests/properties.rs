@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction: quantization grids, the FineQ packed format, temporal
+//! coding, and the accelerator's functional equivalence.
+
+use fineq::accel::temporal::TemporalEncoder;
+use fineq::accel::TemporalArray;
+use fineq::core::{ClusterCode, FineQuantizer};
+use fineq::quant::{AsymmetricGrid, Calibration, Rtn, SymmetricGrid, WeightQuantizer};
+use fineq::tensor::{softmax_in_place, Matrix, Rng};
+use proptest::prelude::*;
+
+/// Strategy: a small weight matrix with heavy-tailed values.
+fn weight_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..40, any::<u64>()).prop_map(|(rows, cols, seed)| {
+        let mut rng = Rng::seed_from(seed);
+        Matrix::from_fn(rows, cols, |_, _| {
+            let v = rng.laplace(0.0, 0.05);
+            if rng.chance(0.05) {
+                v * 12.0
+            } else {
+                v
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Symmetric grids never increase magnitude beyond absmax and keep
+    /// the sign of values that survive rounding.
+    #[test]
+    fn symmetric_grid_is_contractive(absmax in 0.001f32..10.0, x in -20.0f32..20.0, bits in 2u8..8) {
+        let g = SymmetricGrid::from_abs_max(absmax, bits);
+        let y = g.roundtrip(x);
+        prop_assert!(y.abs() <= absmax + 1e-5);
+        if y != 0.0 {
+            prop_assert_eq!(y.signum(), x.signum());
+        }
+    }
+
+    /// Asymmetric grids represent zero exactly and bound the error of
+    /// in-range values by half a step.
+    #[test]
+    fn asymmetric_grid_error_bound(lo in -5.0f32..0.0, hi in 0.0f32..5.0, x in -5.0f32..5.0, bits in 2u8..8) {
+        prop_assume!(hi > lo + 1e-3);
+        let g = AsymmetricGrid::from_range(lo, hi, bits);
+        prop_assert_eq!(g.roundtrip(0.0), 0.0);
+        if x >= lo && x <= hi {
+            prop_assert!((g.roundtrip(x) - x).abs() <= g.scale() / 2.0 + 1e-5);
+        }
+    }
+
+    /// FineQ pack -> decode is the identity on the quantized integers,
+    /// for any weight matrix.
+    #[test]
+    fn fineq_pack_decode_roundtrip(w in weight_matrix()) {
+        let q = FineQuantizer::paper();
+        let packed = q.quantize_packed(&w);
+        prop_assert_eq!(packed.rows(), w.rows());
+        prop_assert_eq!(packed.cols(), w.cols());
+        for ch in packed.channels() {
+            for k in 0..ch.n_clusters() {
+                let ints = ch.cluster_ints(k);
+                let code = ch.code_of(k);
+                // Integers respect the per-position bit budget.
+                for (pos, &v) in ints.iter().enumerate() {
+                    match code.bit_width_at(pos) {
+                        0 => prop_assert_eq!(v, 0),
+                        2 => prop_assert!((-1..=1).contains(&v)),
+                        3 => prop_assert!((-3..=3).contains(&v)),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// FineQ's data storage is exactly 7 bytes per 8 clusters, whatever
+    /// the data looks like.
+    #[test]
+    fn fineq_storage_is_block_aligned(w in weight_matrix()) {
+        let packed = FineQuantizer::paper().quantize_packed(&w);
+        for ch in packed.channels() {
+            prop_assert_eq!(ch.data_bytes() % 7, 0);
+            let blocks = ch.n_clusters().div_ceil(8);
+            prop_assert_eq!(ch.data_bytes(), blocks * 7);
+        }
+    }
+
+    /// Dequantized FineQ values always stay within the channel absmax
+    /// (quantization is contractive per channel).
+    #[test]
+    fn fineq_dequant_is_contractive(w in weight_matrix()) {
+        let packed = FineQuantizer::paper().quantize_packed(&w);
+        let dq = packed.dequantize();
+        for r in 0..w.rows() {
+            let absmax = w.row(r).iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            for &v in dq.row(r) {
+                prop_assert!(v.abs() <= absmax + 1e-5, "row {} value {} absmax {}", r, v, absmax);
+            }
+        }
+    }
+
+    /// Temporal coding is lossless and its group cycle count dominates
+    /// every member magnitude.
+    #[test]
+    fn temporal_coding_roundtrip(mags in proptest::collection::vec(0u8..=3, 1..65)) {
+        for &m in &mags {
+            let stream = TemporalEncoder::encode(m, 3);
+            prop_assert_eq!(TemporalEncoder::decode(&stream), m);
+        }
+        let cycles = TemporalEncoder::group_cycles(mags.iter().copied());
+        prop_assert!(cycles >= 1);
+        for &m in &mags {
+            prop_assert!(cycles >= m as usize);
+        }
+    }
+
+    /// The temporal array computes exactly what the software dequantized
+    /// matmul computes, for arbitrary shapes and tilings.
+    #[test]
+    fn temporal_array_equals_reference(
+        w in weight_matrix(),
+        n in 1usize..6,
+        kt in 1usize..20,
+        nt in 1usize..6,
+        xseed in any::<u64>(),
+    ) {
+        let packed = FineQuantizer::paper().quantize_packed(&w);
+        let mut rng = Rng::seed_from(xseed);
+        let x = Matrix::from_fn(w.cols(), n, |_, _| rng.normal(0.0, 1.0));
+        let (y, _) = TemporalArray::new(kt, nt).matmul(&packed, &x);
+        let y_ref = packed.dequantize().matmul(&x);
+        prop_assert!(y.sub(&y_ref).abs_max() < 1e-3);
+    }
+
+    /// RTN reconstruction error is bounded by half the row's grid step.
+    #[test]
+    fn rtn_error_bound(w in weight_matrix()) {
+        let out = Rtn::new(2).quantize(&w, &Calibration::none());
+        for r in 0..w.rows() {
+            let (mut lo, mut hi) = (0.0f32, 0.0f32);
+            for &v in w.row(r) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let step = (hi - lo) / 3.0;
+            for (a, b) in w.row(r).iter().zip(out.dequantized.row(r)) {
+                prop_assert!((a - b).abs() <= step / 2.0 + 1e-5);
+            }
+        }
+    }
+
+    /// Softmax output is a probability vector for any finite input.
+    #[test]
+    fn softmax_is_distribution(xs in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let mut v = xs;
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    /// Cluster codes and their wire bits are a bijection.
+    #[test]
+    fn cluster_code_wire_bijection(bits in 0u8..4) {
+        let code = ClusterCode::from_bits(bits);
+        prop_assert_eq!(code.bits(), bits);
+    }
+}
