@@ -170,11 +170,7 @@ mod tests {
     fn headline_reductions_match_paper() {
         let m = CostModel::paper();
         assert!((m.array_area_reduction() - 0.612).abs() < 0.002, "{}", m.array_area_reduction());
-        assert!(
-            (m.array_power_reduction() - 0.629).abs() < 0.002,
-            "{}",
-            m.array_power_reduction()
-        );
+        assert!((m.array_power_reduction() - 0.629).abs() < 0.002, "{}", m.array_power_reduction());
     }
 
     #[test]

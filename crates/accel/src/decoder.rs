@@ -110,6 +110,33 @@ mod tests {
         PackedChannel::pack(0.3, 0.1, 15, &codes, &q)
     }
 
+    /// Exhaustive cross-check of the Fig. 6 MUX network against the
+    /// shared decode table the fused software kernels use
+    /// (`fineq_core::kernels::DECODE_INTS`): every (code, data-bits)
+    /// combination must agree, so the hardware model and the packed
+    /// execution engine provably read the wire format identically.
+    #[test]
+    fn mux_decode_matches_shared_decode_table() {
+        for code in 0..4u8 {
+            for six in 0..64u8 {
+                let lanes = HardwareDecoder::decode_cluster(code, six);
+                let expect = fineq_core::kernels::DECODE_INTS[code as usize][six as usize];
+                for (j, lane) in lanes.iter().enumerate() {
+                    assert_eq!(
+                        lane.signed(),
+                        expect[j] as i32,
+                        "code {code:02b} six {six:06b} lane {j}"
+                    );
+                }
+                // Scale class must match the per-code lane widths too.
+                for (j, lane) in lanes.iter().enumerate() {
+                    let width = fineq_core::kernels::LANE_WIDTHS[code as usize][j];
+                    assert_eq!(lane.three_bit, width != 2, "code {code:02b} lane {j}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn decoder_agrees_with_software_unpacker() {
         let ch = packed_demo();

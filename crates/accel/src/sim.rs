@@ -179,9 +179,10 @@ impl PipelineSim {
             kind: AcceleratorKind::BaselineSystolic,
             stages: base_stages,
             total_cycles: base_total,
-            energy_mj: self
-                .cost
-                .energy_mj(AcceleratorKind::BaselineSystolic, base_stages.preload + base_stages.matmul),
+            energy_mj: self.cost.energy_mj(
+                AcceleratorKind::BaselineSystolic,
+                base_stages.preload + base_stages.matmul,
+            ),
             macs,
             cycles_per_step: 1.0,
         };
@@ -224,10 +225,10 @@ impl PipelineSim {
             rng.normal(0.0, 1.0)
         });
 
-        let (_, tstats) = TemporalArray::new(self.config.array_rows, self.config.array_cols)
-            .matmul(&packed, &x);
-        let (_, sstats) = SystolicArray::new(self.config.array_rows, self.config.array_cols)
-            .matmul(&w, &x);
+        let (_, tstats) =
+            TemporalArray::new(self.config.array_rows, self.config.array_cols).matmul(&packed, &x);
+        let (_, sstats) =
+            SystolicArray::new(self.config.array_rows, self.config.array_cols).matmul(&w, &x);
 
         // Scale sampled counts to the full GEMM: rows scale the broadcast
         // work; n-tiles and instance count multiply everything.
@@ -244,20 +245,19 @@ impl PipelineSim {
         // DMA: FineQ reads packed weights (7 bytes / 24 weights); the
         // baseline reads int8 weights; both read fp16 activations once and
         // write fp16 outputs.
-        let weight_bytes_fineq =
-            (packed.channels().iter().map(|c| c.data_bytes()).sum::<usize>() as f64 * row_scale
-                * inst) as u64;
+        let weight_bytes_fineq = (packed.channels().iter().map(|c| c.data_bytes()).sum::<usize>()
+            as f64
+            * row_scale
+            * inst) as u64;
         let weight_bytes_base = (gemm.m * gemm.k) as u64 * gemm.count as u64;
         let act_bytes = (gemm.k * gemm.n * 2) as u64 * gemm.count as u64;
         let out_bytes = (gemm.m * gemm.n * 2) as u64 * gemm.count as u64;
         let bw = self.config.dma_bytes_per_cycle as u64;
 
-        let clusters_full =
-            (gemm.m as u64) * (gemm.k as u64).div_ceil(3) * gemm.count as u64;
+        let clusters_full = (gemm.m as u64) * (gemm.k as u64).div_ceil(3) * gemm.count as u64;
         let decoders = self.config.array_rows as u64;
 
-        let vector = (gemm.m * gemm.n) as u64 * gemm.count as u64
-            / self.config.simd_lanes as u64;
+        let vector = (gemm.m * gemm.n) as u64 * gemm.count as u64 / self.config.simd_lanes as u64;
 
         let base = StageCycles {
             dma_in: (weight_bytes_base + act_bytes) / bw,
@@ -311,10 +311,7 @@ mod tests {
     fn normalized_ee_lands_in_paper_range() {
         let cmp = small_sim().run(&small_workload());
         let ee = cmp.normalized_ee();
-        assert!(
-            (1.3..2.3).contains(&ee),
-            "normalized EE {ee} outside plausible paper range"
-        );
+        assert!((1.3..2.3).contains(&ee), "normalized EE {ee} outside plausible paper range");
     }
 
     #[test]

@@ -97,7 +97,7 @@ mod tests {
         let w = Workload::llama_like("7B", 4096, 11008, 32, 256);
         assert_eq!(w.gemms.len(), 4);
         assert_eq!(w.gemms[0].count, 96); // 3 QKV x 32 layers
-        // 7B block MACs: (4*d*d + 2*d*dff) * L * tokens.
+                                          // 7B block MACs: (4*d*d + 2*d*dff) * L * tokens.
         let expect = (4 * 4096u64 * 4096 + 2 * 4096 * 11008) * 32 * 256;
         assert_eq!(w.total_macs(), expect);
     }
@@ -117,9 +117,8 @@ mod tests {
         // Fig. 3b regime: a fraction of a percent of weights are outliers.
         assert!(frac > 0.0002 && frac < 0.01, "spike fraction {frac}");
         // ... and they concentrate: some rows hold many, most hold few.
-        let per_row: Vec<usize> = (0..256)
-            .map(|r| w.row(r).iter().filter(|v| v.abs() >= 0.08).count())
-            .collect();
+        let per_row: Vec<usize> =
+            (0..256).map(|r| w.row(r).iter().filter(|v| v.abs() >= 0.08).count()).collect();
         let max_row = per_row.iter().copied().max().unwrap_or(0);
         assert!(max_row >= 5, "expected a salient row with several spikes, max {max_row}");
     }

@@ -1,14 +1,17 @@
-//! Criterion micro-benchmarks of the core kernels: FineQ quantization,
+//! Micro-benchmarks of the core kernels: FineQ quantization,
 //! packing/decoding, the temporal-coding array and the baseline MAC
 //! array, plus a transformer forward pass.
+//!
+//! Uses the in-tree harness (`fineq_bench::timing`); the build container
+//! has no crates.io access, so criterion is not available.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fineq::accel::{SystolicArray, TemporalArray};
 use fineq::core::FineQuantizer;
 use fineq::lm::builder::{build_fitted_model, BuilderSpec};
 use fineq::lm::corpus::Corpus;
 use fineq::quant::{Calibration, Gptq, Rtn, WeightQuantizer};
 use fineq::tensor::{Matrix, Rng};
+use fineq_bench::timing::{bench, section};
 use std::hint::black_box;
 
 fn weights(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -23,84 +26,65 @@ fn weights(rows: usize, cols: usize, seed: u64) -> Matrix {
     })
 }
 
-fn bench_quantizers(c: &mut Criterion) {
+fn bench_quantizers() {
+    section("quantize 128x768");
     let w = weights(128, 768, 1);
     let mut rng = Rng::seed_from(2);
     let x = Matrix::from_fn(256, 768, |_, _| rng.normal(0.0, 1.0));
     let calib = Calibration::from_activations(x);
     let none = Calibration::none();
 
-    let mut g = c.benchmark_group("quantize_128x768");
-    g.bench_function("fineq", |b| {
-        let q = FineQuantizer::paper();
-        b.iter(|| black_box(q.quantize(black_box(&w), &none)))
-    });
-    g.bench_function("fineq_packed", |b| {
-        let q = FineQuantizer::paper();
-        b.iter(|| black_box(q.quantize_packed(black_box(&w))))
-    });
-    g.bench_function("rtn2", |b| {
-        let q = Rtn::new(2);
-        b.iter(|| black_box(q.quantize(black_box(&w), &none)))
-    });
-    g.bench_function("gptq2", |b| {
-        let q = Gptq::new(2);
-        b.iter(|| black_box(q.quantize(black_box(&w), &calib)))
-    });
-    g.finish();
+    let fineq = FineQuantizer::paper();
+    bench("fineq", || fineq.quantize(black_box(&w), &none));
+    bench("fineq_packed", || fineq.quantize_packed(black_box(&w)));
+    let rtn = Rtn::new(2);
+    bench("rtn2", || rtn.quantize(black_box(&w), &none));
+    let gptq = Gptq::new(2);
+    bench("gptq2", || gptq.quantize(black_box(&w), &calib));
 }
 
-fn bench_pack_decode(c: &mut Criterion) {
+fn bench_pack_decode() {
+    section("pack / decode 64x1536");
     let w = weights(64, 1536, 3);
-    let q = FineQuantizer::paper();
-    let packed = q.quantize_packed(&w);
-    c.bench_function("dequantize_packed_64x1536", |b| {
-        b.iter(|| black_box(packed.dequantize()))
+    let packed = FineQuantizer::paper().quantize_packed(&w);
+    bench("dequantize_packed", || packed.dequantize());
+    let mut scratch = Matrix::zeros(64, 1536);
+    bench("dequantize_into (no alloc)", || {
+        packed.dequantize_into(black_box(&mut scratch));
     });
-    c.bench_function("hardware_decode_64x1536", |b| {
-        b.iter_batched(
-            fineq::accel::HardwareDecoder::new,
-            |mut dec| {
-                for ch in packed.channels() {
-                    for block in ch.blocks().chunks(7) {
-                        black_box(dec.decode_block(block));
-                    }
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("hardware_decode", || {
+        let mut dec = fineq::accel::HardwareDecoder::new();
+        for ch in packed.channels() {
+            for block in ch.blocks().chunks(7) {
+                black_box(dec.decode_block(block));
+            }
+        }
     });
 }
 
-fn bench_arrays(c: &mut Criterion) {
+fn bench_arrays() {
+    section("array GEMM 32x256x64");
     let w = weights(32, 256, 5);
     let packed = FineQuantizer::paper().quantize_packed(&w);
     let mut rng = Rng::seed_from(6);
     let x = Matrix::from_fn(256, 64, |_, _| rng.normal(0.0, 1.0));
-    let mut g = c.benchmark_group("array_gemm_32x256x64");
-    g.bench_function("temporal", |b| {
-        let arr = TemporalArray::paper();
-        b.iter(|| black_box(arr.matmul(black_box(&packed), black_box(&x))))
-    });
-    g.bench_function("systolic", |b| {
-        let arr = SystolicArray::paper();
-        b.iter(|| black_box(arr.matmul(black_box(&w), black_box(&x))))
-    });
-    g.finish();
+    let temporal = TemporalArray::paper();
+    bench("temporal", || temporal.matmul(black_box(&packed), black_box(&x)));
+    let systolic = SystolicArray::paper();
+    bench("systolic", || systolic.matmul(black_box(&w), black_box(&x)));
 }
 
-fn bench_forward(c: &mut Criterion) {
+fn bench_forward() {
+    section("transformer forward");
     let corpus = Corpus::wiki_like(64, 7);
     let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 2048, 3);
     let tokens = corpus.generate(256, 9).tokens().to_vec();
-    c.bench_function("transformer_forward_256tok", |b| {
-        b.iter(|| black_box(model.forward(black_box(&tokens))))
-    });
+    bench("transformer_forward_256tok", || model.forward(black_box(&tokens)));
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(10);
-    targets = bench_quantizers, bench_pack_decode, bench_arrays, bench_forward
+fn main() {
+    bench_quantizers();
+    bench_pack_decode();
+    bench_arrays();
+    bench_forward();
 }
-criterion_main!(kernels);

@@ -1,6 +1,5 @@
 //! Regenerates the paper's `fig2b` experiment. Run with `--release`;
 //! set `FINEQ_FAST=1` for a reduced smoke run.
 fn main() {
-    
     print!("{}", fineq_bench::fig2b());
 }

@@ -1,6 +1,9 @@
 //! Experiment implementations. See DESIGN.md §4 for the experiment index
 //! and EXPERIMENTS.md for paper-vs-measured results.
 
+use fineq::accel::sim::{PipelineSim, SimConfig};
+use fineq::accel::workload::Workload;
+use fineq::accel::{AcceleratorKind, CostModel};
 use fineq::core::{FineQConfig, FineQuantizer};
 use fineq::lm::builder::{build_fitted_model, BuilderSpec};
 use fineq::lm::corpus::Corpus;
@@ -9,9 +12,6 @@ use fineq::lm::memory::ServingMemory;
 use fineq::lm::{SimPreset, Transformer};
 use fineq::pipeline::{collect_calibration, quantize_model, ModelCalibration, PipelineConfig};
 use fineq::quant::{Gptq, Owq, PbLlm, Rtn, Uniform, WeightQuantizer};
-use fineq::accel::sim::{PipelineSim, SimConfig};
-use fineq::accel::workload::Workload;
-use fineq::accel::{AcceleratorKind, CostModel};
 use fineq::tensor::{Histogram, Matrix, Rng, Summary};
 
 /// Workload sizes for the accuracy experiments.
@@ -120,7 +120,8 @@ fn eval_methods(fixture: &Fixture, window: usize) -> Vec<PplCell> {
         ppl: fp16,
     });
     for m in method_suite() {
-        let (qmodel, report) = quantize_model(&fixture.model, m.as_ref(), Some(&fixture.calib), &cfg);
+        let (qmodel, report) =
+            quantize_model(&fixture.model, m.as_ref(), Some(&fixture.calib), &cfg);
         let ppl = perplexity(&qmodel, &fixture.test, window);
         out.push(PplCell {
             method: m.name(),
@@ -136,7 +137,10 @@ fn eval_methods(fixture: &Fixture, window: usize) -> Vec<PplCell> {
 fn render_ppl_table(title: &str, cells: &[PplCell], col_keys: &[(String, String)]) -> String {
     let mut s = format!("\n=== {title} ===\n{:<16} {:>9}", "Method", "AvgBits");
     for (m, d) in col_keys {
-        s += &format!(" {:>16}", format!("{} {}", m.replace("LLaMA-2-", "").replace("(sim)", ""), d));
+        s += &format!(
+            " {:>16}",
+            format!("{} {}", m.replace("LLaMA-2-", "").replace("(sim)", ""), d)
+        );
     }
     s.push('\n');
     let methods: Vec<String> = {
@@ -224,10 +228,18 @@ pub fn table2(sizes: EvalSizes) -> String {
 /// Table III: area and power of the core modules (calibrated cost model).
 pub fn table3() -> String {
     let cost = CostModel::paper();
-    let mut s = String::from("\n=== Table III: area and power of accelerator core modules (45 nm, 400 MHz) ===\n");
-    s += &format!("{:<24} {:>12} {:>12} {:>12}\n", "Architecture", "Setup", "Area (mm^2)", "Power (mW)");
+    let mut s = String::from(
+        "\n=== Table III: area and power of accelerator core modules (45 nm, 400 MHz) ===\n",
+    );
+    s += &format!(
+        "{:<24} {:>12} {:>12} {:>12}\n",
+        "Architecture", "Setup", "Area (mm^2)", "Power (mW)"
+    );
     for m in cost.modules(AcceleratorKind::BaselineSystolic) {
-        s += &format!("{:<24} {:>12} {:>12.3} {:>12.3}\n", m.name, "64x64 PEs", m.area_mm2, m.power_mw);
+        s += &format!(
+            "{:<24} {:>12} {:>12.3} {:>12.3}\n",
+            m.name, "64x64 PEs", m.area_mm2, m.power_mw
+        );
     }
     for m in cost.modules(AcceleratorKind::FineqTemporal) {
         let setup = if m.name.contains("Decoder") { "64" } else { "64x64 PEs" };
@@ -301,12 +313,14 @@ pub fn fig2b() -> String {
 /// under uniform quantization at decreasing bit-widths.
 pub fn fig3b(sizes: EvalSizes) -> String {
     let fixture = build_fixture(SimPreset::Sim7B, "wiki", sizes);
-    let w = fixture.model.weight(0, fineq::lm::WeightSite::FfnUp);
+    let w = fixture.model.weight(0, fineq::lm::WeightSite::FfnUp).dense();
     let summary = Summary::of(w.as_slice());
     let lim = summary.abs_max;
     let hist = Histogram::build(w.as_slice(), -lim, lim, 21);
     let outlier_frac = Summary::outlier_fraction(w.as_slice(), (6.0 * summary.std_dev) as f32);
-    let mut s = String::from("\n=== Fig. 3b: weight distribution and uniform-quantization sweep (7B sim) ===\n");
+    let mut s = String::from(
+        "\n=== Fig. 3b: weight distribution and uniform-quantization sweep (7B sim) ===\n",
+    );
     s += &format!(
         "layer ffn.up: std {:.4}, kurtosis {:.1}, |w|>6sigma outliers {:.3}% (paper: ~0.3%)\n",
         summary.std_dev,
@@ -368,7 +382,10 @@ pub fn fig9() -> String {
             ee
         );
     }
-    s += &format!("average: {:.3} (paper: up to 1.79x)\n", ees.iter().sum::<f64>() / ees.len() as f64);
+    s += &format!(
+        "average: {:.3} (paper: up to 1.79x)\n",
+        ees.iter().sum::<f64>() / ees.len() as f64
+    );
     s
 }
 
@@ -378,11 +395,10 @@ pub fn ablations() -> String {
     let mut rng = Rng::seed_from(31);
     let spec = BuilderSpec::for_preset(SimPreset::Sim7B);
     let w = fineq::lm::builder::llm_like_matrix(256, 1024, &spec, &mut rng);
-    let mut s = String::from("\n=== Ablations: FineQ configuration sweeps (synthetic 256x1024 layer) ===\n");
-    s += &format!(
-        "{:<34} {:>10} {:>14} {:>14}\n",
-        "Config", "bits", "MSE", "outlier frac"
+    let mut s = String::from(
+        "\n=== Ablations: FineQ configuration sweeps (synthetic 256x1024 layer) ===\n",
     );
+    s += &format!("{:<34} {:>10} {:>14} {:>14}\n", "Config", "bits", "MSE", "outlier frac");
     let calib = fineq::quant::Calibration::none();
     let configs = [
         ("paper (t=4, pair)", FineQConfig::paper()),

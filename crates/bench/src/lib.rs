@@ -9,6 +9,7 @@
 //! roughly an order of magnitude; shapes of the results are preserved).
 
 pub mod experiments;
+pub mod timing;
 
 pub use experiments::{
     ablations, fig1, fig2b, fig3b, fig8, fig9, table1, table2, table3, EvalSizes,

@@ -1,0 +1,77 @@
+//! Minimal, dependency-free micro-benchmark harness.
+//!
+//! The container this reproduction builds in has no access to crates.io,
+//! so `criterion` cannot be a dependency; this module provides the small
+//! subset the benches need — warmup, adaptive iteration counts, and a
+//! median-of-samples report — behind a criterion-like API. Benches stay
+//! `harness = false` binaries and print one line per benchmark:
+//!
+//! ```text
+//! dense_gemv_512x2048            1.234 ms/iter   (median of 7, 16 iters each)
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+/// Target wall time of one sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+
+/// Result of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Human-readable time per iteration.
+    pub fn per_iter(&self) -> String {
+        let ns = self.ns_per_iter;
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} us", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Times `f`, printing and returning the result. The closure's return
+/// value is passed through [`black_box`] so the work is not optimized out.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> BenchResult {
+    // Warmup + iteration calibration: run once, then scale to the sample
+    // target.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let result = BenchResult { ns_per_iter: samples[SAMPLES / 2], iters };
+    println!(
+        "{name:<44} {:>12}/iter   (median of {SAMPLES}, {iters} iters each)",
+        result.per_iter()
+    );
+    result
+}

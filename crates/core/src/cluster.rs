@@ -153,10 +153,7 @@ mod tests {
     use super::*;
 
     fn grids(absmax: f32) -> (SymmetricGrid, SymmetricGrid) {
-        (
-            SymmetricGrid::from_abs_max(absmax, 2),
-            SymmetricGrid::from_abs_max(absmax, 3),
-        )
+        (SymmetricGrid::from_abs_max(absmax, 2), SymmetricGrid::from_abs_max(absmax, 3))
     }
 
     #[test]
@@ -195,14 +192,8 @@ mod tests {
 
     #[test]
     fn preliminary_code_selects_layout() {
-        assert_eq!(
-            Cluster::new([0.10, 0.12, 0.11]).preliminary_code(4.0),
-            ClusterCode::AllTwoBit
-        );
-        assert_eq!(
-            Cluster::new([0.27, 0.03, 0.11]).preliminary_code(4.0),
-            ClusterCode::ZeroSecond
-        );
+        assert_eq!(Cluster::new([0.10, 0.12, 0.11]).preliminary_code(4.0), ClusterCode::AllTwoBit);
+        assert_eq!(Cluster::new([0.27, 0.03, 0.11]).preliminary_code(4.0), ClusterCode::ZeroSecond);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Fused packed-weight kernels: GEMV/GEMM straight from the 7-byte blocks.
+//!
+//! The serving path the paper argues for never materializes a dequantized
+//! weight matrix: the accelerator streams 7-byte blocks (1 index byte + 6
+//! data bytes per 8 clusters) and multiplies decoded integer lanes into two
+//! per-channel accumulators, one per scale class. These kernels are the
+//! software mirror of that dataflow:
+//!
+//! * every cluster's 6 data bits are decoded through a compile-time lookup
+//!   table ([`DECODE_INTS`]) — the same `ClusterCode` → lane mapping the
+//!   `fineq-accel` hardware decoder implements as a MUX network (the accel
+//!   crate cross-checks its MUX output against this table);
+//! * 2-bit lanes accumulate into `acc2`, 3-bit lanes into `acc3`, and the
+//!   result is combined once per channel as `s2·acc2 + s3·acc3` — exactly
+//!   the dual-accumulator scheme of the paper's PE array;
+//! * no intermediate `Matrix` is ever allocated: weight traffic is the
+//!   packed 2.33 bits per weight, not fp32.
+//!
+//! [`PackedChannel::dequantize_into`] / [`PackedMatrix::dequantize_into`]
+//! provide the allocation-free fallback for callers that do want a dense
+//! copy (e.g. reusing a scratch buffer across layers).
+
+use crate::pack::{PackedChannel, PackedMatrix, BLOCK_BYTES, CLUSTERS_PER_BLOCK};
+use fineq_tensor::Matrix;
+
+/// Decodes an `n`-bit sign-magnitude field in a `const` context.
+const fn sign_mag_const(field: u8, bits: u32) -> i8 {
+    let mag_bits = bits - 1;
+    let mag = (field as u32 & ((1 << mag_bits) - 1)) as i8;
+    if (field as u32 >> mag_bits) & 1 == 1 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Decodes one cluster's 6 data bits under a 2-bit code in a `const`
+/// context (mirrors `pack::unpack_cluster`).
+const fn decode_cluster_const(code: u8, six: u8) -> [i8; 3] {
+    match code {
+        0b00 => [
+            sign_mag_const(six & 0b11, 2),
+            sign_mag_const((six >> 2) & 0b11, 2),
+            sign_mag_const((six >> 4) & 0b11, 2),
+        ],
+        0b01 => [0, sign_mag_const(six & 0b111, 3), sign_mag_const((six >> 3) & 0b111, 3)],
+        0b10 => [sign_mag_const(six & 0b111, 3), 0, sign_mag_const((six >> 3) & 0b111, 3)],
+        _ => [sign_mag_const(six & 0b111, 3), sign_mag_const((six >> 3) & 0b111, 3), 0],
+    }
+}
+
+/// Full decode table: `DECODE_INTS[code][six]` is the signed integer
+/// triple of a cluster whose index bits are `code` and data bits `six`.
+///
+/// This is the single source of truth for the wire format's value
+/// semantics; the `fineq-accel` hardware decoder model re-derives the same
+/// mapping through its Fig. 6 MUX network and is tested against this table.
+pub const DECODE_INTS: [[[i8; 3]; 64]; 4] = {
+    let mut table = [[[0i8; 3]; 64]; 4];
+    let mut code = 0usize;
+    while code < 4 {
+        let mut six = 0usize;
+        while six < 64 {
+            table[code][six] = decode_cluster_const(code as u8, six as u8);
+            six += 1;
+        }
+        code += 1;
+    }
+    table
+};
+
+/// Per-lane bit widths of each code (`0` = sacrificed lane): the scale
+/// class selector. 2-bit lanes use the channel's `scale2`, 3-bit lanes
+/// `scale3`.
+pub const LANE_WIDTHS: [[u8; 3]; 4] = [[2, 2, 2], [0, 3, 3], [3, 0, 3], [3, 3, 0]];
+
+/// Reads the 48 data bits of a 7-byte block into one word.
+#[inline]
+fn data_word(block: &[u8]) -> u64 {
+    debug_assert_eq!(block.len(), BLOCK_BYTES);
+    let mut data = 0u64;
+    let mut i = 0;
+    while i < 6 {
+        data |= (block[1 + i] as u64) << (8 * i);
+        i += 1;
+    }
+    data
+}
+
+impl PackedChannel {
+    /// Streams every stored non-zero lane as `(weight_index, int_value,
+    /// bit_width)`, decoding each cluster exactly once. The single decode
+    /// loop every fused kernel builds on.
+    #[inline]
+    fn for_each_lane(&self, mut f: impl FnMut(usize, i8, u8)) {
+        for (b, block) in self.blocks.chunks_exact(BLOCK_BYTES).enumerate() {
+            let idx = block[0];
+            let data = data_word(block);
+            let base = b * CLUSTERS_PER_BLOCK;
+            for k_in in 0..CLUSTERS_PER_BLOCK {
+                let k = base + k_in;
+                if k >= self.n_clusters {
+                    break;
+                }
+                let code = ((idx >> (2 * (k_in / 2))) & 0b11) as usize;
+                let six = ((data >> (6 * k_in)) & 0x3F) as usize;
+                let ints = &DECODE_INTS[code][six];
+                let widths = &LANE_WIDTHS[code];
+                let w0 = k * 3;
+                for (j, (&q, &width)) in ints.iter().zip(widths).enumerate() {
+                    let i = w0 + j;
+                    if i >= self.len || q == 0 {
+                        continue;
+                    }
+                    f(i, q, width);
+                }
+            }
+        }
+    }
+
+    /// Fused dot product `wᵀx` computed straight from the packed blocks —
+    /// the serving GEMV inner loop. Never materializes the dequantized
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the channel length.
+    pub fn dot(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.len, "input length must equal channel length");
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        self.for_each_lane(|i, q, width| {
+            if width == 2 {
+                acc2 += q as f32 * x[i];
+            } else {
+                acc3 += q as f32 * x[i];
+            }
+        });
+        self.scale2 * acc2 + self.scale3 * acc3
+    }
+
+    /// Decodes the channel into a caller-provided buffer (padding
+    /// stripped), the allocation-free counterpart of
+    /// [`PackedChannel::dequantize`](crate::PackedChannel::dequantize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the channel length.
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "output length must equal channel length");
+        out.fill(0.0); // zeroed and padded lanes decode to exactly 0
+        self.for_each_lane(|i, q, width| {
+            out[i] = if width == 2 { q as f32 * self.scale2 } else { q as f32 * self.scale3 };
+        });
+    }
+
+    /// Storage bytes of the channel in serving form: the packed blocks
+    /// plus the two fp16-accounted Eq. 1 scales.
+    pub fn storage_bytes(&self) -> usize {
+        self.blocks.len() + 2 * 2
+    }
+}
+
+impl PackedMatrix {
+    /// Fused GEMV `y = W x` (`x` of length `cols`, `y` of length `rows`),
+    /// streaming the packed blocks channel by channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols(), "input length must equal cols");
+        self.channels().iter().map(|ch| ch.dot(x)).collect()
+    }
+
+    /// Fused GEMM `Y = W X` (`X` is `cols x n`, `Y` is `rows x n`). Each
+    /// cluster is decoded exactly once; decoded lanes broadcast across the
+    /// `n` activation columns, the input-stationary dataflow of the
+    /// accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != cols`.
+    pub fn matmul(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.cols(),
+            "matmul shape mismatch: packed {}x{} @ {}x{}",
+            self.rows(),
+            self.cols(),
+            x.rows(),
+            x.cols()
+        );
+        let n = x.cols();
+        let mut out = Matrix::zeros(self.rows(), n);
+        let mut acc2 = vec![0.0f32; n];
+        let mut acc3 = vec![0.0f32; n];
+        for (r, ch) in self.channels().iter().enumerate() {
+            acc2.iter_mut().for_each(|a| *a = 0.0);
+            acc3.iter_mut().for_each(|a| *a = 0.0);
+            ch.for_each_lane(|i, q, width| {
+                let xrow = x.row(i);
+                let acc = if width == 2 { &mut acc2 } else { &mut acc3 };
+                let qf = q as f32;
+                for (a, &xv) in acc.iter_mut().zip(xrow) {
+                    *a += qf * xv;
+                }
+            });
+            let (s2, s3) = (ch.scale2(), ch.scale3());
+            for (o, (&a2, &a3)) in out.row_mut(r).iter_mut().zip(acc2.iter().zip(&acc3)) {
+                *o = s2 * a2 + s3 * a3;
+            }
+        }
+        out
+    }
+
+    /// Fused `Y = A Wᵀ` (`A` is `T x cols`, `Y` is `T x rows`) — the
+    /// transformer's linear-layer orientation (activations row-major, one
+    /// output feature per weight channel). Each cluster is decoded once and
+    /// its lanes accumulate down the `T` activation rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != cols`.
+    pub fn matmul_t(&self, a: &Matrix) -> Matrix {
+        assert_eq!(
+            a.cols(),
+            self.cols(),
+            "matmul_t shape mismatch: {}x{} @ ({}x{})^T",
+            a.rows(),
+            a.cols(),
+            self.rows(),
+            self.cols()
+        );
+        let t_len = a.rows();
+        let cols = self.cols();
+        let mut out = Matrix::zeros(t_len, self.rows());
+        let rows = self.rows();
+        let mut acc2 = vec![0.0f32; t_len];
+        let mut acc3 = vec![0.0f32; t_len];
+        let a_data = a.as_slice();
+        for (r, ch) in self.channels().iter().enumerate() {
+            acc2.iter_mut().for_each(|v| *v = 0.0);
+            acc3.iter_mut().for_each(|v| *v = 0.0);
+            ch.for_each_lane(|i, q, width| {
+                let acc = if width == 2 { &mut acc2 } else { &mut acc3 };
+                let qf = q as f32;
+                for (t, av) in acc.iter_mut().enumerate() {
+                    *av += qf * a_data[t * cols + i];
+                }
+            });
+            let (s2, s3) = (ch.scale2(), ch.scale3());
+            let o_data = out.as_mut_slice();
+            for t in 0..t_len {
+                o_data[t * rows + r] = s2 * acc2[t] + s3 * acc3[t];
+            }
+        }
+        out
+    }
+
+    /// Decodes the whole matrix into a caller-provided dense matrix — the
+    /// allocation-free fallback path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has a different shape.
+    pub fn dequantize_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (self.rows(), self.cols()),
+            "output shape must match the packed matrix"
+        );
+        for (r, ch) in self.channels().iter().enumerate() {
+            ch.dequantize_into(out.row_mut(r));
+        }
+    }
+
+    /// Total serving-form storage bytes (blocks + per-channel fp16 scales).
+    pub fn storage_bytes(&self) -> usize {
+        self.channels().iter().map(|c| c.storage_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::FineQuantizer;
+    use crate::ClusterCode;
+    use fineq_tensor::Rng;
+
+    fn random_packed(rows: usize, cols: usize, seed: u64) -> (Matrix, PackedMatrix) {
+        let mut rng = Rng::seed_from(seed);
+        let w = Matrix::from_fn(rows, cols, |_, _| {
+            let v = rng.laplace(0.0, 0.02);
+            if rng.chance(0.03) {
+                v * 12.0
+            } else {
+                v
+            }
+        });
+        let packed = FineQuantizer::paper().quantize_packed(&w);
+        (w, packed)
+    }
+
+    #[test]
+    fn decode_table_matches_unpacker_via_cluster_ints() {
+        // The LUT and the reference bit-unpacker must agree on every
+        // (code, six) combination reachable through packing.
+        let codes = [ClusterCode::AllTwoBit, ClusterCode::ZeroSecond, ClusterCode::ZeroThird];
+        let q = [[1, -1, 0], [0, 1, 1], [3, 0, -2], [-3, 0, 1], [2, -2, 0]];
+        let ch = crate::PackedChannel::pack(0.3, 0.1, 15, &codes, &q);
+        for k in 0..ch.n_clusters() {
+            let code = ch.code_of(k).bits() as usize;
+            let block = k / CLUSTERS_PER_BLOCK;
+            let data = data_word(&ch.blocks()[block * BLOCK_BYTES..(block + 1) * BLOCK_BYTES]);
+            let six = ((data >> (6 * (k % CLUSTERS_PER_BLOCK))) & 0x3F) as usize;
+            let lut: [i32; 3] = [
+                DECODE_INTS[code][six][0] as i32,
+                DECODE_INTS[code][six][1] as i32,
+                DECODE_INTS[code][six][2] as i32,
+            ];
+            assert_eq!(lut, ch.cluster_ints(k), "cluster {k}");
+        }
+    }
+
+    #[test]
+    fn lane_widths_match_cluster_codes() {
+        for code in ClusterCode::ALL {
+            for (pos, &width) in LANE_WIDTHS[code.bits() as usize].iter().enumerate() {
+                assert_eq!(width, code.bit_width_at(pos), "{code} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_dot_matches_dequantized_dot() {
+        for (cols, seed) in [(24usize, 1u64), (25, 2), (47, 3), (96, 4), (1, 5), (2, 6)] {
+            let (_, packed) = random_packed(4, cols, seed);
+            let mut rng = Rng::seed_from(seed ^ 0xABC);
+            let x: Vec<f32> = (0..cols).map(|_| rng.normal(0.0, 1.0)).collect();
+            let dq = packed.dequantize();
+            for (r, ch) in packed.channels().iter().enumerate() {
+                let reference: f32 = dq.row(r).iter().zip(&x).map(|(a, b)| a * b).sum();
+                let fused = ch.dot(&x);
+                assert!(
+                    (fused - reference).abs() < 1e-5,
+                    "cols {cols} row {r}: {fused} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matvec_matches_reference() {
+        let (_, packed) = random_packed(16, 93, 7);
+        let mut rng = Rng::seed_from(8);
+        let x: Vec<f32> = (0..93).map(|_| rng.normal(0.0, 1.0)).collect();
+        let y = packed.matvec(&x);
+        let dq = packed.dequantize();
+        for (r, &yv) in y.iter().enumerate() {
+            let reference: f32 = dq.row(r).iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert!((yv - reference).abs() < 1e-5, "row {r}");
+        }
+    }
+
+    #[test]
+    fn fused_matmul_matches_dense_matmul() {
+        let (_, packed) = random_packed(9, 50, 11);
+        let mut rng = Rng::seed_from(12);
+        let x = Matrix::from_fn(50, 7, |_, _| rng.normal(0.0, 1.0));
+        let fused = packed.matmul(&x);
+        let reference = packed.dequantize().matmul(&x);
+        assert!(fused.sub(&reference).abs_max() < 1e-5);
+    }
+
+    #[test]
+    fn fused_matmul_t_matches_dense_path() {
+        let (_, packed) = random_packed(10, 31, 13);
+        let mut rng = Rng::seed_from(14);
+        let a = Matrix::from_fn(6, 31, |_, _| rng.normal(0.0, 1.0));
+        let fused = packed.matmul_t(&a);
+        let reference = a.matmul_transpose(&packed.dequantize());
+        assert!(fused.sub(&reference).abs_max() < 1e-5);
+    }
+
+    #[test]
+    fn dequantize_into_agrees_with_dequantize() {
+        let (_, packed) = random_packed(5, 40, 15);
+        let mut out = Matrix::zeros(5, 40);
+        packed.dequantize_into(&mut out);
+        assert_eq!(out, packed.dequantize());
+    }
+
+    #[test]
+    fn storage_bytes_accounts_blocks_and_scales() {
+        let (_, packed) = random_packed(3, 24, 16);
+        // 24 weights -> 8 clusters -> 1 block of 7 bytes, plus 4 scale
+        // bytes, per channel.
+        assert_eq!(packed.storage_bytes(), 3 * (7 + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn dot_rejects_wrong_length() {
+        let (_, packed) = random_packed(2, 12, 17);
+        let _ = packed.channels()[0].dot(&[0.0; 11]);
+    }
+
+    #[test]
+    fn empty_channel_dot_is_zero() {
+        let ch = crate::PackedChannel::pack(0.0, 0.0, 0, &[], &[]);
+        assert_eq!(ch.dot(&[]), 0.0);
+    }
+}

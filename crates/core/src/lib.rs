@@ -41,6 +41,7 @@
 
 pub mod cluster;
 pub mod encoding;
+pub mod kernels;
 pub mod pack;
 pub mod quantizer;
 pub mod serialize;

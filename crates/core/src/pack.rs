@@ -65,10 +65,8 @@ fn pack_cluster(q: [i32; 3], code: ClusterCode) -> u8 {
             f0 | (f1 << 2) | (f2 << 4)
         }
         Some(z) => {
-            let stored: Vec<u8> = (0..3)
-                .filter(|&p| p != z)
-                .map(|p| to_sign_mag(q[p], 3))
-                .collect();
+            let stored: Vec<u8> =
+                (0..3).filter(|&p| p != z).map(|p| to_sign_mag(q[p], 3)).collect();
             stored[0] | (stored[1] << 3)
         }
     }
@@ -103,11 +101,11 @@ fn unpack_cluster(bits6: u8, code: ClusterCode) -> [i32; 3] {
 /// 7-byte cluster blocks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PackedChannel {
-    scale2: f32,
-    scale3: f32,
-    len: usize,
-    n_clusters: usize,
-    blocks: Vec<u8>,
+    pub(crate) scale2: f32,
+    pub(crate) scale3: f32,
+    pub(crate) len: usize,
+    pub(crate) n_clusters: usize,
+    pub(crate) blocks: Vec<u8>,
 }
 
 impl PackedChannel {
@@ -127,11 +125,7 @@ impl PackedChannel {
         quantized: &[[i32; 3]],
     ) -> Self {
         let n_clusters = quantized.len();
-        assert_eq!(
-            codes.len(),
-            n_clusters.div_ceil(2),
-            "one code per cluster pair required"
-        );
+        assert_eq!(codes.len(), n_clusters.div_ceil(2), "one code per cluster pair required");
         let n_blocks = n_clusters.div_ceil(CLUSTERS_PER_BLOCK);
         let mut blocks = vec![0u8; n_blocks * BLOCK_BYTES];
         for b in 0..n_blocks {
@@ -397,13 +391,7 @@ mod tests {
     fn demo_channel() -> PackedChannel {
         // 5 clusters (15 weights), mixed codes: pairs (00, 10, 11-single).
         let codes = [ClusterCode::AllTwoBit, ClusterCode::ZeroSecond, ClusterCode::ZeroThird];
-        let q = [
-            [1, -1, 0],
-            [0, 1, 1],
-            [3, 0, -2],
-            [-3, 0, 1],
-            [2, -2, 0],
-        ];
+        let q = [[1, -1, 0], [0, 1, 1], [3, 0, -2], [-3, 0, 1], [2, -2, 0]];
         PackedChannel::pack(0.3, 0.1, 15, &codes, &q)
     }
 
@@ -412,13 +400,8 @@ mod tests {
         let ch = demo_channel();
         assert_eq!(ch.n_clusters(), 5);
         assert_eq!(ch.data_bytes(), BLOCK_BYTES); // 5 clusters fit one block
-        let ch2 = PackedChannel::pack(
-            1.0,
-            1.0 / 3.0,
-            27,
-            &[ClusterCode::AllTwoBit; 5],
-            &[[0, 0, 0]; 9],
-        );
+        let ch2 =
+            PackedChannel::pack(1.0, 1.0 / 3.0, 27, &[ClusterCode::AllTwoBit; 5], &[[0, 0, 0]; 9]);
         assert_eq!(ch2.data_bytes(), 2 * BLOCK_BYTES); // 9 clusters -> 2 blocks
     }
 

@@ -139,11 +139,8 @@ impl FineQuantizer {
             // A trailing lone cluster keeps its preliminary code.
         }
 
-        let quantized: Vec<[i32; 3]> = clusters
-            .iter()
-            .zip(&codes)
-            .map(|(c, &code)| c.quantize(code, &g2, &g3))
-            .collect();
+        let quantized: Vec<[i32; 3]> =
+            clusters.iter().zip(&codes).map(|(c, &code)| c.quantize(code, &g2, &g3)).collect();
 
         let mut dequantized = Vec::with_capacity(len);
         for (k, (&q, &code)) in quantized.iter().zip(&codes).enumerate() {
@@ -185,8 +182,7 @@ impl FineQuantizer {
         let mut best = ClusterCode::AllTwoBit;
         let mut best_err = f64::INFINITY;
         for code in ClusterCode::ALL {
-            let err = a.reconstruction_error(code, g2, g3)
-                + b.reconstruction_error(code, g2, g3);
+            let err = a.reconstruction_error(code, g2, g3) + b.reconstruction_error(code, g2, g3);
             if err < best_err {
                 best_err = err;
                 best = code;
@@ -211,8 +207,7 @@ impl FineQuantizer {
             .map(|r| {
                 let plan = self.plan_channel(w.row(r));
                 // Collapse duplicated per-cluster codes into per-pair codes.
-                let pair_codes: Vec<ClusterCode> =
-                    plan.codes.iter().step_by(2).copied().collect();
+                let pair_codes: Vec<ClusterCode> = plan.codes.iter().step_by(2).copied().collect();
                 PackedChannel::pack(
                     plan.scale2,
                     plan.scale3,

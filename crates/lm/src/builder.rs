@@ -182,13 +182,8 @@ fn build_body(spec: &BuilderSpec, corpus: &Corpus, rng: &mut Rng) -> Transformer
     // rest are random unit-variance coordinates.
     let b = corpus.bigram_factors();
     let k = b.cols().min(d);
-    *m.embedding_mut() = Matrix::from_fn(cfg.vocab, d, |v, j| {
-        if j < k {
-            b[(v, j)]
-        } else {
-            rng.normal(0.0, 1.0)
-        }
-    });
+    *m.embedding_mut() =
+        Matrix::from_fn(cfg.vocab, d, |v, j| if j < k { b[(v, j)] } else { rng.normal(0.0, 1.0) });
 
     // Topic directions: member tokens of topic z receive a shared random
     // direction in the "free" coordinate band [k, d-k) (topical clustering
@@ -217,14 +212,14 @@ fn build_body(spec: &BuilderSpec, corpus: &Corpus, rng: &mut Rng) -> Transformer
                 let w = m.weight(l, site);
                 (w.rows(), w.cols())
             };
-            *m.weight_mut(l, site) = llm_like_matrix(r, c, spec, rng);
+            *m.weight_mut(l, site) = llm_like_matrix(r, c, spec, rng).into();
         }
         if l == 0 {
             // Topic path: strengthen head 0's value rows so the global
             // (slope-0) head carries a prefix-average of a dense random
             // projection of the embeddings.
             {
-                let wv = m.weight_mut(l, WeightSite::AttnV);
+                let wv = m.weight_mut(l, WeightSite::AttnV).dense_mut();
                 let cols = wv.cols();
                 let s = spec.topic_rms / (cols as f32).sqrt();
                 for r in 0..dh {
@@ -236,7 +231,7 @@ fn build_body(spec: &BuilderSpec, corpus: &Corpus, rng: &mut Rng) -> Transformer
             // ... and give wo strong entries on head 0's lanes so the
             // topic estimate lands in the residual stream.
             {
-                let wo = m.weight_mut(l, WeightSite::AttnO);
+                let wo = m.weight_mut(l, WeightSite::AttnO).dense_mut();
                 let rows = wo.rows();
                 let s = spec.topic_rms / (dh as f32).sqrt();
                 for r in 0..rows {
@@ -270,7 +265,7 @@ fn build_body(spec: &BuilderSpec, corpus: &Corpus, rng: &mut Rng) -> Transformer
                 let s_block = sample_spiky_block(bs, amp, rng);
                 let s_inv = invert_small(&s_block);
                 {
-                    let w1 = m.weight_mut(l, WeightSite::FfnUp);
+                    let w1 = m.weight_mut(l, WeightSite::FfnUp).dense_mut();
                     for i in 0..bs {
                         for c in 0..bs {
                             w1[(j0 + i, j0 + c)] = s_block[(i, c)];
@@ -279,7 +274,7 @@ fn build_body(spec: &BuilderSpec, corpus: &Corpus, rng: &mut Rng) -> Transformer
                     }
                 }
                 {
-                    let w2 = m.weight_mut(l, WeightSite::FfnDown);
+                    let w2 = m.weight_mut(l, WeightSite::FfnDown).dense_mut();
                     for i in 0..bs {
                         for c in 0..bs {
                             w2[(d - k + j0 + i, j0 + c)] = g_over * s_inv[(i, c)];
@@ -388,11 +383,7 @@ pub fn build_fitted_model(
     train_tokens: usize,
     seed: u64,
 ) -> (Transformer, FitReport) {
-    assert_eq!(
-        corpus.vocab(),
-        spec.config.vocab,
-        "corpus vocabulary must match the model"
-    );
+    assert_eq!(corpus.vocab(), spec.config.vocab, "corpus vocabulary must match the model");
     let mut rng = Rng::seed_from(seed);
     let mut model = build_body(spec, corpus, &mut rng);
 
@@ -556,10 +547,7 @@ mod tests {
         let test = corpus.generate(4_096, 55);
         let short = perplexity(&model, test.tokens(), 16);
         let long = perplexity(&model, test.tokens(), 256);
-        assert!(
-            short > long,
-            "short-window ppl {short:.2} should exceed long-window {long:.2}"
-        );
+        assert!(short > long, "short-window ppl {short:.2} should exceed long-window {long:.2}");
     }
 
     #[test]

@@ -50,9 +50,8 @@ impl ModelConfig {
         assert_eq!(d_model % n_heads, 0, "d_model must be divisible by n_heads");
         // Head 0: global (slope 0). Remaining heads: geometrically
         // increasing locality, the standard ALiBi recipe.
-        let alibi_slopes = (0..n_heads)
-            .map(|h| if h == 0 { 0.0 } else { 0.5_f32.powi(h as i32 - 1) })
-            .collect();
+        let alibi_slopes =
+            (0..n_heads).map(|h| if h == 0 { 0.0 } else { 0.5_f32.powi(h as i32 - 1) }).collect();
         Self { vocab, d_model, n_layers, n_heads, d_ff, activation: Activation::Relu, alibi_slopes }
     }
 

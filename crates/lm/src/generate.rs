@@ -98,9 +98,9 @@ impl Transformer {
         for l in 0..cfg.n_layers {
             // ---- attention ----
             let x = rmsnorm_vec(&h);
-            let q = vec_matmul_t(&x, self.weight(l, crate::model::WeightSite::AttnQ));
-            let k = vec_matmul_t(&x, self.weight(l, crate::model::WeightSite::AttnK));
-            let v = vec_matmul_t(&x, self.weight(l, crate::model::WeightSite::AttnV));
+            let q = self.weight(l, crate::model::WeightSite::AttnQ).matvec(&x);
+            let k = self.weight(l, crate::model::WeightSite::AttnK).matvec(&x);
+            let v = self.weight(l, crate::model::WeightSite::AttnV).matvec(&x);
             cache.push(l, &k, &v);
             let (ks, vs) = &cache.layers[l];
             let mut ctx = vec![0.0f32; d];
@@ -127,19 +127,19 @@ impl Transformer {
                     }
                 }
             }
-            let attn_out = vec_matmul_t(&ctx, self.weight(l, crate::model::WeightSite::AttnO));
+            let attn_out = self.weight(l, crate::model::WeightSite::AttnO).matvec(&ctx);
             for (hv, a) in h.iter_mut().zip(&attn_out) {
                 *hv += a;
             }
 
             // ---- FFN ----
             let x2 = rmsnorm_vec(&h);
-            let mut mid = vec_matmul_t(&x2, self.weight(l, crate::model::WeightSite::FfnUp));
+            let mut mid = self.weight(l, crate::model::WeightSite::FfnUp).matvec(&x2);
             match cfg.activation {
                 Activation::Relu => mid.iter_mut().for_each(|m| *m = activation::relu(*m)),
                 Activation::Silu => mid.iter_mut().for_each(|m| *m = activation::silu(*m)),
             }
-            let ffn_out = vec_matmul_t(&mid, self.weight(l, crate::model::WeightSite::FfnDown));
+            let ffn_out = self.weight(l, crate::model::WeightSite::FfnDown).matvec(&mid);
             for (hv, f) in h.iter_mut().zip(&ffn_out) {
                 *hv += f;
             }
@@ -271,6 +271,24 @@ mod tests {
         let (model, _) = fitted_tiny();
         let mut cache = KvCache::new(model.n_layers() + 1, model.config().d_model);
         let _ = model.forward_step(0, &mut cache);
+    }
+
+    #[test]
+    fn packed_forward_step_matches_dense_reference() {
+        // A fully packed model must decode token-by-token to the same
+        // logits as the dequantized dense copy.
+        let (model, corpus) = fitted_tiny();
+        let (packed, reference) = crate::model::pack_all_sites(&model);
+        let tokens = corpus.generate(16, 4).tokens().to_vec();
+        let mut cp = KvCache::new(model.n_layers(), model.config().d_model);
+        let mut cr = KvCache::new(model.n_layers(), model.config().d_model);
+        for &tok in &tokens {
+            let lp = packed.forward_step(tok, &mut cp);
+            let lr = reference.forward_step(tok, &mut cr);
+            for (a, b) in lp.iter().zip(&lr) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

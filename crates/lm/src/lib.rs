@@ -51,4 +51,4 @@ pub use corpus::{Corpus, TokenStream};
 pub use eval::{cross_entropy, perplexity};
 pub use generate::KvCache;
 pub use memory::ServingMemory;
-pub use model::{Transformer, WeightSite};
+pub use model::{LinearWeight, Transformer, WeightSite};

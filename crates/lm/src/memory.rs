@@ -1,13 +1,31 @@
-//! Serving-memory layout model (paper Fig. 2b).
+//! Serving-memory layout model (paper Fig. 2b), with **measured** weight
+//! footprints.
 //!
 //! The paper motivates weight quantization with the memory breakdown of
 //! serving LLaMA-2-13B on a 40 GB NVIDIA A100: ~65 % model weights, ~30 %
 //! KV cache, ~5 % other (activations, workspace). This module reproduces
-//! that arithmetic and extends it with quantized-weight scenarios.
+//! that arithmetic — and, for models this repository actually holds, takes
+//! the weight bytes from the model's real buffers
+//! ([`Transformer::weight_footprint_bytes`]) instead of an analytic
+//! bits-per-weight figure, so a packed model's memory plan reflects the
+//! 7-bytes-per-24-weights blocks it truly stores.
+
+use crate::model::Transformer;
 
 /// Bytes in one (decimal) gigabyte, the unit GPU marketing capacities use
 /// (an "A100 40GB" exposes 40e9 bytes).
 pub const GB: f64 = 1e9;
+
+/// How the weight bytes of a deployment are determined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightStore {
+    /// Analytic: `params * bits / 8`. Used for paper-scale what-if plans
+    /// (LLaMA-2-13B does not fit in this repository).
+    AnalyticBits(f64),
+    /// Measured: bytes counted from a real [`Transformer`]'s buffers —
+    /// packed blocks + fp16 scales for packed sites, fp32 elsewhere.
+    MeasuredBytes(f64),
+}
 
 /// Analytic memory model of an LLM serving deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,8 +38,8 @@ pub struct ServingMemory {
     pub d_model: usize,
     /// Device memory in bytes.
     pub device_bytes: f64,
-    /// Bits per stored weight (16 for fp16; 2.33 for FineQ).
-    pub weight_bits: f64,
+    /// Weight storage accounting.
+    pub weights: WeightStore,
     /// Bytes per KV-cache element (2 for fp16).
     pub kv_bytes_per_elem: f64,
 }
@@ -35,20 +53,54 @@ impl ServingMemory {
             n_layers: 40,
             d_model: 5120,
             device_bytes: 40.0 * GB,
-            weight_bits: 16.0,
+            weights: WeightStore::AnalyticBits(16.0),
             kv_bytes_per_elem: 2.0,
         }
     }
 
-    /// Same deployment with weights stored in FineQ's 2.33-bit format.
+    /// A deployment whose weight bytes are **measured from the model's
+    /// actual buffers**: a FineQ-packed transformer contributes its real
+    /// 7-byte blocks (plus fp16 scales), dense sites their fp32 bytes.
+    pub fn from_model(model: &Transformer, device_bytes: f64) -> Self {
+        let cfg = model.config();
+        Self {
+            params: model.param_count() as f64,
+            n_layers: cfg.n_layers,
+            d_model: cfg.d_model,
+            device_bytes,
+            weights: WeightStore::MeasuredBytes(model.weight_footprint_bytes() as f64),
+            kv_bytes_per_elem: 2.0,
+        }
+    }
+
+    /// Same deployment with weights stored at an analytic bit-width
+    /// (16 for fp16; 2.33 for FineQ's nominal figure).
     pub fn with_weight_bits(mut self, bits: f64) -> Self {
-        self.weight_bits = bits;
+        self.weights = WeightStore::AnalyticBits(bits);
         self
+    }
+
+    /// Same deployment with an explicit measured weight byte count, e.g.
+    /// from [`Transformer::weight_footprint_bytes`] of a packed model.
+    pub fn with_measured_bytes(mut self, bytes: f64) -> Self {
+        self.weights = WeightStore::MeasuredBytes(bytes);
+        self
+    }
+
+    /// Effective stored bits per weight (derived for measured stores).
+    pub fn weight_bits(&self) -> f64 {
+        match self.weights {
+            WeightStore::AnalyticBits(bits) => bits,
+            WeightStore::MeasuredBytes(bytes) => 8.0 * bytes / self.params.max(1.0),
+        }
     }
 
     /// Bytes used by the model weights.
     pub fn weight_bytes(&self) -> f64 {
-        self.params * self.weight_bits / 8.0
+        match self.weights {
+            WeightStore::AnalyticBits(bits) => self.params * bits / 8.0,
+            WeightStore::MeasuredBytes(bytes) => bytes,
+        }
     }
 
     /// Bytes used by the KV cache for `concurrent_tokens` total cached
@@ -92,6 +144,8 @@ pub struct MemoryLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{build_fitted_model, BuilderSpec};
+    use crate::corpus::Corpus;
 
     #[test]
     fn fp16_weights_are_26_gb() {
@@ -137,6 +191,30 @@ mod tests {
     fn oversized_model_reports_zero_kv_capacity() {
         let mut m = ServingMemory::llama2_13b_a100();
         m.params = 100.0e9; // does not fit in 40 GB
+        m.weights = WeightStore::AnalyticBits(16.0);
         assert_eq!(m.max_concurrent_tokens(0.05), 0.0);
+    }
+
+    #[test]
+    fn measured_bytes_come_from_the_real_model() {
+        let corpus = Corpus::wiki_like(64, 40);
+        let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 2_000, 6);
+        let m = ServingMemory::from_model(&model, 1.0 * GB);
+        assert_eq!(m.weight_bytes(), model.weight_footprint_bytes() as f64);
+        // Dense fp32 model: 32 effective bits per weight.
+        assert!((m.weight_bits() - 32.0).abs() < 1e-9);
+        assert_eq!(m.params, model.param_count() as f64);
+    }
+
+    #[test]
+    fn measured_packed_model_frees_more_kv_than_dense() {
+        let corpus = Corpus::wiki_like(64, 41);
+        let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 2_000, 6);
+        let (packed, _) = crate::model::pack_all_sites(&model);
+        let device = 2.0 * model.weight_footprint_bytes() as f64;
+        let dense_plan = ServingMemory::from_model(&model, device);
+        let packed_plan = ServingMemory::from_model(&packed, device);
+        assert!(packed_plan.weight_bytes() < dense_plan.weight_bytes());
+        assert!(packed_plan.max_concurrent_tokens(0.05) > dense_plan.max_concurrent_tokens(0.05));
     }
 }

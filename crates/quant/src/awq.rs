@@ -125,9 +125,8 @@ mod tests {
         let cols = 64;
         let hot = 13;
         let w = Matrix::from_fn(16, cols, |_, _| rng.laplace(0.0, 0.02));
-        let x = Matrix::from_fn(256, cols, |_, c| {
-            rng.normal(0.0, if c == hot { 4.0 } else { 0.4 })
-        });
+        let x =
+            Matrix::from_fn(256, cols, |_, c| rng.normal(0.0, if c == hot { 4.0 } else { 0.4 }));
         (w, x, hot)
     }
 

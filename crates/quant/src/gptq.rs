@@ -136,10 +136,7 @@ mod tests {
         let y = x.matmul_transpose(&w);
         let err_g = x.matmul_transpose(&g.dequantized).sub(&y).frobenius_norm();
         let err_r = x.matmul_transpose(&r.dequantized).sub(&y).frobenius_norm();
-        assert!(
-            err_g < err_r,
-            "GPTQ output error {err_g} should beat RTN {err_r}"
-        );
+        assert!(err_g < err_r, "GPTQ output error {err_g} should beat RTN {err_r}");
     }
 
     #[test]
@@ -150,10 +147,7 @@ mod tests {
         for r in 0..4 {
             let grid = AsymmetricGrid::from_slice(w.row(r), 2);
             for &v in out.dequantized.row(r) {
-                assert!(
-                    (grid.roundtrip(v) - v).abs() < 1e-5,
-                    "value {v} is not a grid point"
-                );
+                assert!((grid.roundtrip(v) - v).abs() < 1e-5, "value {v} is not a grid point");
             }
         }
     }

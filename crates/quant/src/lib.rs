@@ -98,12 +98,7 @@ mod tests {
         ];
         for m in methods {
             let out = m.quantize(&w, &calib);
-            assert_eq!(
-                (out.dequantized.rows(), out.dequantized.cols()),
-                (12, 24),
-                "{}",
-                m.name()
-            );
+            assert_eq!((out.dequantized.rows(), out.dequantized.cols()), (12, 24), "{}", m.name());
             assert!(
                 out.dequantized.as_slice().iter().all(|v| v.is_finite()),
                 "{} produced non-finite values",

@@ -41,7 +41,13 @@ impl QuantMetrics {
             max_abs = max_abs.max(d.abs());
         }
         let mse = err_sq / n;
-        let nmse = if sig_sq > 0.0 { err_sq / sig_sq } else if err_sq > 0.0 { f64::INFINITY } else { 0.0 };
+        let nmse = if sig_sq > 0.0 {
+            err_sq / sig_sq
+        } else if err_sq > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
         let sqnr_db = if err_sq == 0.0 {
             f64::INFINITY
         } else if sig_sq == 0.0 {

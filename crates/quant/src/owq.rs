@@ -89,10 +89,8 @@ impl WeightQuantizer for Owq {
                 let g_end = (g_start + self.group).min(cols);
                 // Fit the grid on the normal values only: fp16 columns no
                 // longer poison the group range — OWQ's key benefit.
-                let normals: Vec<f32> = (g_start..g_end)
-                    .filter(|&c| !is_outlier[c])
-                    .map(|c| row[c])
-                    .collect();
+                let normals: Vec<f32> =
+                    (g_start..g_end).filter(|&c| !is_outlier[c]).map(|c| row[c]).collect();
                 let grid = AsymmetricGrid::from_slice(&normals, self.bits);
                 for c in g_start..g_end {
                     dq[(r, c)] = if is_outlier[c] { row[c] } else { grid.roundtrip(row[c]) };
@@ -101,9 +99,7 @@ impl WeightQuantizer for Owq {
         }
 
         let frac = n_outlier_cols as f64 / cols.max(1) as f64;
-        let avg_bits = (1.0 - frac) * self.bits as f64
-            + frac * 16.0
-            + 32.0 / self.group as f64; // fp16 scale + zero per group
+        let avg_bits = (1.0 - frac) * self.bits as f64 + frac * 16.0 + 32.0 / self.group as f64; // fp16 scale + zero per group
         QuantResult { dequantized: dq, avg_bits }
     }
 }
@@ -127,9 +123,8 @@ mod tests {
                 base
             }
         });
-        let x = Matrix::from_fn(128, cols, |_, c| {
-            rng.normal(0.0, if c == hot { 2.0 } else { 0.5 })
-        });
+        let x =
+            Matrix::from_fn(128, cols, |_, c| rng.normal(0.0, if c == hot { 2.0 } else { 0.5 }));
         (w, Calibration::from_activations(x), hot)
     }
 
@@ -163,12 +158,8 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let w = Matrix::from_fn(4, 64, |_, _| rng.normal(0.0, 0.3));
         let out = Owq::new(2, 64, 0.0).quantize(&w, &Calibration::none());
-        let exact = w
-            .as_slice()
-            .iter()
-            .zip(out.dequantized.as_slice())
-            .filter(|(a, b)| a == b)
-            .count();
+        let exact =
+            w.as_slice().iter().zip(out.dequantized.as_slice()).filter(|(a, b)| a == b).count();
         // With a 2-bit grid, exact hits are vanishingly rare.
         assert!(exact < 4, "{exact} exact values suggests columns were skipped");
     }

@@ -61,11 +61,7 @@ impl WeightQuantizer for PbLlm {
         let mut mags: Vec<f32> = w.as_slice().iter().map(|x| x.abs()).collect();
         mags.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
         let keep = ((w.len() as f64) * self.salient_frac).round() as usize;
-        let threshold = if keep == 0 {
-            f32::INFINITY
-        } else {
-            mags[keep.min(mags.len()) - 1]
-        };
+        let threshold = if keep == 0 { f32::INFINITY } else { mags[keep.min(mags.len()) - 1] };
 
         let mut dq = Matrix::zeros(rows, cols);
         for r in 0..rows {
@@ -171,12 +167,8 @@ mod tests {
         let out = PbLlm::new(0.0).quantize(&w, &Calibration::none());
         // All reconstructed magnitudes equal the group alpha: none match the
         // original exactly (probability ~0 for continuous draws).
-        let exact = w
-            .as_slice()
-            .iter()
-            .zip(out.dequantized.as_slice())
-            .filter(|(a, b)| a == b)
-            .count();
+        let exact =
+            w.as_slice().iter().zip(out.dequantized.as_slice()).filter(|(a, b)| a == b).count();
         assert_eq!(exact, 0);
     }
 }

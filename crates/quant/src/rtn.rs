@@ -59,10 +59,7 @@ mod tests {
     #[test]
     fn rows_are_quantized_independently() {
         // Row 0 has an outlier, row 1 does not. Row 1 must stay accurate.
-        let w = Matrix::from_rows(&[
-            vec![0.01, 0.02, -0.01, 8.0],
-            vec![0.01, 0.02, -0.01, 0.02],
-        ]);
+        let w = Matrix::from_rows(&[vec![0.01, 0.02, -0.01, 8.0], vec![0.01, 0.02, -0.01, 0.02]]);
         let out = Rtn::new(4).quantize(&w, &Calibration::none());
         let row1_err: f32 = out
             .dequantized

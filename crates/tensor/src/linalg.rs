@@ -188,8 +188,7 @@ pub fn orthonormalize_rows(m: &Matrix) -> Matrix {
                 out[(r, c)] -= v as f32;
             }
         }
-        let norm: f64 =
-            (0..cols).map(|c| (out[(r, c)] as f64).powi(2)).sum::<f64>().sqrt();
+        let norm: f64 = (0..cols).map(|c| (out[(r, c)] as f64).powi(2)).sum::<f64>().sqrt();
         if norm > 1e-9 {
             let inv = (1.0 / norm) as f32;
             for c in 0..cols {
@@ -262,10 +261,7 @@ mod tests {
     #[test]
     fn indefinite_matrix_is_rejected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(
-            cholesky(&a).unwrap_err(),
-            LinalgError::NotPositiveDefinite { .. }
-        ));
+        assert!(matches!(cholesky(&a).unwrap_err(), LinalgError::NotPositiveDefinite { .. }));
     }
 
     #[test]

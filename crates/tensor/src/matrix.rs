@@ -250,11 +250,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Multiplies every element by `s` in place.

@@ -11,15 +11,18 @@ use fineq::lm::builder::{build_fitted_model, BuilderSpec};
 use fineq::lm::corpus::Corpus;
 use fineq::lm::eval::cross_entropy;
 use fineq::lm::KvCache;
-use fineq::pipeline::{quantize_model, PipelineConfig};
+use fineq::pipeline::{quantize_model_packed, PipelineConfig};
 use fineq::tensor::Rng;
 
 fn main() {
     let corpus = Corpus::wiki_like(64, 5);
     eprintln!("fitting a small model ...");
     let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 6_000, 2);
+    // The quantized model stores the real 2.33-bit packed blocks and
+    // decodes them on the fly inside forward_step — the serving path.
     let (qmodel, report) =
-        quantize_model(&model, &FineQuantizer::paper(), None, &PipelineConfig::default());
+        quantize_model_packed(&model, &FineQuantizer::paper(), &PipelineConfig::default());
+    assert!(qmodel.is_fully_packed());
 
     let prompt = corpus.generate(8, 42).tokens().to_vec();
     println!("prompt tokens        : {prompt:?}");
@@ -29,6 +32,12 @@ fn main() {
         println!("{name:<6} continuation : {continuation:?}");
     }
     println!("FineQ storage        : {:.2} bits/weight", report.avg_bits);
+    println!(
+        "weight bytes         : fp32 body {} -> packed body {} ({:.1}x smaller)",
+        model.body_weight_bytes(),
+        qmodel.body_weight_bytes(),
+        model.body_weight_bytes() as f64 / qmodel.body_weight_bytes() as f64
+    );
 
     // KV-cache accounting during a decode.
     let mut cache = KvCache::new(model.n_layers(), model.config().d_model);

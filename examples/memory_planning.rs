@@ -5,7 +5,11 @@
 //! cargo run --release --example memory_planning
 //! ```
 
+use fineq::core::FineQuantizer;
+use fineq::lm::builder::{build_fitted_model, BuilderSpec};
+use fineq::lm::corpus::Corpus;
 use fineq::lm::memory::ServingMemory;
+use fineq::pipeline::{quantize_model_packed, PipelineConfig};
 
 fn main() {
     let base = ServingMemory::llama2_13b_a100();
@@ -38,4 +42,26 @@ fn main() {
         base.clone().with_weight_bits(7.0 / 3.0).max_concurrent_tokens(0.05)
             / base.max_concurrent_tokens(0.05)
     );
+
+    // The rows above are analytic what-ifs at paper scale. For models this
+    // repository actually holds, the plan is *measured* from the real
+    // buffers: pack a model and count its bytes.
+    eprintln!("\nfitting a small model to measure a real packed footprint ...");
+    let corpus = Corpus::wiki_like(64, 3);
+    let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 4_000, 1);
+    let (packed, _) =
+        quantize_model_packed(&model, &FineQuantizer::paper(), &PipelineConfig::default());
+    let device = 4.0 * model.weight_footprint_bytes() as f64;
+    for (name, m) in [
+        ("dense fp32 (measured)", ServingMemory::from_model(&model, device)),
+        ("FineQ packed (measured)", ServingMemory::from_model(&packed, device)),
+    ] {
+        println!(
+            "{:<24} {:>10.0} weight bytes ({:>5.2} bits/weight) -> {:>8.0} max KV tokens",
+            name,
+            m.weight_bytes(),
+            m.weight_bits(),
+            m.max_concurrent_tokens(0.05)
+        );
+    }
 }

@@ -7,8 +7,9 @@
 //! Embeddings and the readout head stay in full precision, the standard
 //! protocol of the GPTQ/OWQ line of work the paper compares against.
 
-use fineq_lm::{Transformer, WeightSite};
-use fineq_quant::{Calibration, QuantMetrics, WeightQuantizer};
+use fineq_core::FineQuantizer;
+use fineq_lm::{LinearWeight, Transformer, WeightSite};
+use fineq_quant::{Calibration, QuantMetrics, QuantResult, WeightQuantizer};
 use fineq_tensor::Matrix;
 
 /// Pipeline options.
@@ -28,20 +29,40 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Calibration activations of one block. Q, K and V all read the same
+/// post-RMSNorm hidden states, so one shared set covers the three of them —
+/// there is no per-site copy.
+#[derive(Debug, Clone)]
+struct LayerCalibration {
+    /// Input to `wq`/`wk`/`wv`.
+    attn_input: Calibration,
+    /// Input to `wo`.
+    attn_ctx: Calibration,
+    /// Input to `w1`.
+    ffn_input: Calibration,
+    /// Input to `w2`.
+    ffn_mid: Calibration,
+}
+
 /// Calibration activations for every linear site in the model.
 #[derive(Debug, Clone)]
 pub struct ModelCalibration {
-    /// `layers[l]` holds the calibration set per [`WeightSite`].
-    sites: Vec<[Calibration; 6]>,
+    layers: Vec<LayerCalibration>,
     /// Inputs to the readout head.
     head: Calibration,
 }
 
 impl ModelCalibration {
-    /// The calibration set for `(layer, site)`.
+    /// The calibration set for `(layer, site)`. Q, K and V return the same
+    /// shared attention-input set.
     pub fn site(&self, layer: usize, site: WeightSite) -> &Calibration {
-        let idx = WeightSite::ALL.iter().position(|&s| s == site).expect("known site");
-        &self.sites[layer][idx]
+        let layer = &self.layers[layer];
+        match site {
+            WeightSite::AttnQ | WeightSite::AttnK | WeightSite::AttnV => &layer.attn_input,
+            WeightSite::AttnO => &layer.attn_ctx,
+            WeightSite::FfnUp => &layer.ffn_input,
+            WeightSite::FfnDown => &layer.ffn_mid,
+        }
     }
 
     /// The calibration set for the readout head.
@@ -76,7 +97,9 @@ pub fn collect_calibration(
 ) -> ModelCalibration {
     assert!(tokens.len() >= 2, "calibration stream too short");
     let n_layers = model.n_layers();
-    let mut per_site: Vec<[Vec<Matrix>; 6]> = (0..n_layers).map(|_| Default::default()).collect();
+    // Four collection slots per layer: attention input (shared by Q/K/V),
+    // attention context, FFN input, FFN mid.
+    let mut per_layer: Vec<[Vec<Matrix>; 4]> = (0..n_layers).map(|_| Default::default()).collect();
     let mut head_parts: Vec<Matrix> = Vec::new();
     for chunk in tokens.chunks(window.max(2)) {
         if chunk.len() < 2 {
@@ -84,38 +107,23 @@ pub fn collect_calibration(
         }
         let (_, trace) = model.forward_with_trace(chunk);
         for (l, lt) in trace.layers.into_iter().enumerate() {
-            per_site[l][0].push(lt.attn_input.clone()); // Q
-            per_site[l][1].push(lt.attn_input); // K (same input)
-            per_site[l][2].push(Matrix::zeros(0, 0)); // V shares Q's input; filled below
-            per_site[l][3].push(lt.attn_ctx);
-            per_site[l][4].push(lt.ffn_input);
-            per_site[l][5].push(lt.ffn_mid);
+            per_layer[l][0].push(lt.attn_input);
+            per_layer[l][1].push(lt.attn_ctx);
+            per_layer[l][2].push(lt.ffn_input);
+            per_layer[l][3].push(lt.ffn_mid);
         }
         head_parts.push(trace.final_hidden);
     }
-    // V shares the attention input; reuse Q's collected parts.
-    let sites = per_site
+    let layers = per_layer
         .into_iter()
-        .map(|mut site_parts| {
-            let q = vstack(&site_parts[0]);
-            let k = q.clone();
-            let v = q.clone();
-            let o = vstack(&site_parts[3]);
-            let up = vstack(&site_parts[4]);
-            let down = vstack(&site_parts[5]);
-            site_parts = Default::default();
-            let _ = site_parts;
-            [
-                Calibration::from_activations(q),
-                Calibration::from_activations(k),
-                Calibration::from_activations(v),
-                Calibration::from_activations(o),
-                Calibration::from_activations(up),
-                Calibration::from_activations(down),
-            ]
+        .map(|parts| LayerCalibration {
+            attn_input: Calibration::from_activations(vstack(&parts[0])),
+            attn_ctx: Calibration::from_activations(vstack(&parts[1])),
+            ffn_input: Calibration::from_activations(vstack(&parts[2])),
+            ffn_mid: Calibration::from_activations(vstack(&parts[3])),
         })
         .collect();
-    ModelCalibration { sites, head: Calibration::from_activations(vstack(&head_parts)) }
+    ModelCalibration { layers, head: Calibration::from_activations(vstack(&head_parts)) }
 }
 
 /// Per-site outcome of a whole-model quantization.
@@ -140,6 +148,43 @@ pub struct QuantizeReport {
     pub avg_bits: f64,
 }
 
+/// Shared scaffolding of the whole-model quantization entry points: walks
+/// every block site of a dense source model, lets `quantize_site` produce
+/// the replacement weight plus its accounting, optionally quantizes the
+/// head densely, and assembles the [`QuantizeReport`].
+fn quantize_model_with(
+    model: &Transformer,
+    config: &PipelineConfig,
+    mut quantize_site: impl FnMut(usize, WeightSite, &Matrix) -> (f64, QuantMetrics, LinearWeight),
+    quantize_head: impl FnOnce(&Matrix) -> QuantResult,
+) -> (Transformer, QuantizeReport) {
+    let mut out = model.clone();
+    let mut sites = Vec::new();
+    let mut bit_weighted = 0.0f64;
+    let mut params = 0usize;
+    for layer in 0..model.n_layers() {
+        for site in WeightSite::ALL {
+            let w = model
+                .weight(layer, site)
+                .as_dense()
+                .expect("whole-model quantization expects a dense (fp32) source model");
+            let (avg_bits, metrics, replacement) = quantize_site(layer, site, w);
+            bit_weighted += avg_bits * w.len() as f64;
+            params += w.len();
+            sites.push(SiteReport { layer, site, avg_bits, metrics });
+            *out.weight_mut(layer, site) = replacement;
+        }
+    }
+    if config.quantize_head {
+        let result = quantize_head(model.head());
+        bit_weighted += result.avg_bits * model.head().len() as f64;
+        params += model.head().len();
+        *out.head_mut() = result.dequantized;
+    }
+    let avg_bits = if params > 0 { bit_weighted / params as f64 } else { 0.0 };
+    (out, QuantizeReport { sites, avg_bits })
+}
+
 /// Quantizes every linear layer of `model` with `quantizer`, returning the
 /// quantized model and a report.
 ///
@@ -151,32 +196,51 @@ pub fn quantize_model(
     calibration: Option<&ModelCalibration>,
     config: &PipelineConfig,
 ) -> (Transformer, QuantizeReport) {
-    let mut out = model.clone();
-    let mut sites = Vec::new();
-    let mut bit_weighted = 0.0f64;
-    let mut params = 0usize;
     let none = Calibration::none();
-    for layer in 0..model.n_layers() {
-        for site in WeightSite::ALL {
-            let w = model.weight(layer, site);
+    quantize_model_with(
+        model,
+        config,
+        |layer, site, w| {
             let calib = calibration.map(|c| c.site(layer, site)).unwrap_or(&none);
             let result = quantizer.quantize(w, calib);
             let metrics = QuantMetrics::between(w, &result.dequantized);
-            bit_weighted += result.avg_bits * w.len() as f64;
-            params += w.len();
-            sites.push(SiteReport { layer, site, avg_bits: result.avg_bits, metrics });
-            *out.weight_mut(layer, site) = result.dequantized;
-        }
-    }
-    if config.quantize_head {
-        let calib = calibration.map(|c| c.head()).unwrap_or(&none);
-        let result = quantizer.quantize(model.head(), calib);
-        bit_weighted += result.avg_bits * model.head().len() as f64;
-        params += model.head().len();
-        *out.head_mut() = result.dequantized;
-    }
-    let avg_bits = if params > 0 { bit_weighted / params as f64 } else { 0.0 };
-    (out, QuantizeReport { sites, avg_bits })
+            (result.avg_bits, metrics, result.dequantized.into())
+        },
+        |head| quantizer.quantize(head, calibration.map(|c| c.head()).unwrap_or(&none)),
+    )
+}
+
+/// Quantizes every linear layer of `model` with FineQ and stores the
+/// **packed** 2.33-bit blocks in the returned model — the serving path.
+///
+/// Unlike [`quantize_model`], which writes dequantized fp32 copies back,
+/// the returned transformer holds the actual 7-bytes-per-24-weights
+/// [`fineq_core::PackedMatrix`] at every block site and executes forward
+/// passes through the fused block-streaming kernels. The readout head and
+/// embeddings stay fp32 (the paper's protocol); `config.quantize_head`
+/// quantize-dequantizes the head densely as before.
+///
+/// # Panics
+///
+/// Panics if the quantizer configuration is not packable (see
+/// [`fineq_core::FineQConfig::is_packable`]) or the source model is not
+/// dense.
+pub fn quantize_model_packed(
+    model: &Transformer,
+    quantizer: &FineQuantizer,
+    config: &PipelineConfig,
+) -> (Transformer, QuantizeReport) {
+    quantize_model_with(
+        model,
+        config,
+        |_, _, w| {
+            let packed = quantizer.quantize_packed(w);
+            let avg_bits = packed.avg_bits_total();
+            let metrics = QuantMetrics::between(w, &packed.dequantize());
+            (avg_bits, metrics, LinearWeight::Packed(packed))
+        },
+        |head| quantizer.quantize(head, &Calibration::none()),
+    )
 }
 
 #[cfg(test)]
@@ -242,6 +306,41 @@ mod tests {
         // -> 2 blocks) and amortize fp16 scales badly; realistic channel
         // widths land at ~2.34 bits (asserted in the fineq-core tests).
         assert!(report.avg_bits < 5.0, "{}", report.avg_bits);
+    }
+
+    #[test]
+    fn packed_pipeline_stores_packed_weights() {
+        let (model, _) = tiny_model();
+        let (pm, report) =
+            quantize_model_packed(&model, &FineQuantizer::paper(), &PipelineConfig::default());
+        assert!(pm.is_fully_packed(), "every block site must hold PackedMatrix");
+        assert_eq!(report.sites.len(), model.n_layers() * 6);
+        // Head and embeddings stay dense fp32.
+        assert_eq!(pm.head(), model.head());
+        assert_eq!(pm.embedding(), model.embedding());
+        // The packed model holds a fraction of the dense body bytes.
+        assert!(pm.body_weight_bytes() * 3 < model.body_weight_bytes());
+    }
+
+    #[test]
+    fn packed_pipeline_matches_dequantized_reference_model() {
+        let (model, corpus) = tiny_model();
+        let cfg = PipelineConfig::default();
+        let q = FineQuantizer::paper();
+        let (pm, preport) = quantize_model_packed(&model, &q, &cfg);
+        let (dm, dreport) = quantize_model(&model, &q, None, &cfg);
+        // Identical bit accounting: both route through the packed format.
+        assert!((preport.avg_bits - dreport.avg_bits).abs() < 1e-9);
+        // Identical logits up to fused-kernel accumulation order.
+        let test = corpus.generate(512, 13);
+        for chunk in test.tokens().chunks(128) {
+            let lp = pm.forward(chunk);
+            let ld = dm.forward(chunk);
+            assert!(lp.sub(&ld).abs_max() < 1e-4, "{}", lp.sub(&ld).abs_max());
+        }
+        let pp = perplexity(&pm, test.tokens(), 128);
+        let dp = perplexity(&dm, test.tokens(), 128);
+        assert!((pp - dp).abs() < 1e-3 * dp, "packed ppl {pp} vs reference {dp}");
     }
 
     #[test]

@@ -60,12 +60,8 @@ fn fig7_temporal_coding_walkthrough() {
 
     // Place the paper's M rows on the lanes carrying weights 1, 1, 2, 2;
     // remaining lanes read zero activations.
-    let m = [
-        [8.0f32, 4.0, 2.0, 3.0],
-        [7.0, 9.0, 6.0, 6.0],
-        [9.0, 5.0, 8.0, 8.0],
-        [1.0, 3.0, 1.0, 6.0],
-    ];
+    let m =
+        [[8.0f32, 4.0, 2.0, 3.0], [7.0, 9.0, 6.0, 6.0], [9.0, 5.0, 8.0, 8.0], [1.0, 3.0, 1.0, 6.0]];
     let lane_of = [Some(0usize), None, Some(1), Some(2), None, Some(3), None, None, None];
     let x = Matrix::from_fn(9, 4, |r, c| lane_of[r].map(|i| m[i][c]).unwrap_or(0.0));
     let (y, stats) = TemporalArray::paper().matmul(&packed, &x);
