@@ -1,0 +1,196 @@
+//! Batched packed decode: tokens/sec at batch 1/4/16 versus N independent
+//! `forward_step` loops, plus the measured weight-footprint gate.
+//!
+//! The point of the batched serving engine: `forward_step_batch` decodes
+//! each layer's packed weight stream **once per step for the whole batch**,
+//! while N independent `forward_step` loops decode it once per sequence.
+//! Weight decode dominates low-bit serving cost, so throughput should grow
+//! steeply with batch size — this bench measures it and CI gates on it.
+//!
+//! Written artifacts: `BENCH_packed.json` (tokens/sec per batch size,
+//! speedups, measured byte ratios) for the `bench-gate` CI job to upload.
+//! Gate assertions (process exits non-zero on failure):
+//!
+//! * packed body bytes ≤ 0.16× dense fp32 body bytes;
+//! * batch-16 packed decode tokens/sec ≥ 4× the batch-1 loop.
+
+use fineq::core::FineQuantizer;
+use fineq::lm::builder::{llm_like_matrix, BuilderSpec};
+use fineq::lm::{BatchKvCache, KvCache, ModelConfig, Transformer, WeightSite};
+use fineq::tensor::{Matrix, Rng};
+use fineq_bench::report::{JsonValue, Report};
+use fineq_bench::timing::section;
+use std::time::Instant;
+
+/// Serving-shaped bench model: wide enough that the six linear sites
+/// dominate attention/head cost, small enough for CI.
+fn bench_models() -> (Transformer, Transformer) {
+    let cfg = ModelConfig::new(64, 256, 2, 4, 512);
+    let spec = BuilderSpec::tiny();
+    let mut rng = Rng::seed_from(41);
+    let mut dense = Transformer::zeros(cfg.clone());
+    *dense.embedding_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 0.3));
+    *dense.head_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 0.3));
+    for l in 0..dense.n_layers() {
+        for site in WeightSite::ALL {
+            let (r, c) = {
+                let w = dense.weight(l, site);
+                (w.rows(), w.cols())
+            };
+            *dense.weight_mut(l, site) = llm_like_matrix(r, c, &spec, &mut rng).into();
+        }
+    }
+    let q = FineQuantizer::paper();
+    let mut packed = dense.clone();
+    for l in 0..dense.n_layers() {
+        for site in WeightSite::ALL {
+            let p = q.quantize_packed(dense.weight(l, site).dense());
+            *packed.weight_mut(l, site) = p.into();
+        }
+    }
+    (dense, packed)
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Median tokens/sec over three runs of `run` (which returns tokens fed).
+fn tokens_per_sec(mut run: impl FnMut() -> u64) -> f64 {
+    let mut rates: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let tokens = run();
+            tokens as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    rates[1]
+}
+
+const PROMPT_LEN: usize = 4;
+const DECODE_STEPS: usize = 28;
+
+fn prompts(n: usize, vocab: usize) -> Vec<Vec<usize>> {
+    (0..n).map(|s| (0..PROMPT_LEN).map(|i| (s * 7 + i * 13 + 3) % vocab).collect()).collect()
+}
+
+/// N independent single-sequence decode loops (`forward_step`), greedy.
+fn solo_loop_tps(model: &Transformer, n_seqs: usize) -> f64 {
+    let cfg = model.config().clone();
+    let prompts = prompts(n_seqs, cfg.vocab);
+    tokens_per_sec(|| {
+        let mut tokens = 0u64;
+        for prompt in &prompts {
+            let mut cache = KvCache::new(cfg.n_layers, cfg.d_model);
+            let mut logits = Vec::new();
+            for &t in prompt {
+                logits = model.forward_step(t, &mut cache);
+                tokens += 1;
+            }
+            for _ in 0..DECODE_STEPS {
+                logits = model.forward_step(argmax(&logits), &mut cache);
+                tokens += 1;
+            }
+        }
+        tokens
+    })
+}
+
+/// One batched decode loop (`forward_step_batch`) over `b` sequences.
+fn batched_tps(model: &Transformer, b: usize) -> f64 {
+    let cfg = model.config().clone();
+    let prompts = prompts(b, cfg.vocab);
+    let slots: Vec<usize> = (0..b).collect();
+    tokens_per_sec(|| {
+        let mut cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, b);
+        let mut next: Vec<usize> = prompts.iter().map(|p| p[0]).collect();
+        let mut tokens = 0u64;
+        for step in 0..PROMPT_LEN + DECODE_STEPS {
+            let logits = model.forward_step_batch(&next, &slots, &mut cache);
+            tokens += b as u64;
+            for (s, nx) in next.iter_mut().enumerate() {
+                *nx = if step + 1 < PROMPT_LEN {
+                    prompts[s][step + 1]
+                } else {
+                    argmax(logits.row(s))
+                };
+            }
+        }
+        tokens
+    })
+}
+
+fn main() {
+    let (dense, packed) = bench_models();
+
+    section("measured weight footprint (bench model, six linear sites)");
+    let dense_bytes = dense.body_weight_bytes();
+    let packed_bytes = packed.body_weight_bytes();
+    let bytes_ratio = packed_bytes as f64 / dense_bytes as f64;
+    println!("   dense body bytes : {dense_bytes}");
+    println!("   packed body bytes: {packed_bytes}   ({bytes_ratio:.4}x)");
+
+    section("packed decode throughput (tokens/sec)");
+    let solo16 = solo_loop_tps(&packed, 16);
+    println!("   16 independent forward_step loops       {solo16:>10.0} tok/s  (batch-1 serving)");
+    let mut batch_entries: Vec<(String, JsonValue)> = Vec::new();
+    let mut tps_by_batch = Vec::new();
+    for b in [1usize, 4, 16] {
+        let tps = batched_tps(&packed, b);
+        println!(
+            "   forward_step_batch, batch {b:<2}             {tps:>10.0} tok/s  ({:.2}x batch-1 loop)",
+            tps / solo16
+        );
+        batch_entries.push((b.to_string(), JsonValue::Num(tps)));
+        tps_by_batch.push((b, tps));
+    }
+    let batch16 = tps_by_batch.iter().find(|(b, _)| *b == 16).expect("batch 16 measured").1;
+
+    section("dense reference (same shapes, fp32 weights)");
+    let dense_solo16 = solo_loop_tps(&dense, 16);
+    let dense_batch16 = batched_tps(&dense, 16);
+    println!("   16 independent forward_step loops       {dense_solo16:>10.0} tok/s");
+    println!("   forward_step_batch, batch 16            {dense_batch16:>10.0} tok/s");
+
+    let speedup16 = batch16 / solo16;
+    let mut report = Report::new();
+    report
+        .push("bench", "packed_batch")
+        .push("prompt_len", PROMPT_LEN)
+        .push("decode_steps", DECODE_STEPS)
+        .push("dense_body_bytes", dense_bytes)
+        .push("packed_body_bytes", packed_bytes)
+        .push("packed_bytes_ratio", bytes_ratio)
+        .push("solo_loop_tokens_per_sec", solo16)
+        .push_obj("batched_tokens_per_sec", batch_entries)
+        .push("dense_solo_loop_tokens_per_sec", dense_solo16)
+        .push("dense_batch16_tokens_per_sec", dense_batch16)
+        .push("batch16_speedup_vs_batch1", speedup16)
+        .push("gate_bytes_ratio_max", 0.16)
+        .push("gate_batch16_speedup_min", 4.0);
+    // `cargo bench` runs with the package dir as cwd; anchor the artifact
+    // at the workspace root (or wherever BENCH_REPORT_PATH points).
+    let path = std::env::var("BENCH_REPORT_PATH")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_packed.json").into());
+    report.write_to(&path).expect("write BENCH_packed.json");
+    println!("\nwrote {path}");
+
+    // ---- CI gate assertions ----
+    assert!(
+        bytes_ratio <= 0.16,
+        "packed body bytes must be <=0.16x dense fp32, got {bytes_ratio:.4}"
+    );
+    assert!(
+        speedup16 >= 4.0,
+        "batch-16 packed decode must reach >=4x batch-1 tokens/sec, got {speedup16:.2}x \
+         ({batch16:.0} vs {solo16:.0} tok/s)"
+    );
+    println!("packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16)");
+}

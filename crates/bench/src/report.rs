@@ -1,0 +1,205 @@
+//! Machine-readable benchmark reports, dependency-free.
+//!
+//! The CI bench-regression gate consumes a small JSON file
+//! (`BENCH_packed.json`) written by the benches through this module. The
+//! container this workspace builds in has no crates.io access, so this is
+//! a minimal hand-rolled JSON emitter: flat or nested objects of numbers,
+//! strings and booleans — exactly what a metrics artifact needs, and
+//! nothing more.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value the report writer can emit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A finite number (emitted with enough precision to round-trip).
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered object of key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+    /// An array.
+    Arr(Vec<JsonValue>),
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_into(out: &mut String, v: &JsonValue, indent: usize) {
+    match v {
+        JsonValue::Num(n) => {
+            assert!(n.is_finite(), "JSON reports only hold finite numbers, got {n}");
+            // Integers render without a fraction; everything else with
+            // round-trip precision.
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        JsonValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        JsonValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        JsonValue::Obj(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                out.push_str(&"  ".repeat(indent + 1));
+                out.push('"');
+                escape_into(out, k);
+                out.push_str("\": ");
+                render_into(out, val, indent + 1);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_into(out, item, indent);
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// An ordered JSON object under construction — the root of a report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    entries: Vec<(String, JsonValue)>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or appends; keys are not deduplicated) one entry.
+    pub fn push(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        self.entries.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a nested object built from `(key, value)` pairs.
+    pub fn push_obj(
+        &mut self,
+        key: &str,
+        entries: impl IntoIterator<Item = (String, JsonValue)>,
+    ) -> &mut Self {
+        self.entries.push((key.to_string(), JsonValue::Obj(entries.into_iter().collect())));
+        self
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        render_into(&mut out, &JsonValue::Obj(self.entries.clone()), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_and_nested_values() {
+        let mut r = Report::new();
+        r.push("tokens_per_sec", 123.5).push("passed", true).push("name", "packed_batch").push_obj(
+            "batches",
+            [("1".to_string(), JsonValue::Num(10.0)), ("16".to_string(), JsonValue::Num(41.0))],
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"tokens_per_sec\": 123.5"));
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"name\": \"packed_batch\""));
+        assert!(json.contains("\"1\": 10"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut r = Report::new();
+        r.push("msg", "a\"b\\c\nd");
+        assert!(r.to_json().contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        let mut r = Report::new();
+        r.push("n", 42usize);
+        assert!(r.to_json().contains("\"n\": 42"));
+        assert!(!r.to_json().contains("42.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_numbers_are_rejected() {
+        let mut r = Report::new();
+        r.push("bad", f64::NAN);
+        let _ = r.to_json();
+    }
+}

@@ -223,6 +223,28 @@ impl PackedMatrix {
     ///
     /// Panics if `a.cols() != cols`.
     pub fn matmul_t(&self, a: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), self.rows());
+        self.matmul_t_into(a, &mut out);
+        out
+    }
+
+    /// In-place form of [`PackedMatrix::matmul_t`] (which delegates here):
+    /// `Y = A Wᵀ` written into a caller-provided `out` (`T x rows`).
+    ///
+    /// The activations are restaged column-major once per call, so every
+    /// decoded lane reads its `T` activation values from one contiguous
+    /// run — the weight stream is decoded **once** for the whole batch and
+    /// the per-lane inner loop vectorizes over the batch dimension. A row
+    /// of the result is bit-identical to [`PackedChannel::dot`] on the
+    /// matching activation row: the batched path accumulates each
+    /// sequence's lanes in the same order as single-sequence decoding
+    /// (asserted by tests), which is what lets a batch-of-1 serving step
+    /// reproduce `forward_step` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != cols` or `out` is not `a.rows() x rows`.
+    pub fn matmul_t_into(&self, a: &Matrix, out: &mut Matrix) {
         assert_eq!(
             a.cols(),
             self.cols(),
@@ -234,19 +256,32 @@ impl PackedMatrix {
         );
         let t_len = a.rows();
         let cols = self.cols();
-        let mut out = Matrix::zeros(t_len, self.rows());
         let rows = self.rows();
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (t_len, rows),
+            "matmul_t output must be {t_len}x{rows}"
+        );
+        // Column-major restaging: a_t[i] holds activation column i across
+        // the T batch rows, contiguous for the lane accumulate below.
+        let mut a_t = vec![0.0f32; cols * t_len];
+        let a_data = a.as_slice();
+        for (t, arow) in a_data.chunks_exact(cols).enumerate() {
+            for (i, &v) in arow.iter().enumerate() {
+                a_t[i * t_len + t] = v;
+            }
+        }
         let mut acc2 = vec![0.0f32; t_len];
         let mut acc3 = vec![0.0f32; t_len];
-        let a_data = a.as_slice();
         for (r, ch) in self.channels().iter().enumerate() {
             acc2.iter_mut().for_each(|v| *v = 0.0);
             acc3.iter_mut().for_each(|v| *v = 0.0);
             ch.for_each_lane(|i, q, width| {
                 let acc = if width == 2 { &mut acc2 } else { &mut acc3 };
                 let qf = q as f32;
-                for (t, av) in acc.iter_mut().enumerate() {
-                    *av += qf * a_data[t * cols + i];
+                let acol = &a_t[i * t_len..(i + 1) * t_len];
+                for (av, &xv) in acc.iter_mut().zip(acol) {
+                    *av += qf * xv;
                 }
             });
             let (s2, s3) = (ch.scale2(), ch.scale3());
@@ -255,7 +290,6 @@ impl PackedMatrix {
                 o_data[t * rows + r] = s2 * acc2[t] + s3 * acc3[t];
             }
         }
-        out
     }
 
     /// Decodes the whole matrix into a caller-provided dense matrix — the
@@ -381,6 +415,41 @@ mod tests {
         let fused = packed.matmul_t(&a);
         let reference = a.matmul_transpose(&packed.dequantize());
         assert!(fused.sub(&reference).abs_max() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_t_rows_are_bit_identical_to_per_row_dot() {
+        // The batched serving engine relies on this exactly: a row of the
+        // batched GEMM equals single-sequence decoding of that row,
+        // bit-for-bit, regardless of what else is in the batch.
+        let (_, packed) = random_packed(12, 67, 21);
+        let mut rng = Rng::seed_from(22);
+        let a = Matrix::from_fn(16, 67, |_, _| rng.normal(0.0, 1.0));
+        let batched = packed.matmul_t(&a);
+        for t in 0..a.rows() {
+            for (r, ch) in packed.channels().iter().enumerate() {
+                assert_eq!(batched[(t, r)], ch.dot(a.row(t)), "row {t} channel {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_into_reuses_output_buffer() {
+        let (_, packed) = random_packed(8, 31, 23);
+        let mut rng = Rng::seed_from(24);
+        let mut out = Matrix::from_fn(5, 8, |_, _| rng.normal(0.0, 9.0)); // stale contents
+        let a = Matrix::from_fn(5, 31, |_, _| rng.normal(0.0, 1.0));
+        packed.matmul_t_into(&a, &mut out);
+        assert_eq!(out, packed.matmul_t(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "output must be")]
+    fn matmul_t_into_rejects_wrong_output_shape() {
+        let (_, packed) = random_packed(4, 24, 25);
+        let a = Matrix::zeros(3, 24);
+        let mut out = Matrix::zeros(3, 5);
+        packed.matmul_t_into(&a, &mut out);
     }
 
     #[test]

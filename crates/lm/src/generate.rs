@@ -7,10 +7,20 @@
 //! a single-token [`forward_step`](Transformer::forward_step) whose
 //! logits match the full-sequence forward pass bit-closely, and a
 //! temperature sampler.
+//!
+//! Batched serving builds on the same pieces: a [`BatchKvCache`] holds one
+//! independent K/V history per sequence slot, and
+//! [`forward_step_batch`](Transformer::forward_step_batch) stacks the
+//! current token of every active sequence into one activation matrix so
+//! each packed weight stream is decoded **once per layer per step** instead
+//! of once per sequence. Each sequence's arithmetic is row-independent and
+//! ordered exactly as in [`forward_step`](Transformer::forward_step), so a
+//! slot's logits are bit-identical to single-sequence decoding no matter
+//! which other sequences share the batch.
 
-use crate::config::Activation;
-use crate::model::Transformer;
-use fineq_tensor::{activation, softmax_in_place, Rng};
+use crate::config::{Activation, ModelConfig};
+use crate::model::{rmsnorm_rows, Transformer, WeightSite};
+use fineq_tensor::{activation, softmax_in_place, Matrix, Rng};
 
 /// Per-layer key/value history for incremental decoding.
 ///
@@ -41,7 +51,11 @@ impl KvCache {
         self.len == 0
     }
 
-    /// Bytes the cache would occupy at fp16 storage (the Fig. 2b unit).
+    /// Bytes the cache would occupy at fp16 storage (the Fig. 2b unit):
+    /// K and V (`2 *`) per layer per position, 2 bytes per element —
+    /// exactly [`crate::memory::ServingMemory::kv_cache_bytes`] evaluated
+    /// at `len` concurrent tokens (cross-checked by a regression test in
+    /// `memory`).
     pub fn fp16_bytes(&self) -> usize {
         2 * self.layers.len() * self.d_model * self.len * 2
     }
@@ -50,6 +64,127 @@ impl KvCache {
         let (ks, vs) = &mut self.layers[layer];
         ks.extend_from_slice(k);
         vs.extend_from_slice(v);
+    }
+}
+
+/// Per-layer K/V histories for `N` independent sequences decoded together.
+///
+/// Each slot is a full [`KvCache`] with its own length, so sequences of
+/// different ages (mid-prefill, deep into decode, freshly backfilled) share
+/// one batch. Memory is the **sum** of the per-slot histories:
+/// `2 * n_layers * d_model * total_tokens()` fp16 elements — the same
+/// accounting [`crate::memory::ServingMemory::kv_cache_bytes`] uses for
+/// `concurrent_tokens` (asserted by tests in `memory`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchKvCache {
+    slots: Vec<KvCache>,
+    n_layers: usize,
+    d_model: usize,
+}
+
+impl BatchKvCache {
+    /// An empty cache with `n_slots` sequence slots for a model of the
+    /// given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slots` is zero.
+    pub fn new(n_layers: usize, d_model: usize, n_slots: usize) -> Self {
+        assert!(n_slots > 0, "a batch cache needs at least one slot");
+        Self {
+            slots: (0..n_slots).map(|_| KvCache::new(n_layers, d_model)).collect(),
+            n_layers,
+            d_model,
+        }
+    }
+
+    /// Number of sequence slots.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Model layer count this cache was shaped for.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Model width this cache was shaped for.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// The single-sequence cache behind one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= n_slots()`.
+    pub fn slot(&self, slot: usize) -> &KvCache {
+        &self.slots[slot]
+    }
+
+    /// Cached positions of one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= n_slots()`.
+    pub fn slot_len(&self, slot: usize) -> usize {
+        self.slots[slot].len()
+    }
+
+    /// Total cached positions across all slots — the `concurrent_tokens`
+    /// of the serving-memory model.
+    pub fn total_tokens(&self) -> usize {
+        self.slots.iter().map(|s| s.len()).sum()
+    }
+
+    /// Bytes the whole batch cache would occupy at fp16 storage.
+    pub fn fp16_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.fp16_bytes()).sum()
+    }
+
+    /// Clears one slot so a new sequence can be backfilled into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= n_slots()`.
+    pub fn reset_slot(&mut self, slot: usize) {
+        self.slots[slot] = KvCache::new(self.n_layers, self.d_model);
+    }
+}
+
+/// One new query attending over a sequence's cached keys/values (the new
+/// position's K/V already appended): multi-head scores with ALiBi bias,
+/// softmax, weighted V accumulation into `ctx`.
+///
+/// This is the single attention inner loop shared by
+/// [`Transformer::forward_step`] and
+/// [`Transformer::forward_step_batch`] — sharing it is what guarantees the
+/// two paths are arithmetically identical per sequence.
+fn attend_one(cfg: &ModelConfig, q: &[f32], ks: &[f32], vs: &[f32], t: usize, ctx: &mut [f32]) {
+    let d = cfg.d_model;
+    let dh = cfg.d_head();
+    let inv_sqrt = 1.0 / (dh as f32).sqrt();
+    let mut scores = vec![0.0f32; t + 1];
+    for (head, &slope) in cfg.alibi_slopes.iter().enumerate() {
+        let off = head * dh;
+        for (j, s) in scores.iter_mut().enumerate() {
+            let krow = &ks[j * d + off..j * d + off + dh];
+            let mut dot = 0.0f32;
+            for (a, b) in q[off..off + dh].iter().zip(krow) {
+                dot += a * b;
+            }
+            *s = dot * inv_sqrt - slope * (t - j) as f32;
+        }
+        softmax_in_place(&mut scores);
+        for (j, &a) in scores.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let vrow = &vs[j * d + off..j * d + off + dh];
+            for (c, &vv) in ctx[off..off + dh].iter_mut().zip(vrow) {
+                *c += a * vv;
+            }
+        }
     }
 }
 
@@ -73,6 +208,17 @@ fn rmsnorm_vec(x: &[f32]) -> Vec<f32> {
     x.iter().map(|v| v * inv).collect()
 }
 
+/// Temperature sampling from one logits row: the single sampling
+/// arithmetic shared by [`Transformer::generate`] and the batch scheduler
+/// in [`crate::serving`] — sharing it is what keeps served output
+/// token-identical to `generate`.
+pub(crate) fn sample_token(logits: &[f32], temperature: f32, rng: &mut Rng) -> usize {
+    let mut probs = logits.iter().map(|&z| z / temperature).collect::<Vec<f32>>();
+    softmax_in_place(&mut probs);
+    let weights: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
+    rng.categorical(&weights)
+}
+
 impl Transformer {
     /// Decodes one token incrementally: appends this position's keys and
     /// values to `cache` and returns the next-token logits.
@@ -91,55 +237,32 @@ impl Transformer {
         assert_eq!(cache.layers.len(), cfg.n_layers, "cache layer count mismatch");
         assert_eq!(cache.d_model, cfg.d_model, "cache width mismatch");
         let d = cfg.d_model;
-        let dh = cfg.d_head();
         let t = cache.len;
 
         let mut h = self.embedding().row(token).to_vec();
         for l in 0..cfg.n_layers {
             // ---- attention ----
             let x = rmsnorm_vec(&h);
-            let q = self.weight(l, crate::model::WeightSite::AttnQ).matvec(&x);
-            let k = self.weight(l, crate::model::WeightSite::AttnK).matvec(&x);
-            let v = self.weight(l, crate::model::WeightSite::AttnV).matvec(&x);
+            let q = self.weight(l, WeightSite::AttnQ).matvec(&x);
+            let k = self.weight(l, WeightSite::AttnK).matvec(&x);
+            let v = self.weight(l, WeightSite::AttnV).matvec(&x);
             cache.push(l, &k, &v);
             let (ks, vs) = &cache.layers[l];
             let mut ctx = vec![0.0f32; d];
-            let inv_sqrt = 1.0 / (dh as f32).sqrt();
-            let mut scores = vec![0.0f32; t + 1];
-            for (head, &slope) in cfg.alibi_slopes.iter().enumerate() {
-                let off = head * dh;
-                for (j, s) in scores.iter_mut().enumerate() {
-                    let krow = &ks[j * d + off..j * d + off + dh];
-                    let mut dot = 0.0f32;
-                    for (a, b) in q[off..off + dh].iter().zip(krow) {
-                        dot += a * b;
-                    }
-                    *s = dot * inv_sqrt - slope * (t - j) as f32;
-                }
-                softmax_in_place(&mut scores);
-                for (j, &a) in scores.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let vrow = &vs[j * d + off..j * d + off + dh];
-                    for (c, &vv) in ctx[off..off + dh].iter_mut().zip(vrow) {
-                        *c += a * vv;
-                    }
-                }
-            }
-            let attn_out = self.weight(l, crate::model::WeightSite::AttnO).matvec(&ctx);
+            attend_one(cfg, &q, ks, vs, t, &mut ctx);
+            let attn_out = self.weight(l, WeightSite::AttnO).matvec(&ctx);
             for (hv, a) in h.iter_mut().zip(&attn_out) {
                 *hv += a;
             }
 
             // ---- FFN ----
             let x2 = rmsnorm_vec(&h);
-            let mut mid = self.weight(l, crate::model::WeightSite::FfnUp).matvec(&x2);
+            let mut mid = self.weight(l, WeightSite::FfnUp).matvec(&x2);
             match cfg.activation {
                 Activation::Relu => mid.iter_mut().for_each(|m| *m = activation::relu(*m)),
                 Activation::Silu => mid.iter_mut().for_each(|m| *m = activation::silu(*m)),
             }
-            let ffn_out = self.weight(l, crate::model::WeightSite::FfnDown).matvec(&mid);
+            let ffn_out = self.weight(l, WeightSite::FfnDown).matvec(&mid);
             for (hv, f) in h.iter_mut().zip(&ffn_out) {
                 *hv += f;
             }
@@ -147,6 +270,93 @@ impl Transformer {
         cache.len += 1;
         let hf = rmsnorm_vec(&h);
         vec_matmul_t(&hf, self.head())
+    }
+
+    /// Decodes one token for **each** of several independent sequences in
+    /// a single pass: `tokens[i]` is appended to the sequence in cache slot
+    /// `slots[i]`, and row `i` of the returned `B x vocab` matrix holds
+    /// that sequence's next-token logits.
+    ///
+    /// The current tokens are stacked into one `B x d_model` activation
+    /// matrix and every linear site runs through the batched
+    /// [`LinearWeight::matmul_t`](crate::model::LinearWeight::matmul_t)
+    /// path, so a packed weight stream is decoded once per layer per step
+    /// instead of once per sequence — the amortization batched serving is
+    /// built on. Attention stays per-sequence against each slot's own K/V
+    /// history.
+    ///
+    /// Each row's arithmetic is independent of its batchmates and ordered
+    /// exactly as in [`Transformer::forward_step`], so slot logits are
+    /// **bit-identical** to stepping that sequence alone (asserted by
+    /// tests) — batch composition can never change a sequence's output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or length-mismatched with `slots`, a
+    /// token is out of vocabulary, a slot index is out of range or
+    /// repeated, or the cache shape does not match the model.
+    pub fn forward_step_batch(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+    ) -> Matrix {
+        let cfg = self.config();
+        assert_eq!(tokens.len(), slots.len(), "one cache slot per token");
+        assert!(!tokens.is_empty(), "batch must contain at least one sequence");
+        assert_eq!(cache.n_layers, cfg.n_layers, "cache layer count mismatch");
+        assert_eq!(cache.d_model, cfg.d_model, "cache width mismatch");
+        let b = tokens.len();
+        let d = cfg.d_model;
+        let mut seen = vec![false; cache.slots.len()];
+        for &slot in slots {
+            assert!(slot < cache.slots.len(), "slot {slot} out of range");
+            assert!(!seen[slot], "slot {slot} appears twice in one step");
+            seen[slot] = true;
+        }
+
+        let mut h = Matrix::zeros(b, d);
+        for (i, &tok) in tokens.iter().enumerate() {
+            assert!(tok < cfg.vocab, "token id {tok} out of vocabulary");
+            h.row_mut(i).copy_from_slice(self.embedding().row(tok));
+        }
+
+        for l in 0..cfg.n_layers {
+            // ---- attention ----
+            let x = rmsnorm_rows(&h);
+            let q = self.weight(l, WeightSite::AttnQ).matmul_t(&x);
+            let k = self.weight(l, WeightSite::AttnK).matmul_t(&x);
+            let v = self.weight(l, WeightSite::AttnV).matmul_t(&x);
+            let mut ctx = Matrix::zeros(b, d);
+            for (i, &slot) in slots.iter().enumerate() {
+                let sc = &mut cache.slots[slot];
+                sc.push(l, k.row(i), v.row(i));
+                let t = sc.len;
+                let (ks, vs) = &sc.layers[l];
+                attend_one(cfg, q.row(i), ks, vs, t, ctx.row_mut(i));
+            }
+            let attn_out = self.weight(l, WeightSite::AttnO).matmul_t(&ctx);
+            h.add_in_place(&attn_out);
+
+            // ---- FFN ----
+            let x2 = rmsnorm_rows(&h);
+            let mut mid = self.weight(l, WeightSite::FfnUp).matmul_t(&x2);
+            match cfg.activation {
+                Activation::Relu => {
+                    mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::relu(*m))
+                }
+                Activation::Silu => {
+                    mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::silu(*m))
+                }
+            }
+            let ffn_out = self.weight(l, WeightSite::FfnDown).matmul_t(&mid);
+            h.add_in_place(&ffn_out);
+        }
+        for &slot in slots {
+            cache.slots[slot].len += 1;
+        }
+        let hf = rmsnorm_rows(&h);
+        hf.matmul_transpose(self.head())
     }
 
     /// Autoregressive generation: feeds `prompt`, then samples
@@ -174,10 +384,7 @@ impl Transformer {
         }
         let mut out = Vec::with_capacity(n_tokens);
         for _ in 0..n_tokens {
-            let mut probs = logits.iter().map(|&z| z / temperature).collect::<Vec<f32>>();
-            softmax_in_place(&mut probs);
-            let weights: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
-            let tok = rng.categorical(&weights);
+            let tok = sample_token(&logits, temperature, rng);
             out.push(tok);
             logits = self.forward_step(tok, &mut cache);
         }
@@ -289,6 +496,98 @@ mod tests {
                 assert!((a - b).abs() < 1e-4, "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn batch_step_rows_are_bit_identical_to_forward_step() {
+        // Three sequences of different lengths decoded together must get
+        // exactly the logits each would get decoding alone — on the dense
+        // model and on the fully packed one.
+        let (model, corpus) = fitted_tiny();
+        let (packed, _) = crate::model::pack_all_sites(&model);
+        for m in [&model, &packed] {
+            let cfg = m.config();
+            let seqs: Vec<Vec<usize>> = (0..3)
+                .map(|s| corpus.generate(6 + 3 * s, 50 + s as u64).tokens().to_vec())
+                .collect();
+            let mut solo: Vec<KvCache> =
+                (0..3).map(|_| KvCache::new(cfg.n_layers, cfg.d_model)).collect();
+            let mut batch = BatchKvCache::new(cfg.n_layers, cfg.d_model, 3);
+            for step in 0..seqs.iter().map(Vec::len).max().unwrap() {
+                let mut tokens = Vec::new();
+                let mut slots = Vec::new();
+                for (s, seq) in seqs.iter().enumerate() {
+                    if step < seq.len() {
+                        tokens.push(seq[step]);
+                        slots.push(s);
+                    }
+                }
+                let batched = m.forward_step_batch(&tokens, &slots, &mut batch);
+                for (row, (&tok, &slot)) in tokens.iter().zip(&slots).enumerate() {
+                    let reference = m.forward_step(tok, &mut solo[slot]);
+                    assert_eq!(batched.row(row), &reference[..], "step {step} slot {slot}");
+                }
+            }
+            for s in 0..3 {
+                assert_eq!(batch.slot_len(s), seqs[s].len());
+                assert_eq!(batch.slot(s), &solo[s], "cache contents must match too");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cache_accounting_sums_slots() {
+        let (model, _) = fitted_tiny();
+        let cfg = model.config();
+        let mut cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, 4);
+        // Ragged lengths: slot 0 gets 3 tokens, slot 2 gets 1.
+        let _ = model.forward_step_batch(&[1, 2], &[0, 2], &mut cache);
+        let _ = model.forward_step_batch(&[3], &[0], &mut cache);
+        let _ = model.forward_step_batch(&[4], &[0], &mut cache);
+        assert_eq!(cache.total_tokens(), 4);
+        let per_token = 2 * cfg.n_layers * cfg.d_model * 2;
+        assert_eq!(cache.fp16_bytes(), 4 * per_token);
+        assert_eq!(cache.fp16_bytes(), (0..4).map(|s| cache.slot(s).fp16_bytes()).sum());
+        cache.reset_slot(0);
+        assert_eq!(cache.total_tokens(), 1);
+        assert_eq!(cache.slot_len(0), 0);
+    }
+
+    #[test]
+    fn reset_slot_gives_a_fresh_sequence() {
+        // Backfilling a freed slot must behave exactly like a new cache.
+        let (model, corpus) = fitted_tiny();
+        let cfg = model.config();
+        let mut cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let tokens = corpus.generate(5, 77).tokens().to_vec();
+        for &t in &tokens {
+            let _ = model.forward_step_batch(&[t, t], &[0, 1], &mut cache);
+        }
+        cache.reset_slot(1);
+        let mut fresh = KvCache::new(cfg.n_layers, cfg.d_model);
+        for &t in &tokens {
+            let batched = model.forward_step_batch(&[t], &[1], &mut cache);
+            let reference = model.forward_step(t, &mut fresh);
+            assert_eq!(batched.row(0), &reference[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_slot_in_one_step_is_rejected() {
+        let (model, _) = fitted_tiny();
+        let cfg = model.config();
+        let mut cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let _ = model.forward_step_batch(&[1, 2], &[0, 0], &mut cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_is_rejected() {
+        let (model, _) = fitted_tiny();
+        let cfg = model.config();
+        let mut cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let _ = model.forward_step_batch(&[1], &[2], &mut cache);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   model genuinely predicts text.
 //! * [`eval`] — windowed perplexity, the paper's accuracy metric.
 //! * [`memory`] — the serving-memory layout model behind Fig. 2b.
+//! * [`serving`] — the continuous-batching scheduler: a [`BatchKvCache`]
+//!   of independent sequence slots stepped together through
+//!   `Transformer::forward_step_batch`, so packed weight streams are
+//!   decoded once per layer per step for the whole batch.
 //!
 //! ## Example
 //!
@@ -44,11 +48,13 @@ pub mod eval;
 pub mod generate;
 pub mod memory;
 pub mod model;
+pub mod serving;
 
 pub use builder::{build_fitted_model, BuilderSpec};
 pub use config::{Activation, ModelConfig, SimPreset};
 pub use corpus::{Corpus, TokenStream};
 pub use eval::{cross_entropy, perplexity};
-pub use generate::KvCache;
+pub use generate::{BatchKvCache, KvCache};
 pub use memory::ServingMemory;
 pub use model::{LinearWeight, Transformer, WeightSite};
+pub use serving::{BatchScheduler, FinishReason, FinishedSequence, ServeRequest};

@@ -10,6 +10,7 @@
 //! bits-per-weight figure, so a packed model's memory plan reflects the
 //! 7-bytes-per-24-weights blocks it truly stores.
 
+use crate::generate::BatchKvCache;
 use crate::model::Transformer;
 
 /// Bytes in one (decimal) gigabyte, the unit GPU marketing capacities use
@@ -112,6 +113,30 @@ impl ServingMemory {
             * self.kv_bytes_per_elem
     }
 
+    /// Bytes a batched serving cache occupies under this plan's KV
+    /// accounting: [`ServingMemory::kv_cache_bytes`] evaluated at the
+    /// cache's total cached tokens. Equals the cache's own
+    /// [`BatchKvCache::fp16_bytes`] when `kv_bytes_per_elem` is 2
+    /// (asserted by tests), tying the scheduler's live cache to the
+    /// Fig. 2b arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was shaped for a different model.
+    pub fn kv_cache_bytes_for(&self, cache: &BatchKvCache) -> f64 {
+        assert_eq!(cache.n_layers(), self.n_layers, "cache layer count mismatch");
+        assert_eq!(cache.d_model(), self.d_model, "cache width mismatch");
+        self.kv_cache_bytes(cache.total_tokens() as f64)
+    }
+
+    /// How many sequences of `seq_len` cached tokens fit simultaneously
+    /// after weights and `other_frac` of the device are reserved — the
+    /// batch-size ceiling of a [`crate::serving::BatchScheduler`]
+    /// deployment.
+    pub fn max_concurrent_sequences(&self, seq_len: usize, other_frac: f64) -> f64 {
+        self.max_concurrent_tokens(other_frac) / seq_len.max(1) as f64
+    }
+
     /// How many cached tokens fit after weights and `other_frac` of the
     /// device are reserved.
     pub fn max_concurrent_tokens(&self, other_frac: f64) -> f64 {
@@ -204,6 +229,59 @@ mod tests {
         // Dense fp32 model: 32 effective bits per weight.
         assert!((m.weight_bits() - 32.0).abs() < 1e-9);
         assert_eq!(m.params, model.param_count() as f64);
+    }
+
+    #[test]
+    fn kv_cache_fp16_bytes_matches_serving_accounting() {
+        // Regression: KvCache::fp16_bytes must count K+V for *every* layer
+        // per position — the same `2 * n_layers * d_model * tokens * 2`
+        // ServingMemory::kv_cache_bytes charges.
+        let corpus = Corpus::wiki_like(64, 42);
+        let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 2_000, 6);
+        let plan = ServingMemory::from_model(&model, 1.0 * GB);
+        let mut cache = crate::generate::KvCache::new(model.n_layers(), model.config().d_model);
+        for &t in &[1usize, 2, 3, 4, 5] {
+            let _ = model.forward_step(t, &mut cache);
+            assert_eq!(
+                cache.fp16_bytes() as f64,
+                plan.kv_cache_bytes(cache.len() as f64),
+                "at {} cached tokens",
+                cache.len()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_cache_accounting_matches_serving_plan() {
+        let corpus = Corpus::wiki_like(64, 43);
+        let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 2_000, 6);
+        let plan = ServingMemory::from_model(&model, 1.0 * GB);
+        let cfg = model.config();
+        let mut cache = crate::generate::BatchKvCache::new(cfg.n_layers, cfg.d_model, 3);
+        // Ragged per-slot lengths still sum correctly.
+        let _ = model.forward_step_batch(&[1, 2, 3], &[0, 1, 2], &mut cache);
+        let _ = model.forward_step_batch(&[4, 5], &[0, 2], &mut cache);
+        let _ = model.forward_step_batch(&[6], &[0], &mut cache);
+        assert_eq!(cache.total_tokens(), 6);
+        assert_eq!(cache.fp16_bytes() as f64, plan.kv_cache_bytes_for(&cache));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn kv_accounting_rejects_mismatched_cache() {
+        let corpus = Corpus::wiki_like(64, 44);
+        let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 2_000, 6);
+        let plan = ServingMemory::from_model(&model, 1.0 * GB);
+        let wrong =
+            crate::generate::BatchKvCache::new(model.n_layers() + 1, model.config().d_model, 2);
+        let _ = plan.kv_cache_bytes_for(&wrong);
+    }
+
+    #[test]
+    fn sequence_capacity_divides_token_capacity() {
+        let m = ServingMemory::llama2_13b_a100();
+        let tokens = m.max_concurrent_tokens(0.05);
+        assert!((m.max_concurrent_sequences(2048, 0.05) - tokens / 2048.0).abs() < 1e-9);
     }
 
     #[test]

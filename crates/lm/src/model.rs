@@ -284,8 +284,9 @@ pub struct Transformer {
 
 /// Row-wise RMS normalization (no learned gain; the constructed models do
 /// not need one and it keeps every quantizable parameter inside `Matrix`
-/// weights).
-fn rmsnorm_rows(m: &Matrix) -> Matrix {
+/// weights). Shared with the batched serving step in `generate`, whose
+/// per-row arithmetic must match the single-sequence path exactly.
+pub(crate) fn rmsnorm_rows(m: &Matrix) -> Matrix {
     let cols = m.cols();
     let mut out = Matrix::zeros(m.rows(), cols);
     for r in 0..m.rows() {
@@ -712,6 +713,24 @@ mod tests {
         assert!(lw.matmul_t(&a).sub(&dense.matmul_t(&a)).abs_max() < 1e-5);
         assert_eq!(lw.to_dense(), dense.to_dense());
         assert!(lw.footprint_bytes() < dense.footprint_bytes() / 4);
+    }
+
+    #[test]
+    fn matmul_t_rows_are_bit_identical_to_matvec_on_both_backends() {
+        // The batched serving step runs every linear site through
+        // `matmul_t` on stacked activations; a batch-of-1 step is only
+        // token-identical to `forward_step` (which uses `matvec`) if each
+        // result row matches the single-vector path bit-for-bit.
+        let mut rng = Rng::seed_from(14);
+        let w = Matrix::from_fn(9, 23, |_, _| rng.laplace(0.0, 0.05));
+        let packed = fineq_core::FineQuantizer::paper().quantize_packed(&w);
+        for lw in [LinearWeight::Dense(w), LinearWeight::Packed(packed)] {
+            let a = Matrix::from_fn(5, 23, |_, _| rng.normal(0.0, 1.0));
+            let batched = lw.matmul_t(&a);
+            for t in 0..a.rows() {
+                assert_eq!(batched.row(t), &lw.matvec(a.row(t))[..], "row {t} of {lw:?}");
+            }
+        }
     }
 
     #[test]

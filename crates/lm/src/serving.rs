@@ -1,0 +1,450 @@
+//! Continuous-batching scheduler over the batched packed-decode step.
+//!
+//! The paper's serving argument (Fig. 2b) is that low-bit weights buy KV
+//! head-room, i.e. **more concurrent sequences**; this module supplies the
+//! machinery that turns that head-room into throughput. A
+//! [`BatchScheduler`] owns a model and a [`BatchKvCache`] of `max_batch`
+//! slots, admits [`ServeRequest`]s from a FIFO queue into free slots, and
+//! steps every active sequence together through
+//! [`Transformer::forward_step_batch`] — one packed weight-stream decode
+//! per layer per step, amortized over the whole batch. Sequences retire on
+//! an end-of-sequence token or their `max_new_tokens` budget, and freed
+//! slots are backfilled from the queue at the start of the next step
+//! (continuous batching: the batch never drains to refill).
+//!
+//! Because each slot's arithmetic in `forward_step_batch` is bit-identical
+//! to single-sequence decoding, a request produces **token-identical**
+//! output to [`Transformer::generate`] with the same prompt, temperature
+//! and seed — independent of batch size, admission order, or which other
+//! requests share its steps (asserted by tests).
+
+use crate::generate::{sample_token, BatchKvCache};
+use crate::model::Transformer;
+use fineq_tensor::Rng;
+use std::collections::VecDeque;
+
+/// One generation request submitted to a [`BatchScheduler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Caller-chosen identifier, echoed in the [`FinishedSequence`].
+    pub id: u64,
+    /// Prompt tokens (must be non-empty).
+    pub prompt: Vec<usize>,
+    /// Maximum continuation length (must be positive).
+    pub max_new_tokens: usize,
+    /// Softmax temperature (must be positive).
+    pub temperature: f32,
+    /// Seed of the request's private sampling RNG.
+    pub seed: u64,
+    /// Optional end-of-sequence token: sampling it finishes the request.
+    pub eos: Option<usize>,
+}
+
+impl ServeRequest {
+    /// A request with temperature 1.0, seed `id` and no end-of-sequence
+    /// token; adjust fields directly for anything else.
+    pub fn new(id: u64, prompt: Vec<usize>, max_new_tokens: usize) -> Self {
+        Self { id, prompt, max_new_tokens, temperature: 1.0, seed: id, eos: None }
+    }
+}
+
+/// Why a sequence left the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The end-of-sequence token was sampled.
+    Eos,
+    /// The `max_new_tokens` budget was spent.
+    MaxTokens,
+}
+
+/// A completed request: the generated continuation (the prompt is not
+/// repeated) and why it stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedSequence {
+    /// The request's id.
+    pub id: u64,
+    /// Prompt length, for caller-side accounting.
+    pub prompt_len: usize,
+    /// Generated tokens, including the end-of-sequence token if one
+    /// finished the request.
+    pub generated: Vec<usize>,
+    /// Why generation stopped.
+    pub reason: FinishReason,
+}
+
+/// A sequence occupying a batch slot: prefill progress, sampling state and
+/// the continuation so far.
+#[derive(Debug, Clone)]
+struct ActiveSeq {
+    id: u64,
+    prompt: Vec<usize>,
+    /// Prompt tokens fed so far; sampling starts once the prompt is spent.
+    fed: usize,
+    /// Token to feed at the next step (next prompt token during prefill,
+    /// last sampled token during decode).
+    next_token: usize,
+    generated: Vec<usize>,
+    max_new_tokens: usize,
+    temperature: f32,
+    eos: Option<usize>,
+    rng: Rng,
+}
+
+/// Continuous-batching engine: a queue of requests, `max_batch` sequence
+/// slots, and one batched decode step that drives them all.
+#[derive(Debug, Clone)]
+pub struct BatchScheduler {
+    model: Transformer,
+    cache: BatchKvCache,
+    slots: Vec<Option<ActiveSeq>>,
+    queue: VecDeque<ServeRequest>,
+    finished: Vec<FinishedSequence>,
+    steps: u64,
+    stepped_tokens: u64,
+}
+
+impl BatchScheduler {
+    /// A scheduler owning `model` with `max_batch` concurrent sequence
+    /// slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(model: Transformer, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "scheduler needs at least one slot");
+        let cfg = model.config();
+        let cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, max_batch);
+        Self {
+            model,
+            cache,
+            slots: (0..max_batch).map(|_| None).collect(),
+            queue: VecDeque::new(),
+            finished: Vec::new(),
+            steps: 0,
+            stepped_tokens: 0,
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &Transformer {
+        &self.model
+    }
+
+    /// The live batch cache (for memory accounting).
+    pub fn cache(&self) -> &BatchKvCache {
+        &self.cache
+    }
+
+    /// Sequence slots (the maximum concurrent batch).
+    pub fn max_batch(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Requests waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sequences currently occupying slots.
+    pub fn active(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.slots.iter().all(Option::is_none)
+    }
+
+    /// Batched steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Tokens fed across all sequences and steps (prefill + decode) — the
+    /// numerator of a tokens/sec measurement.
+    pub fn stepped_tokens(&self) -> u64 {
+        self.stepped_tokens
+    }
+
+    /// Enqueues a request. It enters the batch when a slot frees up (or
+    /// immediately at the next step if one is free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or holds an out-of-vocabulary token,
+    /// the temperature is not positive, or `max_new_tokens` is zero — the
+    /// same contract as [`Transformer::generate`], enforced here so a bad
+    /// request is rejected at submission instead of panicking steps later
+    /// inside a batch that holds other requests' work.
+    pub fn submit(&mut self, request: ServeRequest) {
+        assert!(!request.prompt.is_empty(), "prompt must not be empty");
+        let vocab = self.model.config().vocab;
+        for &tok in &request.prompt {
+            assert!(tok < vocab, "prompt token id {tok} out of vocabulary");
+        }
+        assert!(request.temperature > 0.0, "temperature must be positive");
+        assert!(request.max_new_tokens > 0, "max_new_tokens must be positive");
+        self.queue.push_back(request);
+    }
+
+    /// Moves queued requests into free slots (continuous-batching
+    /// backfill). Called at the start of every step.
+    fn admit(&mut self) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].is_some() {
+                continue;
+            }
+            let Some(req) = self.queue.pop_front() else { break };
+            self.cache.reset_slot(slot);
+            let next_token = req.prompt[0];
+            self.slots[slot] = Some(ActiveSeq {
+                id: req.id,
+                prompt: req.prompt,
+                fed: 0,
+                next_token,
+                generated: Vec::new(),
+                max_new_tokens: req.max_new_tokens,
+                temperature: req.temperature,
+                eos: req.eos,
+                rng: Rng::seed_from(req.seed),
+            });
+        }
+    }
+
+    /// Runs one batched step: admits queued requests into free slots,
+    /// feeds every active sequence's current token through
+    /// [`Transformer::forward_step_batch`], samples continuations for
+    /// sequences past their prompt, and retires finished ones.
+    ///
+    /// Returns the number of sequences stepped (0 when idle).
+    pub fn step(&mut self) -> usize {
+        self.admit();
+        let mut tokens = Vec::new();
+        let mut slot_ids = Vec::new();
+        for (slot, seq) in self.slots.iter().enumerate() {
+            if let Some(seq) = seq {
+                tokens.push(seq.next_token);
+                slot_ids.push(slot);
+            }
+        }
+        if tokens.is_empty() {
+            return 0;
+        }
+        let logits = self.model.forward_step_batch(&tokens, &slot_ids, &mut self.cache);
+        self.steps += 1;
+        self.stepped_tokens += tokens.len() as u64;
+
+        for (row, &slot) in slot_ids.iter().enumerate() {
+            let seq = self.slots[slot].as_mut().expect("stepped slot is occupied");
+            seq.fed += 1;
+            if seq.fed < seq.prompt.len() {
+                // Still prefilling: feed the next prompt token, ignore the
+                // logits (exactly what `generate` does).
+                seq.next_token = seq.prompt[seq.fed];
+                continue;
+            }
+            // Decode: sample from this step's logits through the same
+            // helper `Transformer::generate` uses.
+            let tok = sample_token(logits.row(row), seq.temperature, &mut seq.rng);
+            seq.generated.push(tok);
+            let hit_eos = seq.eos == Some(tok);
+            let spent = seq.generated.len() >= seq.max_new_tokens;
+            if hit_eos || spent {
+                let seq = self.slots[slot].take().expect("finishing slot is occupied");
+                // Free the K/V history immediately: an idle scheduler holds
+                // no cache, and KV-headroom accounting sees only live
+                // sequences.
+                self.cache.reset_slot(slot);
+                self.finished.push(FinishedSequence {
+                    id: seq.id,
+                    prompt_len: seq.prompt.len(),
+                    generated: seq.generated,
+                    reason: if hit_eos { FinishReason::Eos } else { FinishReason::MaxTokens },
+                });
+            } else {
+                seq.next_token = tok;
+            }
+        }
+        tokens.len()
+    }
+
+    /// Completed sequences accumulated so far, drained.
+    pub fn take_finished(&mut self) -> Vec<FinishedSequence> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Steps until every queued and active request completes, returning
+    /// all finished sequences (in completion order).
+    pub fn run(&mut self) -> Vec<FinishedSequence> {
+        while !self.is_idle() {
+            self.step();
+        }
+        self.take_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_fitted_model, BuilderSpec};
+    use crate::corpus::Corpus;
+
+    fn fitted_tiny() -> (Transformer, Corpus) {
+        let corpus = Corpus::wiki_like(64, 5);
+        let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 3_000, 2);
+        (model, corpus)
+    }
+
+    fn request(id: u64, prompt: Vec<usize>, n: usize) -> ServeRequest {
+        ServeRequest { temperature: 0.9, seed: 100 + id, ..ServeRequest::new(id, prompt, n) }
+    }
+
+    #[test]
+    fn empty_queue_is_idle_and_steps_zero() {
+        let (model, _) = fitted_tiny();
+        let mut sched = BatchScheduler::new(model, 4);
+        assert!(sched.is_idle());
+        assert_eq!(sched.step(), 0);
+        assert_eq!(sched.steps(), 0);
+        assert!(sched.run().is_empty());
+        assert_eq!(sched.cache().total_tokens(), 0);
+    }
+
+    #[test]
+    fn batch_of_one_matches_generate_token_for_token() {
+        let (model, corpus) = fitted_tiny();
+        let prompt = corpus.generate(6, 21).tokens().to_vec();
+        let mut rng = Rng::seed_from(909);
+        let expect = model.generate(&prompt, 12, 0.8, &mut rng);
+        let mut sched = BatchScheduler::new(model, 1);
+        sched.submit(ServeRequest {
+            temperature: 0.8,
+            seed: 909,
+            ..ServeRequest::new(7, prompt.clone(), 12)
+        });
+        let done = sched.run();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 7);
+        assert_eq!(done[0].generated, expect);
+        assert_eq!(done[0].reason, FinishReason::MaxTokens);
+        assert_eq!(done[0].prompt_len, prompt.len());
+    }
+
+    #[test]
+    fn batched_runs_match_solo_generate_despite_backfill() {
+        // 5 requests through 2 slots: admission, retirement and backfill
+        // all happen mid-decode, yet every request's tokens are identical
+        // to a solo `generate` with the same seed — batch composition can
+        // never leak between sequences.
+        let (model, corpus) = fitted_tiny();
+        let mut sched = BatchScheduler::new(model.clone(), 2);
+        let mut expected = Vec::new();
+        for id in 0..5u64 {
+            let prompt = corpus.generate(3 + id as usize, 60 + id).tokens().to_vec();
+            let n = 4 + 2 * (id as usize % 3);
+            let mut rng = Rng::seed_from(100 + id);
+            expected.push(model.generate(&prompt, n, 0.9, &mut rng));
+            sched.submit(request(id, prompt, n));
+        }
+        assert_eq!(sched.queued(), 5);
+        let mut done = sched.run();
+        assert_eq!(done.len(), 5);
+        done.sort_by_key(|f| f.id);
+        for (id, fin) in done.iter().enumerate() {
+            assert_eq!(fin.generated, expected[id], "request {id}");
+        }
+        assert!(sched.is_idle());
+        // Retirement frees K/V immediately: an idle scheduler holds none.
+        assert_eq!(sched.cache().total_tokens(), 0);
+        assert_eq!(sched.cache().fp16_bytes(), 0);
+    }
+
+    #[test]
+    fn all_sequences_finishing_the_same_step_free_the_whole_batch() {
+        let (model, corpus) = fitted_tiny();
+        let mut sched = BatchScheduler::new(model, 3);
+        let prompt = corpus.generate(4, 31).tokens().to_vec();
+        // Same prompt length and budget: all three retire on the same step.
+        for id in 0..3 {
+            sched.submit(request(id, prompt.clone(), 5));
+        }
+        let mut last_active = 0;
+        while !sched.is_idle() {
+            sched.step();
+            last_active = sched.active();
+        }
+        assert_eq!(last_active, 0, "final step must retire every slot");
+        let done = sched.take_finished();
+        assert_eq!(done.len(), 3);
+        // Steps: 4 prompt-feeding steps + 5 decode steps (the final sampled
+        // token is not fed back; retirement is immediate).
+        assert_eq!(sched.steps(), (prompt.len() - 1 + 5) as u64);
+        assert_eq!(sched.stepped_tokens(), 3 * sched.steps());
+    }
+
+    #[test]
+    fn eos_retires_a_sequence_early() {
+        let (model, corpus) = fitted_tiny();
+        let prompt = corpus.generate(4, 33).tokens().to_vec();
+        // Solo reference run to find which token gets sampled first.
+        let mut rng = Rng::seed_from(111);
+        let solo = model.generate(&prompt, 8, 1.0, &mut rng);
+        let mut sched = BatchScheduler::new(model, 1);
+        sched.submit(ServeRequest {
+            seed: 111,
+            eos: Some(solo[0]),
+            ..ServeRequest::new(1, prompt, 8)
+        });
+        let done = sched.run();
+        assert_eq!(done[0].reason, FinishReason::Eos);
+        assert_eq!(done[0].generated, vec![solo[0]], "eos token is kept, then the run stops");
+    }
+
+    #[test]
+    fn backfill_reuses_slots_without_exceeding_max_batch() {
+        let (model, corpus) = fitted_tiny();
+        let mut sched = BatchScheduler::new(model, 2);
+        for id in 0..6u64 {
+            let prompt = corpus.generate(3, 70 + id).tokens().to_vec();
+            sched.submit(request(id, prompt, 3));
+        }
+        while !sched.is_idle() {
+            sched.step();
+            assert!(sched.active() <= 2, "batch must never exceed max_batch");
+            assert!(sched.cache().total_tokens() <= 2 * (3 + 3));
+        }
+        assert_eq!(sched.take_finished().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt must not be empty")]
+    fn empty_prompt_is_rejected_at_submit() {
+        let (model, _) = fitted_tiny();
+        let mut sched = BatchScheduler::new(model, 1);
+        sched.submit(ServeRequest::new(0, Vec::new(), 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_prompt_is_rejected_at_submit_not_mid_batch() {
+        let (model, _) = fitted_tiny();
+        let vocab = model.config().vocab;
+        let mut sched = BatchScheduler::new(model, 1);
+        sched.submit(ServeRequest::new(0, vec![vocab + 5], 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn non_positive_temperature_is_rejected_at_submit() {
+        let (model, _) = fitted_tiny();
+        let mut sched = BatchScheduler::new(model, 1);
+        sched.submit(ServeRequest { temperature: 0.0, ..ServeRequest::new(0, vec![1], 4) });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_scheduler_is_rejected() {
+        let (model, _) = fitted_tiny();
+        let _ = BatchScheduler::new(model, 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! protocol of the GPTQ/OWQ line of work the paper compares against.
 
 use fineq_core::FineQuantizer;
-use fineq_lm::{LinearWeight, Transformer, WeightSite};
+use fineq_lm::{BatchScheduler, LinearWeight, Transformer, WeightSite};
 use fineq_quant::{Calibration, QuantMetrics, QuantResult, WeightQuantizer};
 use fineq_tensor::Matrix;
 
@@ -243,6 +243,31 @@ pub fn quantize_model_packed(
     )
 }
 
+/// Quantizes `model` to the packed serving format and wraps it in a
+/// continuous-batching [`BatchScheduler`] with `max_batch` sequence slots —
+/// the one-call serving entry point.
+///
+/// The returned scheduler owns the packed model: submit
+/// [`fineq_lm::ServeRequest`]s and drive it with
+/// [`BatchScheduler::step`] / [`BatchScheduler::run`]. Every step decodes
+/// each layer's packed weight stream once for the whole batch, and each
+/// request's output is token-identical to
+/// [`Transformer::generate`] on the same packed model with the same seed.
+///
+/// # Panics
+///
+/// Panics if the quantizer configuration is not packable, the source model
+/// is not dense, or `max_batch` is zero.
+pub fn serve_packed(
+    model: &Transformer,
+    quantizer: &FineQuantizer,
+    config: &PipelineConfig,
+    max_batch: usize,
+) -> (BatchScheduler, QuantizeReport) {
+    let (packed, report) = quantize_model_packed(model, quantizer, config);
+    (BatchScheduler::new(packed, max_batch), report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +275,7 @@ mod tests {
     use fineq_lm::builder::{build_fitted_model, BuilderSpec};
     use fineq_lm::corpus::Corpus;
     use fineq_lm::eval::perplexity;
+    use fineq_lm::ServeRequest;
     use fineq_quant::Rtn;
 
     fn tiny_model() -> (Transformer, Corpus) {
@@ -341,6 +367,27 @@ mod tests {
         let pp = perplexity(&pm, test.tokens(), 128);
         let dp = perplexity(&dm, test.tokens(), 128);
         assert!((pp - dp).abs() < 1e-3 * dp, "packed ppl {pp} vs reference {dp}");
+    }
+
+    #[test]
+    fn serve_packed_returns_a_scheduler_over_the_packed_model() {
+        let (model, corpus) = tiny_model();
+        let (mut sched, report) =
+            serve_packed(&model, &FineQuantizer::paper(), &PipelineConfig::default(), 4);
+        assert!(sched.model().is_fully_packed());
+        assert_eq!(sched.max_batch(), 4);
+        assert_eq!(report.sites.len(), model.n_layers() * 6);
+        // A served request matches generate on the same packed model.
+        let prompt = corpus.generate(5, 17).tokens().to_vec();
+        let mut rng = fineq_tensor::Rng::seed_from(33);
+        let expect = sched.model().generate(&prompt, 6, 0.7, &mut rng);
+        sched.submit(ServeRequest {
+            temperature: 0.7,
+            seed: 33,
+            ..ServeRequest::new(1, prompt, 6)
+        });
+        let done = sched.run();
+        assert_eq!(done[0].generated, expect);
     }
 
     #[test]
