@@ -1,25 +1,34 @@
 //! Batched packed decode: tokens/sec at batch 1/4/16 versus N independent
-//! `forward_step` loops, plus the measured weight-footprint gate.
+//! `forward_step` loops, thread-scaling of the channel-parallel kernels,
+//! plus the measured weight-footprint gate.
 //!
 //! The point of the batched serving engine: `forward_step_batch` decodes
 //! each layer's packed weight stream **once per step for the whole batch**,
 //! while N independent `forward_step` loops decode it once per sequence.
 //! Weight decode dominates low-bit serving cost, so throughput should grow
 //! steeply with batch size — this bench measures it and CI gates on it.
+//! The thread pool stacks multiplicatively on top: the same batch-16
+//! decode loop is re-measured with the channel loops fanned over 1/2/4
+//! kernel threads (output is bit-identical at every count).
 //!
-//! Written artifacts: `BENCH_packed.json` (tokens/sec per batch size,
-//! speedups, measured byte ratios) for the `bench-gate` CI job to upload.
-//! Gate assertions (process exits non-zero on failure):
+//! Written artifacts: `BENCH_packed.json` (tokens/sec per batch size and
+//! per thread count, speedups, measured byte ratios) for the `bench-gate`
+//! CI job to upload. Gate assertions (process exits non-zero on failure):
 //!
 //! * packed body bytes ≤ 0.16× dense fp32 body bytes;
-//! * batch-16 packed decode tokens/sec ≥ 4× the batch-1 loop.
+//! * batch-16 packed decode tokens/sec ≥ 4× the batch-1 loop;
+//! * batch-16 decode at 4 threads ≥ 2× the 1-thread figure — enforced
+//!   only when the host exposes ≥ 4 CPUs (recorded either way in the
+//!   report as `gate_thread_scaling_enforced`, so a laptop or a 1-core
+//!   container cannot spuriously fail the scaling gate it cannot test).
 
-use fineq::core::FineQuantizer;
+use fineq::core::{FineQuantizer, ThreadPool};
 use fineq::lm::builder::{llm_like_matrix, BuilderSpec};
 use fineq::lm::{BatchKvCache, KvCache, ModelConfig, Transformer, WeightSite};
 use fineq::tensor::{Matrix, Rng};
 use fineq_bench::report::{JsonValue, Report};
 use fineq_bench::timing::section;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Serving-shaped bench model: wide enough that the six linear sites
@@ -127,6 +136,14 @@ fn batched_tps(model: &Transformer, b: usize) -> f64 {
     })
 }
 
+/// A copy of `model` executing with `threads` kernel threads (no pool at
+/// one thread — the serial path).
+fn with_threads(model: &Transformer, threads: usize) -> Transformer {
+    let mut m = model.clone();
+    m.set_thread_pool(if threads > 1 { Some(Arc::new(ThreadPool::new(threads))) } else { None });
+    m
+}
+
 fn main() {
     let (dense, packed) = bench_models();
 
@@ -153,6 +170,33 @@ fn main() {
     }
     let batch16 = tps_by_batch.iter().find(|(b, _)| *b == 16).expect("batch 16 measured").1;
 
+    section("thread scaling (batch-16 decode, channel-parallel kernels)");
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("   host CPUs: {host_cpus}");
+    let mut thread_entries: Vec<(String, JsonValue)> = Vec::new();
+    let mut per_thread_entries: Vec<(String, JsonValue)> = Vec::new();
+    let mut tps_by_threads = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let pooled = with_threads(&packed, threads);
+        let tps = batched_tps(&pooled, 16);
+        println!(
+            "   batch 16, {threads} kernel thread(s)           {tps:>10.0} tok/s  \
+             ({:>7.0} tok/s per thread)",
+            tps / threads as f64
+        );
+        thread_entries.push((threads.to_string(), JsonValue::Num(tps)));
+        per_thread_entries.push((threads.to_string(), JsonValue::Num(tps / threads as f64)));
+        tps_by_threads.push((threads, tps));
+    }
+    let t1 = tps_by_threads.iter().find(|(t, _)| *t == 1).expect("1-thread measured").1;
+    let t4 = tps_by_threads.iter().find(|(t, _)| *t == 4).expect("4-thread measured").1;
+    let thread_scaling = t4 / t1;
+    let scaling_gate_enforced = host_cpus >= 4;
+    println!(
+        "   4-thread / 1-thread speedup: {thread_scaling:.2}x   (gate >= 2x, {})",
+        if scaling_gate_enforced { "enforced" } else { "recorded only: host has < 4 CPUs" }
+    );
+
     section("dense reference (same shapes, fp32 weights)");
     let dense_solo16 = solo_loop_tps(&dense, 16);
     let dense_batch16 = batched_tps(&dense, 16);
@@ -170,11 +214,17 @@ fn main() {
         .push("packed_bytes_ratio", bytes_ratio)
         .push("solo_loop_tokens_per_sec", solo16)
         .push_obj("batched_tokens_per_sec", batch_entries)
+        .push("host_cpus", host_cpus)
+        .push_obj("threads_tokens_per_sec", thread_entries)
+        .push_obj("tokens_per_sec_per_thread", per_thread_entries)
+        .push("thread4_speedup_vs_thread1", thread_scaling)
         .push("dense_solo_loop_tokens_per_sec", dense_solo16)
         .push("dense_batch16_tokens_per_sec", dense_batch16)
         .push("batch16_speedup_vs_batch1", speedup16)
         .push("gate_bytes_ratio_max", 0.16)
-        .push("gate_batch16_speedup_min", 4.0);
+        .push("gate_batch16_speedup_min", 4.0)
+        .push("gate_thread_scaling_min", 2.0)
+        .push("gate_thread_scaling_enforced", scaling_gate_enforced);
     // `cargo bench` runs with the package dir as cwd; anchor the artifact
     // at the workspace root (or wherever BENCH_REPORT_PATH points).
     let path = std::env::var("BENCH_REPORT_PATH")
@@ -192,5 +242,15 @@ fn main() {
         "batch-16 packed decode must reach >=4x batch-1 tokens/sec, got {speedup16:.2}x \
          ({batch16:.0} vs {solo16:.0} tok/s)"
     );
-    println!("packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16)");
+    if scaling_gate_enforced {
+        assert!(
+            thread_scaling >= 2.0,
+            "batch-16 decode at 4 threads must reach >=2x the 1-thread figure, got \
+             {thread_scaling:.2}x ({t4:.0} vs {t1:.0} tok/s) on {host_cpus} CPUs"
+        );
+    }
+    println!(
+        "packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16, \
+         {thread_scaling:.2}x at 4 threads)"
+    );
 }

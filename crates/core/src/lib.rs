@@ -43,12 +43,15 @@ pub mod cluster;
 pub mod encoding;
 pub mod kernels;
 pub mod pack;
+pub mod pool;
 pub mod quantizer;
 pub mod serialize;
 pub mod stats;
 
 pub use cluster::{split_channel, Cluster};
 pub use encoding::ClusterCode;
+pub use kernels::KernelScratch;
 pub use pack::{PackedChannel, PackedMatrix};
+pub use pool::ThreadPool;
 pub use quantizer::{FineQConfig, FineQuantizer};
 pub use stats::ClusterStats;

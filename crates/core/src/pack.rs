@@ -32,6 +32,9 @@ use fineq_tensor::Matrix;
 pub const CLUSTERS_PER_BLOCK: usize = 8;
 /// Bytes per packed block (1 index byte + 6 data bytes).
 pub const BLOCK_BYTES: usize = 7;
+/// Weights covered by one packed block (8 clusters × 3 lanes) — the unit
+/// the kernels' full-block fast path advances by.
+pub const WEIGHTS_PER_BLOCK: usize = CLUSTERS_PER_BLOCK * 3;
 
 /// Encodes a signed value into an `n`-bit sign-magnitude field
 /// (`n - 1` magnitude bits, sign in the top bit). Negative zero is

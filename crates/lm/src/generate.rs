@@ -20,6 +20,7 @@
 
 use crate::config::{Activation, ModelConfig};
 use crate::model::{rmsnorm_rows, Transformer, WeightSite};
+use fineq_core::KernelScratch;
 use fineq_tensor::{activation, softmax_in_place, Matrix, Rng};
 
 /// Per-layer key/value history for incremental decoding.
@@ -239,30 +240,42 @@ impl Transformer {
         let d = cfg.d_model;
         let t = cache.len;
 
+        // Per-site output buffers hoisted out of the layer loop
+        // (`matvec_into` overwrites them whole), and the pool — if the
+        // model carries one — fans each packed site's channels out.
+        let pool = self.pool_ref();
+        let mut q = vec![0.0f32; d];
+        let mut k = vec![0.0f32; d];
+        let mut v = vec![0.0f32; d];
+        let mut ctx = vec![0.0f32; d];
+        let mut attn_out = vec![0.0f32; d];
+        let mut mid = vec![0.0f32; cfg.d_ff];
+        let mut ffn_out = vec![0.0f32; d];
+
         let mut h = self.embedding().row(token).to_vec();
         for l in 0..cfg.n_layers {
             // ---- attention ----
             let x = rmsnorm_vec(&h);
-            let q = self.weight(l, WeightSite::AttnQ).matvec(&x);
-            let k = self.weight(l, WeightSite::AttnK).matvec(&x);
-            let v = self.weight(l, WeightSite::AttnV).matvec(&x);
+            self.weight(l, WeightSite::AttnQ).matvec_into(&x, &mut q, pool);
+            self.weight(l, WeightSite::AttnK).matvec_into(&x, &mut k, pool);
+            self.weight(l, WeightSite::AttnV).matvec_into(&x, &mut v, pool);
             cache.push(l, &k, &v);
             let (ks, vs) = &cache.layers[l];
-            let mut ctx = vec![0.0f32; d];
+            ctx.fill(0.0);
             attend_one(cfg, &q, ks, vs, t, &mut ctx);
-            let attn_out = self.weight(l, WeightSite::AttnO).matvec(&ctx);
+            self.weight(l, WeightSite::AttnO).matvec_into(&ctx, &mut attn_out, pool);
             for (hv, a) in h.iter_mut().zip(&attn_out) {
                 *hv += a;
             }
 
             // ---- FFN ----
             let x2 = rmsnorm_vec(&h);
-            let mut mid = self.weight(l, WeightSite::FfnUp).matvec(&x2);
+            self.weight(l, WeightSite::FfnUp).matvec_into(&x2, &mut mid, pool);
             match cfg.activation {
                 Activation::Relu => mid.iter_mut().for_each(|m| *m = activation::relu(*m)),
                 Activation::Silu => mid.iter_mut().for_each(|m| *m = activation::silu(*m)),
             }
-            let ffn_out = self.weight(l, WeightSite::FfnDown).matvec(&mid);
+            self.weight(l, WeightSite::FfnDown).matvec_into(&mid, &mut ffn_out, pool);
             for (hv, f) in h.iter_mut().zip(&ffn_out) {
                 *hv += f;
             }
@@ -301,6 +314,26 @@ impl Transformer {
         slots: &[usize],
         cache: &mut BatchKvCache,
     ) -> Matrix {
+        self.forward_step_batch_with(tokens, slots, cache, &mut KernelScratch::new())
+    }
+
+    /// [`Transformer::forward_step_batch`] with caller-owned kernel
+    /// scratch, so a serving loop reuses the restaging/accumulator buffers
+    /// across **steps**, not just across one step's layers (the
+    /// [`crate::serving::BatchScheduler`] holds one scratch for its whole
+    /// lifetime). Scratch reuse never changes arithmetic — outputs are
+    /// identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// As [`Transformer::forward_step_batch`].
+    pub fn forward_step_batch_with(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+        scratch: &mut KernelScratch,
+    ) -> Matrix {
         let cfg = self.config();
         assert_eq!(tokens.len(), slots.len(), "one cache slot per token");
         assert!(!tokens.is_empty(), "batch must contain at least one sequence");
@@ -321,12 +354,16 @@ impl Transformer {
             h.row_mut(i).copy_from_slice(self.embedding().row(tok));
         }
 
+        // The caller-owned scratch is shared across every layer's six
+        // linear sites; the model's pool (if any) fans packed channel
+        // loops across workers without touching per-sequence arithmetic.
+        let pool = self.pool_ref();
         for l in 0..cfg.n_layers {
             // ---- attention ----
             let x = rmsnorm_rows(&h);
-            let q = self.weight(l, WeightSite::AttnQ).matmul_t(&x);
-            let k = self.weight(l, WeightSite::AttnK).matmul_t(&x);
-            let v = self.weight(l, WeightSite::AttnV).matmul_t(&x);
+            let q = self.weight(l, WeightSite::AttnQ).matmul_t_with(&x, scratch, pool);
+            let k = self.weight(l, WeightSite::AttnK).matmul_t_with(&x, scratch, pool);
+            let v = self.weight(l, WeightSite::AttnV).matmul_t_with(&x, scratch, pool);
             let mut ctx = Matrix::zeros(b, d);
             for (i, &slot) in slots.iter().enumerate() {
                 let sc = &mut cache.slots[slot];
@@ -335,12 +372,12 @@ impl Transformer {
                 let (ks, vs) = &sc.layers[l];
                 attend_one(cfg, q.row(i), ks, vs, t, ctx.row_mut(i));
             }
-            let attn_out = self.weight(l, WeightSite::AttnO).matmul_t(&ctx);
+            let attn_out = self.weight(l, WeightSite::AttnO).matmul_t_with(&ctx, scratch, pool);
             h.add_in_place(&attn_out);
 
             // ---- FFN ----
             let x2 = rmsnorm_rows(&h);
-            let mut mid = self.weight(l, WeightSite::FfnUp).matmul_t(&x2);
+            let mut mid = self.weight(l, WeightSite::FfnUp).matmul_t_with(&x2, scratch, pool);
             match cfg.activation {
                 Activation::Relu => {
                     mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::relu(*m))
@@ -349,7 +386,7 @@ impl Transformer {
                     mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::silu(*m))
                 }
             }
-            let ffn_out = self.weight(l, WeightSite::FfnDown).matmul_t(&mid);
+            let ffn_out = self.weight(l, WeightSite::FfnDown).matmul_t_with(&mid, scratch, pool);
             h.add_in_place(&ffn_out);
         }
         for &slot in slots {

@@ -54,6 +54,7 @@ pub use builder::{build_fitted_model, BuilderSpec};
 pub use config::{Activation, ModelConfig, SimPreset};
 pub use corpus::{Corpus, TokenStream};
 pub use eval::{cross_entropy, perplexity};
+pub use fineq_core::{KernelScratch, ThreadPool};
 pub use generate::{BatchKvCache, KvCache};
 pub use memory::ServingMemory;
 pub use model::{LinearWeight, Transformer, WeightSite};

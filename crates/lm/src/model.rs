@@ -12,8 +12,9 @@
 //! [`Transformer::weight_mut`]), dense or packed alike.
 
 use crate::config::{Activation, ModelConfig};
-use fineq_core::PackedMatrix;
+use fineq_core::{KernelScratch, PackedMatrix, ThreadPool};
 use fineq_tensor::{activation, softmax_in_place, Matrix};
+use std::sync::Arc;
 
 /// Backend storage of one linear layer's weights.
 ///
@@ -117,9 +118,32 @@ impl LinearWeight {
     ///
     /// Panics if `a.cols()` differs from the weight columns.
     pub fn matmul_t(&self, a: &Matrix) -> Matrix {
+        self.matmul_t_with(a, &mut KernelScratch::new(), None)
+    }
+
+    /// [`LinearWeight::matmul_t`] with reusable kernel scratch and an
+    /// optional channel-parallel [`ThreadPool`] — the form the per-layer
+    /// forward loops call so restaging/accumulator buffers survive across
+    /// layers and packed sites fan out across cores. Output is
+    /// bit-identical to the serial path at any thread count (dense sites
+    /// run the unchanged dense GEMM either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols()` differs from the weight columns.
+    pub fn matmul_t_with(
+        &self,
+        a: &Matrix,
+        scratch: &mut KernelScratch,
+        pool: Option<&ThreadPool>,
+    ) -> Matrix {
         match self {
             LinearWeight::Dense(m) => a.matmul_transpose(m),
-            LinearWeight::Packed(p) => p.matmul_t(a),
+            LinearWeight::Packed(p) => {
+                let mut out = Matrix::zeros(a.rows(), p.rows());
+                p.matmul_t_into_with(a, &mut out, scratch, pool);
+                out
+            }
         }
     }
 
@@ -130,12 +154,31 @@ impl LinearWeight {
     ///
     /// Panics if `x.len()` differs from the weight columns.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.rows()];
+        self.matvec_into(x, &mut out, None);
+        out
+    }
+
+    /// In-place [`LinearWeight::matvec`]: `y = W x` written into a reused
+    /// `out`, with packed sites optionally distributing the channel loop
+    /// over `pool` (bit-identical to serial at any thread count). The
+    /// incremental decode loop calls this once per site per layer with
+    /// buffers hoisted out of the layer loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the weight columns or `out.len()`
+    /// from the weight rows.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32], pool: Option<&ThreadPool>) {
         match self {
             LinearWeight::Dense(m) => {
                 assert_eq!(x.len(), m.cols(), "matvec shape mismatch");
-                (0..m.rows()).map(|r| m.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+                assert_eq!(out.len(), m.rows(), "matvec output mismatch");
+                for (o, r) in out.iter_mut().zip(0..m.rows()) {
+                    *o = m.row(r).iter().zip(x).map(|(a, b)| a * b).sum();
+                }
             }
-            LinearWeight::Packed(p) => p.matvec(x),
+            LinearWeight::Packed(p) => p.matvec_into(x, out, pool),
         }
     }
 
@@ -274,12 +317,33 @@ pub struct ActivationTrace {
 }
 
 /// A decoder-only transformer with explicit weights.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Besides its weights the model may carry an execution-context
+/// [`ThreadPool`] (shared `Arc`, cloned with the model): every forward
+/// entry point distributes the packed kernels' channel loops over it.
+/// Because the pool's distribution never changes per-channel arithmetic,
+/// a model computes **bit-identical outputs at any thread count** — the
+/// pool is pure execution configuration, which is why [`PartialEq`]
+/// compares weights only and ignores it.
+#[derive(Debug, Clone)]
 pub struct Transformer {
     cfg: ModelConfig,
     embedding: Matrix,
     blocks: Vec<Block>,
     head: Matrix,
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl PartialEq for Transformer {
+    /// Model identity is its architecture and weights; the thread pool is
+    /// execution configuration and does not participate (any thread count
+    /// produces bit-identical outputs).
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg
+            && self.embedding == other.embedding
+            && self.blocks == other.blocks
+            && self.head == other.head
+    }
 }
 
 /// Row-wise RMS normalization (no learned gain; the constructed models do
@@ -306,7 +370,26 @@ impl Transformer {
         let blocks = (0..cfg.n_layers).map(|_| Block::zeros(&cfg)).collect();
         let embedding = Matrix::zeros(cfg.vocab, cfg.d_model);
         let head = Matrix::zeros(cfg.vocab, cfg.d_model);
-        Self { cfg, embedding, blocks, head }
+        Self { cfg, embedding, blocks, head, pool: None }
+    }
+
+    /// Installs (or removes, with `None`) the thread pool every forward
+    /// entry point distributes its packed channel loops over. The pool is
+    /// shared: clones of the model keep the same `Arc`, so one pool serves
+    /// a whole serving stack. Thread count never changes model output —
+    /// parallel kernels are bit-identical to serial (asserted by tests).
+    pub fn set_thread_pool(&mut self, pool: Option<Arc<ThreadPool>>) {
+        self.pool = pool;
+    }
+
+    /// The installed execution thread pool, if any.
+    pub fn thread_pool(&self) -> Option<&Arc<ThreadPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The pool as the borrow the kernels take.
+    pub(crate) fn pool_ref(&self) -> Option<&ThreadPool> {
+        self.pool.as_deref()
     }
 
     /// The architecture.
@@ -430,19 +513,23 @@ impl Transformer {
             h.row_mut(t).copy_from_slice(self.embedding.row(tok));
         }
 
+        // One kernel scratch survives all layers' linear sites; the pool
+        // (if any) fans each packed site's channel loop across workers.
+        let mut scratch = KernelScratch::new();
+        let pool = self.pool_ref();
         for block in &self.blocks {
             // ---- attention sub-block ----
             let x = rmsnorm_rows(&h);
-            let q = block.wq.matmul_t(&x);
-            let k = block.wk.matmul_t(&x);
-            let v = block.wv.matmul_t(&x);
+            let q = block.wq.matmul_t_with(&x, &mut scratch, pool);
+            let k = block.wk.matmul_t_with(&x, &mut scratch, pool);
+            let v = block.wv.matmul_t_with(&x, &mut scratch, pool);
             let ctx = self.attention(&q, &k, &v);
-            let attn_out = block.wo.matmul_t(&ctx);
+            let attn_out = block.wo.matmul_t_with(&ctx, &mut scratch, pool);
             h.add_in_place(&attn_out);
 
             // ---- FFN sub-block ----
             let x2 = rmsnorm_rows(&h);
-            let mut mid = block.w1.matmul_t(&x2);
+            let mut mid = block.w1.matmul_t_with(&x2, &mut scratch, pool);
             match self.cfg.activation {
                 Activation::Relu => {
                     for m in mid.as_mut_slice() {
@@ -455,7 +542,7 @@ impl Transformer {
                     }
                 }
             }
-            let ffn_out = block.w2.matmul_t(&mid);
+            let ffn_out = block.w2.matmul_t_with(&mid, &mut scratch, pool);
             h.add_in_place(&ffn_out);
 
             if let Some(tr) = trace.as_deref_mut() {

@@ -20,6 +20,7 @@
 
 use crate::generate::{sample_token, BatchKvCache};
 use crate::model::Transformer;
+use fineq_core::KernelScratch;
 use fineq_tensor::Rng;
 use std::collections::VecDeque;
 
@@ -101,6 +102,9 @@ pub struct BatchScheduler {
     finished: Vec<FinishedSequence>,
     steps: u64,
     stepped_tokens: u64,
+    /// Kernel restaging/accumulator buffers, reused across every step of
+    /// the scheduler's lifetime (pure scratch: never affects output).
+    scratch: KernelScratch,
 }
 
 impl BatchScheduler {
@@ -122,12 +126,23 @@ impl BatchScheduler {
             finished: Vec::new(),
             steps: 0,
             stepped_tokens: 0,
+            scratch: KernelScratch::new(),
         }
     }
 
     /// The served model.
     pub fn model(&self) -> &Transformer {
         &self.model
+    }
+
+    /// The channel-parallel thread pool the served model executes with, if
+    /// one is installed (see [`Transformer::set_thread_pool`]). Every
+    /// batched step's packed weight decode fans out over it; because the
+    /// parallel kernels are bit-identical to serial, the thread count never
+    /// affects served tokens — it stacks multiplicatively with batching as
+    /// pure throughput.
+    pub fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {
+        self.model.thread_pool()
     }
 
     /// The live batch cache (for memory accounting).
@@ -230,7 +245,12 @@ impl BatchScheduler {
         if tokens.is_empty() {
             return 0;
         }
-        let logits = self.model.forward_step_batch(&tokens, &slot_ids, &mut self.cache);
+        let logits = self.model.forward_step_batch_with(
+            &tokens,
+            &slot_ids,
+            &mut self.cache,
+            &mut self.scratch,
+        );
         self.steps += 1;
         self.stepped_tokens += tokens.len() as u64;
 

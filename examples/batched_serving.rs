@@ -26,6 +26,9 @@ fn main() {
         serve_packed(&model, &FineQuantizer::paper(), &PipelineConfig::default(), max_batch);
     println!("serving a fully packed model : {:.2} bits/weight", report.avg_bits);
     println!("batch slots                  : {max_batch}");
+    // serve_packed sizes one shared kernel pool from FINEQ_THREADS (else
+    // available parallelism); thread count never changes served tokens.
+    println!("kernel threads               : {}", sched.thread_pool().map_or(1, |p| p.threads()));
 
     // Ten requests with different prompts, budgets and seeds — more than
     // the batch holds, so retirement backfills slots mid-decode.

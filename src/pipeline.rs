@@ -7,10 +7,11 @@
 //! Embeddings and the readout head stay in full precision, the standard
 //! protocol of the GPTQ/OWQ line of work the paper compares against.
 
-use fineq_core::FineQuantizer;
+use fineq_core::{pool::default_threads, FineQuantizer, ThreadPool};
 use fineq_lm::{BatchScheduler, LinearWeight, Transformer, WeightSite};
 use fineq_quant::{Calibration, QuantMetrics, QuantResult, WeightQuantizer};
 use fineq_tensor::Matrix;
+use std::sync::Arc;
 
 /// Pipeline options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -254,6 +255,12 @@ pub fn quantize_model_packed(
 /// request's output is token-identical to
 /// [`Transformer::generate`] on the same packed model with the same seed.
 ///
+/// The packed model is given one shared channel-parallel [`ThreadPool`]
+/// sized by [`default_threads`] (`FINEQ_THREADS` override, else the
+/// machine's available parallelism); parallel kernels are bit-identical to
+/// serial, so the thread count is pure throughput, never output. Use
+/// [`serve_packed_with_threads`] to pick the count explicitly.
+///
 /// # Panics
 ///
 /// Panics if the quantizer configuration is not packable, the source model
@@ -264,7 +271,29 @@ pub fn serve_packed(
     config: &PipelineConfig,
     max_batch: usize,
 ) -> (BatchScheduler, QuantizeReport) {
-    let (packed, report) = quantize_model_packed(model, quantizer, config);
+    serve_packed_with_threads(model, quantizer, config, max_batch, default_threads())
+}
+
+/// [`serve_packed`] with an explicit kernel thread count. The pool is
+/// constructed **once** and shared by every forward pass the scheduler
+/// runs (`threads == 1` installs no pool: the serial path, same output).
+///
+/// # Panics
+///
+/// Panics if the quantizer configuration is not packable, the source model
+/// is not dense, `max_batch` is zero, or `threads` is zero.
+pub fn serve_packed_with_threads(
+    model: &Transformer,
+    quantizer: &FineQuantizer,
+    config: &PipelineConfig,
+    max_batch: usize,
+    threads: usize,
+) -> (BatchScheduler, QuantizeReport) {
+    assert!(threads > 0, "serving needs at least one kernel thread");
+    let (mut packed, report) = quantize_model_packed(model, quantizer, config);
+    if threads > 1 {
+        packed.set_thread_pool(Some(Arc::new(ThreadPool::new(threads))));
+    }
     (BatchScheduler::new(packed, max_batch), report)
 }
 
