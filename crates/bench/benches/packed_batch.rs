@@ -24,7 +24,10 @@
 
 use fineq::core::{FineQuantizer, ThreadPool};
 use fineq::lm::builder::{llm_like_matrix, BuilderSpec};
-use fineq::lm::{BatchKvCache, KvCache, ModelConfig, Transformer, WeightSite};
+use fineq::lm::{
+    BatchKvCache, BatchScheduler, KvCache, ModelConfig, ServeRequest, ShardedModel,
+    ShardedScheduler, Transformer, WeightSite,
+};
 use fineq::tensor::{Matrix, Rng};
 use fineq_bench::report::{JsonValue, Report};
 use fineq_bench::timing::section;
@@ -112,9 +115,15 @@ fn solo_loop_tps(model: &Transformer, n_seqs: usize) -> f64 {
     })
 }
 
-/// One batched decode loop (`forward_step_batch`) over `b` sequences.
-fn batched_tps(model: &Transformer, b: usize) -> f64 {
-    let cfg = model.config().clone();
+/// One batched greedy decode loop over `b` sequences, with the step
+/// supplied by the caller — shared by the unsharded
+/// (`Transformer::forward_step_batch`) and sharded
+/// (`ShardedModel::forward_step_batch`) measurements.
+fn batched_tps_with(
+    cfg: &ModelConfig,
+    b: usize,
+    mut step_fn: impl FnMut(&[usize], &[usize], &mut BatchKvCache) -> Matrix,
+) -> f64 {
     let prompts = prompts(b, cfg.vocab);
     let slots: Vec<usize> = (0..b).collect();
     tokens_per_sec(|| {
@@ -122,7 +131,7 @@ fn batched_tps(model: &Transformer, b: usize) -> f64 {
         let mut next: Vec<usize> = prompts.iter().map(|p| p[0]).collect();
         let mut tokens = 0u64;
         for step in 0..PROMPT_LEN + DECODE_STEPS {
-            let logits = model.forward_step_batch(&next, &slots, &mut cache);
+            let logits = step_fn(&next, &slots, &mut cache);
             tokens += b as u64;
             for (s, nx) in next.iter_mut().enumerate() {
                 *nx = if step + 1 < PROMPT_LEN {
@@ -134,6 +143,47 @@ fn batched_tps(model: &Transformer, b: usize) -> f64 {
         }
         tokens
     })
+}
+
+/// One batched decode loop (`forward_step_batch`) over `b` sequences.
+fn batched_tps(model: &Transformer, b: usize) -> f64 {
+    batched_tps_with(model.config(), b, |t, s, c| model.forward_step_batch(t, s, c))
+}
+
+/// FNV-1a over a finished-sequence set (sorted by id): the output
+/// fingerprint the sharded determinism gate compares.
+fn finished_hash(mut done: Vec<fineq::lm::FinishedSequence>) -> u64 {
+    done.sort_by_key(|f| f.id);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for f in &done {
+        eat(f.id);
+        eat(f.prompt_len as u64);
+        for &t in &f.generated {
+            eat(t as u64);
+        }
+    }
+    h
+}
+
+/// A seeded serving workload (temperature sampling, eos retirement,
+/// backfill through 4 slots) submitted to any scheduler via `submit`.
+fn submit_gate_workload(vocab: usize, mut submit: impl FnMut(ServeRequest)) {
+    for id in 0..6u64 {
+        let prompt: Vec<usize> =
+            (0..3 + id as usize % 3).map(|i| (id as usize * 11 + i * 5) % vocab).collect();
+        submit(ServeRequest {
+            temperature: 0.9,
+            seed: 700 + id,
+            eos: Some(0),
+            ..ServeRequest::new(id, prompt, 6 + id as usize % 3)
+        });
+    }
 }
 
 /// A copy of `model` executing with `threads` kernel threads (no pool at
@@ -197,6 +247,46 @@ fn main() {
         if scaling_gate_enforced { "enforced" } else { "recorded only: host has < 4 CPUs" }
     );
 
+    section("sharded serving (row-sharded weights, shard-parallel gather)");
+    let mut sharded_entries: Vec<(String, JsonValue)> = Vec::new();
+    for n_shards in [1usize, 2, 4] {
+        let mut sharded = ShardedModel::new(&packed, n_shards);
+        // Shards are the parallelism grain: pool sized to the shard count.
+        sharded.set_thread_pool(if n_shards > 1 {
+            Some(Arc::new(ThreadPool::new(n_shards)))
+        } else {
+            None
+        });
+        let tps =
+            batched_tps_with(packed.config(), 16, |t, s, c| sharded.forward_step_batch(t, s, c));
+        println!(
+            "   batch 16, {n_shards} worker shard(s)            {tps:>10.0} tok/s  \
+             ({} bytes on shard 0)",
+            sharded.shard_weight_bytes(0)
+        );
+        sharded_entries.push((n_shards.to_string(), JsonValue::Num(tps)));
+    }
+
+    section("sharded determinism gate (output hash, runs on any host)");
+    let unsharded_hash = {
+        let mut sched = BatchScheduler::new(packed.clone(), 4);
+        submit_gate_workload(packed.config().vocab, |r| sched.submit(r));
+        finished_hash(sched.run())
+    };
+    println!("   unsharded BatchScheduler hash : {unsharded_hash:016x}");
+    let mut sharded_hashes_equal = true;
+    for n_shards in [1usize, 2, 3] {
+        let mut sched = ShardedScheduler::new(ShardedModel::new(&packed, n_shards), 4);
+        submit_gate_workload(packed.config().vocab, |r| sched.submit(r));
+        let h = finished_hash(sched.run());
+        let ok = h == unsharded_hash;
+        sharded_hashes_equal &= ok;
+        println!(
+            "   {n_shards} shard(s)                     : {h:016x}  {}",
+            if ok { "== unsharded" } else { "MISMATCH" }
+        );
+    }
+
     section("dense reference (same shapes, fp32 weights)");
     let dense_solo16 = solo_loop_tps(&dense, 16);
     let dense_batch16 = batched_tps(&dense, 16);
@@ -218,6 +308,9 @@ fn main() {
         .push_obj("threads_tokens_per_sec", thread_entries)
         .push_obj("tokens_per_sec_per_thread", per_thread_entries)
         .push("thread4_speedup_vs_thread1", thread_scaling)
+        .push_obj("sharded_batch16_tokens_per_sec", sharded_entries)
+        .push("sharded_output_hash", format!("{unsharded_hash:016x}").as_str())
+        .push("gate_sharded_matches_unsharded", sharded_hashes_equal)
         .push("dense_solo_loop_tokens_per_sec", dense_solo16)
         .push("dense_batch16_tokens_per_sec", dense_batch16)
         .push("batch16_speedup_vs_batch1", speedup16)
@@ -249,8 +342,16 @@ fn main() {
              {thread_scaling:.2}x ({t4:.0} vs {t1:.0} tok/s) on {host_cpus} CPUs"
         );
     }
+    // Determinism gate: sharded scheduler output must equal the unsharded
+    // scheduler's, exactly. Pure arithmetic — enforced on every host,
+    // 1-CPU containers included.
+    assert!(
+        sharded_hashes_equal,
+        "sharded serving output diverged from the unsharded scheduler \
+         (reference hash {unsharded_hash:016x})"
+    );
     println!(
         "packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16, \
-         {thread_scaling:.2}x at 4 threads)"
+         {thread_scaling:.2}x at 4 threads, sharded output bit-identical)"
     );
 }

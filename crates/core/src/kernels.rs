@@ -215,6 +215,23 @@ fn resized(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
     &mut buf[..]
 }
 
+/// Restages row-major activations `a` (`T x cols`) column-major into
+/// `buf`: afterwards `buf[i * T + t] == a[(t, i)]`, the layout
+/// `accumulate_columns` consumes (`T` contiguous values per weight index).
+/// Factored out of the batched GEMM so the sharded gather restages the
+/// batch **once** and broadcasts the same buffer to every shard.
+fn restage_columns<'s>(a: &Matrix, buf: &'s mut Vec<f32>) -> &'s [f32] {
+    let t_len = a.rows();
+    let cols = a.cols();
+    let staged = resized(buf, cols * t_len);
+    for (t, arow) in a.as_slice().chunks_exact(cols).enumerate() {
+        for (i, &v) in arow.iter().enumerate() {
+            staged[i * t_len + t] = v;
+        }
+    }
+    staged
+}
+
 /// Mutable access to disjoint ranges of one output buffer from concurrent
 /// workers. Safety rests on the caller: every index must be written by at
 /// most one worker (the kernels partition by channel, and each channel
@@ -638,7 +655,6 @@ impl PackedMatrix {
             self.cols()
         );
         let t_len = a.rows();
-        let cols = self.cols();
         let rows = self.rows();
         assert_eq!(
             (out.rows(), out.cols()),
@@ -648,14 +664,7 @@ impl PackedMatrix {
         let KernelScratch { a_t, acc2, acc3, worker_acc } = scratch;
         // Column-major restaging: a_t[i] holds activation column i across
         // the T batch rows, contiguous for the lane accumulate below.
-        let a_t = resized(a_t, cols * t_len);
-        let a_data = a.as_slice();
-        for (t, arow) in a_data.chunks_exact(cols).enumerate() {
-            for (i, &v) in arow.iter().enumerate() {
-                a_t[i * t_len + t] = v;
-            }
-        }
-        let a_t: &[f32] = a_t;
+        let a_t: &[f32] = restage_columns(a, a_t);
         let writer = SendSlice::new(out.as_mut_slice());
         let channel_range = |start: usize, end: usize, acc2: &mut [f32], acc3: &mut [f32]| {
             for (ro, ch) in self.channels()[start..end].iter().enumerate() {
@@ -708,6 +717,145 @@ impl PackedMatrix {
     /// see [`PackedChannel::storage_bytes`] for the accounting.
     pub fn storage_bytes(&self) -> usize {
         self.channels().iter().map(|c| c.storage_bytes()).sum()
+    }
+}
+
+/// Validates a shard list: every slice's columns match the activations,
+/// every output range `offset..offset + rows` is in bounds, and ranges are
+/// pairwise disjoint (the safety contract of the concurrent writes).
+fn assert_shard_ranges(
+    shards: &[(usize, PackedMatrix)],
+    a_cols: usize,
+    out_cols: usize,
+    kernel: &str,
+) {
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(shards.len());
+    for (off, m) in shards {
+        let off = *off;
+        assert_eq!(m.cols(), a_cols, "{kernel}: shard columns must match the activations");
+        let end = off.checked_add(m.rows()).expect("shard range overflows");
+        assert!(end <= out_cols, "{kernel}: shard range {off}..{end} exceeds output {out_cols}");
+        ranges.push((off, end));
+    }
+    ranges.sort_unstable();
+    for w in ranges.windows(2) {
+        assert!(w[0].1 <= w[1].0, "{kernel}: shard ranges {:?} and {:?} overlap", w[0], w[1]);
+    }
+}
+
+/// Shard-parallel fused GEMV gather: for every `(offset, slice)`,
+/// `out[offset..offset + slice.rows()] = slice @ x`, with whole shards
+/// fanned over `pool` as the work items (the shard **is** the parallelism
+/// grain here — inner channel loops stay serial, so the entry composes
+/// with a pool already owned by a higher layer without nesting jobs).
+/// Each channel's dot product is the exact scalar-path arithmetic, so when
+/// the shards are row slices of one matrix the gathered output is
+/// bit-identical to the unsharded [`PackedMatrix::matvec_into`] at any
+/// shard count and thread count. A single shard covering the whole output
+/// delegates to the channel-parallel unsharded kernel.
+///
+/// # Panics
+///
+/// Panics if a slice's columns differ from `x.len()`, a range exceeds
+/// `out`, or ranges overlap. Ranges need not cover all of `out`; uncovered
+/// entries are left untouched.
+pub fn matvec_sharded_into(
+    shards: &[(usize, PackedMatrix)],
+    x: &[f32],
+    out: &mut [f32],
+    pool: Option<&ThreadPool>,
+) {
+    assert_shard_ranges(shards, x.len(), out.len(), "matvec_sharded");
+    if let [(0, m)] = shards {
+        if m.rows() == out.len() {
+            return m.matvec_into(x, out, pool);
+        }
+    }
+    let serial = |shards: &[(usize, PackedMatrix)], out: &mut [f32]| {
+        for (off, m) in shards {
+            for (o, ch) in out[*off..off + m.rows()].iter_mut().zip(m.channels()) {
+                *o = ch.dot(x);
+            }
+        }
+    };
+    match pool {
+        Some(pool) if pool.threads() > 1 && shards.len() > 1 => {
+            let writer = SendSlice::new(out);
+            pool.run(shards.len(), 1, &|_, start, end| {
+                for (off, m) in &shards[start..end] {
+                    // Safety: shard ranges are asserted disjoint above and
+                    // each shard belongs to exactly one chunk.
+                    let slice = unsafe { writer.slice_mut(*off, off + m.rows()) };
+                    for (o, ch) in slice.iter_mut().zip(m.channels()) {
+                        *o = ch.dot(x);
+                    }
+                }
+            });
+        }
+        _ => serial(shards, out),
+    }
+}
+
+/// Shard-parallel fused gather GEMM: `Y[:, offset..offset + rows] =
+/// A @ sliceᵀ` for every `(offset, slice)` — the batched serving op of a
+/// row-sharded weight site. The activations are restaged column-major
+/// **once** (the broadcast half of a sharded step) and every shard reads
+/// the same buffer; whole shards fan out over `pool`, each writing its own
+/// disjoint output columns. Per-channel accumulation is identical to
+/// [`PackedMatrix::matmul_t_into_with`], so gathering row slices of one
+/// matrix reproduces the unsharded output **bit for bit** at any shard and
+/// thread count. A single shard covering the whole output delegates to the
+/// channel-parallel unsharded kernel.
+///
+/// # Panics
+///
+/// Panics if `out.rows() != a.rows()`, a slice's columns differ from
+/// `a.cols()`, a range exceeds `out.cols()`, or ranges overlap.
+pub fn matmul_t_sharded_into(
+    shards: &[(usize, PackedMatrix)],
+    a: &Matrix,
+    out: &mut Matrix,
+    scratch: &mut KernelScratch,
+    pool: Option<&ThreadPool>,
+) {
+    let t_len = a.rows();
+    let out_cols = out.cols();
+    assert_eq!(out.rows(), t_len, "matmul_t_sharded output must have {t_len} rows");
+    assert_shard_ranges(shards, a.cols(), out_cols, "matmul_t_sharded");
+    if let [(0, m)] = shards {
+        if m.rows() == out_cols {
+            return m.matmul_t_into_with(a, out, scratch, pool);
+        }
+    }
+    let KernelScratch { a_t, acc2, acc3, worker_acc } = scratch;
+    let a_t: &[f32] = restage_columns(a, a_t);
+    let writer = SendSlice::new(out.as_mut_slice());
+    let shard_range = |start: usize, end: usize, acc2: &mut [f32], acc3: &mut [f32]| {
+        for (off, m) in &shards[start..end] {
+            for (r, ch) in m.channels().iter().enumerate() {
+                accumulate_columns(ch, a_t, t_len, acc2, acc3);
+                let (s2, s3) = (ch.scale2(), ch.scale3());
+                for t in 0..t_len {
+                    // Safety: shard ranges are disjoint and channel `r`
+                    // writes only its own `off + r` output column.
+                    unsafe { writer.write(t * out_cols + off + r, s2 * acc2[t] + s3 * acc3[t]) };
+                }
+            }
+        }
+    };
+    match pool {
+        Some(pool) if pool.threads() > 1 && shards.len() > 1 => {
+            // One reused accumulator pair per pool worker; `run` guarantees
+            // at most one live chunk per worker index.
+            let accs = SendSlice::new(worker_accs(worker_acc, pool.threads(), t_len));
+            pool.run(shards.len(), 1, &|worker, start, end| {
+                // Safety: worker indices are exclusive while a chunk is
+                // live, so each accumulator pair has one user at a time.
+                let (acc2, acc3) = unsafe { &mut accs.slice_mut(worker, worker + 1)[0] };
+                shard_range(start, end, acc2, acc3);
+            });
+        }
+        _ => shard_range(0, shards.len(), resized(acc2, t_len), resized(acc3, t_len)),
     }
 }
 
@@ -895,6 +1043,52 @@ mod tests {
                 assert_eq!(mm, serial_mm, "matmul {rows}x{cols} threads {threads}");
             }
         }
+    }
+
+    #[test]
+    fn sharded_gathers_are_bit_identical_to_unsharded() {
+        // Row slices of one matrix, gathered shard-parallel, must equal the
+        // unsharded kernels exactly — uneven splits, a 1-row slice, and a
+        // split finer than the channel count all included.
+        for (rows, cols, seed) in [(13usize, 67usize, 51u64), (4, 24, 52), (1, 9, 53)] {
+            let (_, packed) = random_packed(rows, cols, seed);
+            let mut rng = Rng::seed_from(seed ^ 0x5A5A);
+            let x: Vec<f32> = (0..cols).map(|_| rng.normal(0.0, 1.0)).collect();
+            let a = Matrix::from_fn(5, cols, |_, _| rng.normal(0.0, 1.0));
+            let serial_mv = packed.matvec(&x);
+            let serial_mt = packed.matmul_t(&a);
+            for n_shards in [1usize, 2, 3, 5] {
+                // Contiguous split, deliberately uneven: ceil-sized head.
+                let chunk = rows.div_ceil(n_shards);
+                let mut slices = Vec::new();
+                let mut start = 0;
+                while start < rows {
+                    let end = (start + chunk).min(rows);
+                    slices.push((start, packed.slice_rows(start, end)));
+                    start = end;
+                }
+                for threads in [1usize, 3] {
+                    let pool = ThreadPool::new(threads);
+                    let mut scratch = KernelScratch::new();
+                    let mut mv = vec![f32::NAN; rows];
+                    matvec_sharded_into(&slices, &x, &mut mv, Some(&pool));
+                    assert_eq!(mv, serial_mv, "{rows}x{cols} shards {n_shards} t {threads}");
+                    let mut mt = Matrix::zeros(5, rows);
+                    matmul_t_sharded_into(&slices, &a, &mut mt, &mut scratch, Some(&pool));
+                    assert_eq!(mt, serial_mt, "{rows}x{cols} shards {n_shards} t {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges")]
+    fn overlapping_shard_ranges_are_rejected() {
+        let (_, packed) = random_packed(6, 24, 54);
+        let a = packed.slice_rows(0, 4);
+        let b = packed.slice_rows(2, 6);
+        let mut out = vec![0.0f32; 6];
+        matvec_sharded_into(&[(0, a), (2, b)], &[0.0; 24], &mut out, None);
     }
 
     #[test]

@@ -325,6 +325,24 @@ impl PackedMatrix {
         &self.channels
     }
 
+    /// A new matrix holding copies of channels `start..end` — the row
+    /// shard a worker serves. Channel bytes and scales are copied
+    /// verbatim, so every per-channel kernel result computed from a slice
+    /// is bit-identical to computing the same channel in the source
+    /// matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, reversed, or out of bounds.
+    pub fn slice_rows(&self, start: usize, end: usize) -> PackedMatrix {
+        assert!(start < end && end <= self.rows, "invalid row slice {start}..{end}");
+        PackedMatrix {
+            rows: end - start,
+            cols: self.cols,
+            channels: self.channels[start..end].to_vec(),
+        }
+    }
+
     /// Decodes the whole matrix.
     pub fn dequantize(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
@@ -465,6 +483,28 @@ mod tests {
         let m = PackedMatrix::new(2, 24, vec![ch.clone(), ch]);
         assert!((m.avg_bits_data() - 7.0 / 3.0).abs() < 1e-12);
         assert!(m.avg_bits_total() > m.avg_bits_data());
+    }
+
+    #[test]
+    fn slice_rows_copies_channels_verbatim() {
+        let codes = vec![ClusterCode::AllTwoBit; 4];
+        let q = vec![[1i32, -1, 0]; 8];
+        let ch = |s2: f32| PackedChannel::pack(s2, s2 / 3.0, 24, &codes, &q);
+        let m = PackedMatrix::new(3, 24, vec![ch(0.3), ch(0.6), ch(0.9)]);
+        let s = m.slice_rows(1, 3);
+        assert_eq!((s.rows(), s.cols()), (2, 24));
+        assert_eq!(s.channels(), &m.channels()[1..3]);
+        assert_eq!(s.dequantize().row(0), m.dequantize().row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid row slice")]
+    fn empty_row_slice_is_rejected() {
+        let codes = vec![ClusterCode::AllTwoBit; 4];
+        let q = vec![[0i32, 0, 0]; 8];
+        let ch = PackedChannel::pack(1.0, 1.0 / 3.0, 24, &codes, &q);
+        let m = PackedMatrix::new(1, 24, vec![ch]);
+        let _ = m.slice_rows(1, 1);
     }
 
     #[test]

@@ -151,6 +151,42 @@ impl BatchKvCache {
     pub fn reset_slot(&mut self, slot: usize) {
         self.slots[slot] = KvCache::new(self.n_layers, self.d_model);
     }
+
+    /// Marks one decoded position committed for every stepped slot — the
+    /// end-of-step bookkeeping shared by the transformer's and the sharded
+    /// engine's batched steps (both push per-layer K/V first, then commit
+    /// the position once).
+    pub(crate) fn commit_step(&mut self, slots: &[usize]) {
+        for &slot in slots {
+            self.slots[slot].len += 1;
+        }
+    }
+}
+
+/// Shared argument validation of the batched step entry points
+/// ([`Transformer::forward_step_batch_with`] and the sharded engine's
+/// mirror): shape agreement, vocabulary bounds, and **slot uniqueness** —
+/// the invariant the parallel attention fan-out's disjoint-write safety
+/// rests on, which is why it is asserted here for every caller.
+pub(crate) fn validate_batch_step(
+    cfg: &ModelConfig,
+    tokens: &[usize],
+    slots: &[usize],
+    cache: &BatchKvCache,
+) {
+    assert_eq!(tokens.len(), slots.len(), "one cache slot per token");
+    assert!(!tokens.is_empty(), "batch must contain at least one sequence");
+    assert_eq!(cache.n_layers, cfg.n_layers, "cache layer count mismatch");
+    assert_eq!(cache.d_model, cfg.d_model, "cache width mismatch");
+    let mut seen = vec![false; cache.slots.len()];
+    for &slot in slots {
+        assert!(slot < cache.slots.len(), "slot {slot} out of range");
+        assert!(!seen[slot], "slot {slot} appears twice in one step");
+        seen[slot] = true;
+    }
+    for &tok in tokens {
+        assert!(tok < cfg.vocab, "token id {tok} out of vocabulary");
+    }
 }
 
 /// One new query attending over a sequence's cached keys/values (the new
@@ -187,6 +223,131 @@ fn attend_one(cfg: &ModelConfig, q: &[f32], ks: &[f32], vs: &[f32], t: usize, ct
             }
         }
     }
+}
+
+/// One batched step's attention for one layer: appends row `i`'s new K/V
+/// to slot `slots[i]`'s history and attends its query over that history,
+/// accumulating into `ctx` row `i`.
+///
+/// Slots are sequence-independent, so with a pool and more than one row
+/// the per-slot loop fans out across workers — each work item touches only
+/// its own cache slot and its own `ctx` row (disjoint writes; slot
+/// uniqueness is asserted by [`validate_batch_step`] in every caller), and
+/// per-slot arithmetic is exactly the serial loop, so output is
+/// **bit-identical at any thread count**. This cuts the serial fraction a
+/// batched step keeps after the linear sites are parallelized (the Amdahl
+/// remainder of the channel-parallel kernels).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attend_batch(
+    cfg: &ModelConfig,
+    layer: usize,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    slots: &[usize],
+    cache: &mut BatchKvCache,
+    ctx: &mut Matrix,
+    pool: Option<&fineq_core::ThreadPool>,
+) {
+    match pool {
+        Some(pool) if pool.threads() > 1 && slots.len() > 1 => {
+            /// Raw pointer smuggled across the pool's workers; soundness
+            /// is the disjointness argument above. The accessor (rather
+            /// than a public field) keeps closures capturing the whole
+            /// `Sync` wrapper, not the bare pointer.
+            struct SendPtr<T>(*mut T);
+            unsafe impl<T: Send> Send for SendPtr<T> {}
+            unsafe impl<T: Send> Sync for SendPtr<T> {}
+            impl<T> SendPtr<T> {
+                fn get(&self) -> *mut T {
+                    self.0
+                }
+            }
+            let d = cfg.d_model;
+            let slot_ptr = SendPtr(cache.slots.as_mut_ptr());
+            let ctx_ptr = SendPtr(ctx.as_mut_slice().as_mut_ptr());
+            pool.run(slots.len(), 1, &|_, start, end| {
+                for (i, &slot) in slots.iter().enumerate().take(end).skip(start) {
+                    // Safety: slot indices are unique within a step and
+                    // `ctx` row `i` belongs to this work item alone, so
+                    // every write is disjoint from every other worker's.
+                    let sc = unsafe { &mut *slot_ptr.get().add(slot) };
+                    sc.push(layer, k.row(i), v.row(i));
+                    let t = sc.len;
+                    let (ks, vs) = &sc.layers[layer];
+                    let crow =
+                        unsafe { std::slice::from_raw_parts_mut(ctx_ptr.get().add(i * d), d) };
+                    attend_one(cfg, q.row(i), ks, vs, t, crow);
+                }
+            });
+        }
+        _ => {
+            for (i, &slot) in slots.iter().enumerate() {
+                let sc = &mut cache.slots[slot];
+                sc.push(layer, k.row(i), v.row(i));
+                let t = sc.len;
+                let (ks, vs) = &sc.layers[layer];
+                attend_one(cfg, q.row(i), ks, vs, t, ctx.row_mut(i));
+            }
+        }
+    }
+}
+
+/// The one batched decode-step body shared by
+/// [`Transformer::forward_step_batch_with`] and the sharded engine's
+/// mirror: validation, embedding lookup, the per-layer attention + FFN
+/// loop with every linear site supplied by `site_forward`, end-of-step
+/// K/V commit, head readout. Sharing the body is what makes the two
+/// engines arithmetically identical **by construction** — the only thing
+/// an engine chooses is how a linear site executes (fused in-place
+/// kernels vs broadcast + shard-parallel gather).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn batched_step_body(
+    cfg: &ModelConfig,
+    embedding: &Matrix,
+    head: &Matrix,
+    tokens: &[usize],
+    slots: &[usize],
+    cache: &mut BatchKvCache,
+    pool: Option<&fineq_core::ThreadPool>,
+    mut site_forward: impl FnMut(usize, WeightSite, &Matrix) -> Matrix,
+) -> Matrix {
+    validate_batch_step(cfg, tokens, slots, cache);
+    let b = tokens.len();
+    let d = cfg.d_model;
+
+    let mut h = Matrix::zeros(b, d);
+    for (i, &tok) in tokens.iter().enumerate() {
+        h.row_mut(i).copy_from_slice(embedding.row(tok));
+    }
+
+    for l in 0..cfg.n_layers {
+        // ---- attention ----
+        let x = rmsnorm_rows(&h);
+        let q = site_forward(l, WeightSite::AttnQ, &x);
+        let k = site_forward(l, WeightSite::AttnK, &x);
+        let v = site_forward(l, WeightSite::AttnV, &x);
+        let mut ctx = Matrix::zeros(b, d);
+        attend_batch(cfg, l, &q, &k, &v, slots, cache, &mut ctx, pool);
+        let attn_out = site_forward(l, WeightSite::AttnO, &ctx);
+        h.add_in_place(&attn_out);
+
+        // ---- FFN ----
+        let x2 = rmsnorm_rows(&h);
+        let mut mid = site_forward(l, WeightSite::FfnUp, &x2);
+        match cfg.activation {
+            Activation::Relu => {
+                mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::relu(*m))
+            }
+            Activation::Silu => {
+                mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::silu(*m))
+            }
+        }
+        let ffn_out = site_forward(l, WeightSite::FfnDown, &mid);
+        h.add_in_place(&ffn_out);
+    }
+    cache.commit_step(slots);
+    rmsnorm_rows(&h).matmul_transpose(head)
 }
 
 /// Row-vector * transposed-matrix helper: `y = x @ Wᵀ` for one position.
@@ -334,66 +495,21 @@ impl Transformer {
         cache: &mut BatchKvCache,
         scratch: &mut KernelScratch,
     ) -> Matrix {
-        let cfg = self.config();
-        assert_eq!(tokens.len(), slots.len(), "one cache slot per token");
-        assert!(!tokens.is_empty(), "batch must contain at least one sequence");
-        assert_eq!(cache.n_layers, cfg.n_layers, "cache layer count mismatch");
-        assert_eq!(cache.d_model, cfg.d_model, "cache width mismatch");
-        let b = tokens.len();
-        let d = cfg.d_model;
-        let mut seen = vec![false; cache.slots.len()];
-        for &slot in slots {
-            assert!(slot < cache.slots.len(), "slot {slot} out of range");
-            assert!(!seen[slot], "slot {slot} appears twice in one step");
-            seen[slot] = true;
-        }
-
-        let mut h = Matrix::zeros(b, d);
-        for (i, &tok) in tokens.iter().enumerate() {
-            assert!(tok < cfg.vocab, "token id {tok} out of vocabulary");
-            h.row_mut(i).copy_from_slice(self.embedding().row(tok));
-        }
-
         // The caller-owned scratch is shared across every layer's six
         // linear sites; the model's pool (if any) fans packed channel
-        // loops across workers without touching per-sequence arithmetic.
+        // loops — and the per-slot attention loop — across workers without
+        // touching per-sequence arithmetic.
         let pool = self.pool_ref();
-        for l in 0..cfg.n_layers {
-            // ---- attention ----
-            let x = rmsnorm_rows(&h);
-            let q = self.weight(l, WeightSite::AttnQ).matmul_t_with(&x, scratch, pool);
-            let k = self.weight(l, WeightSite::AttnK).matmul_t_with(&x, scratch, pool);
-            let v = self.weight(l, WeightSite::AttnV).matmul_t_with(&x, scratch, pool);
-            let mut ctx = Matrix::zeros(b, d);
-            for (i, &slot) in slots.iter().enumerate() {
-                let sc = &mut cache.slots[slot];
-                sc.push(l, k.row(i), v.row(i));
-                let t = sc.len;
-                let (ks, vs) = &sc.layers[l];
-                attend_one(cfg, q.row(i), ks, vs, t, ctx.row_mut(i));
-            }
-            let attn_out = self.weight(l, WeightSite::AttnO).matmul_t_with(&ctx, scratch, pool);
-            h.add_in_place(&attn_out);
-
-            // ---- FFN ----
-            let x2 = rmsnorm_rows(&h);
-            let mut mid = self.weight(l, WeightSite::FfnUp).matmul_t_with(&x2, scratch, pool);
-            match cfg.activation {
-                Activation::Relu => {
-                    mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::relu(*m))
-                }
-                Activation::Silu => {
-                    mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::silu(*m))
-                }
-            }
-            let ffn_out = self.weight(l, WeightSite::FfnDown).matmul_t_with(&mid, scratch, pool);
-            h.add_in_place(&ffn_out);
-        }
-        for &slot in slots {
-            cache.slots[slot].len += 1;
-        }
-        let hf = rmsnorm_rows(&h);
-        hf.matmul_transpose(self.head())
+        batched_step_body(
+            self.config(),
+            self.embedding(),
+            self.head(),
+            tokens,
+            slots,
+            cache,
+            pool,
+            |l, site, a| self.weight(l, site).matmul_t_with(a, scratch, pool),
+        )
     }
 
     /// Autoregressive generation: feeds `prompt`, then samples

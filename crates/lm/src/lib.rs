@@ -21,10 +21,17 @@
 //!   model genuinely predicts text.
 //! * [`eval`] — windowed perplexity, the paper's accuracy metric.
 //! * [`memory`] — the serving-memory layout model behind Fig. 2b.
-//! * [`serving`] — the continuous-batching scheduler: a [`BatchKvCache`]
+//! * [`serving`] — the continuous-batching schedulers: a [`BatchKvCache`]
 //!   of independent sequence slots stepped together through
 //!   `Transformer::forward_step_batch`, so packed weight streams are
-//!   decoded once per layer per step for the whole batch.
+//!   decoded once per layer per step for the whole batch; admission is by
+//!   slot count and, optionally, KV-byte headroom.
+//! * [`shard`] — row-sharded serving: a [`ShardPlan`] partitions every
+//!   packed weight site's output channels across worker shards (balanced
+//!   by packed bytes), a [`ShardedModel`] holds the slices (each
+//!   round-tripped through the versioned shard wire format), and
+//!   [`ShardedScheduler`] serves batches shard-parallel, bit-identical to
+//!   the unsharded scheduler at any shard count.
 //!
 //! ## Example
 //!
@@ -49,6 +56,7 @@ pub mod generate;
 pub mod memory;
 pub mod model;
 pub mod serving;
+pub mod shard;
 
 pub use builder::{build_fitted_model, BuilderSpec};
 pub use config::{Activation, ModelConfig, SimPreset};
@@ -58,4 +66,8 @@ pub use fineq_core::{KernelScratch, ThreadPool};
 pub use generate::{BatchKvCache, KvCache};
 pub use memory::ServingMemory;
 pub use model::{LinearWeight, Transformer, WeightSite};
-pub use serving::{BatchScheduler, FinishReason, FinishedSequence, ServeRequest};
+pub use serving::{
+    BatchScheduler, FinishReason, FinishedSequence, Scheduler, ServeModel, ServeRequest,
+    ShardedScheduler,
+};
+pub use shard::{ShardPlan, ShardedModel, SitePlan};

@@ -232,6 +232,29 @@ impl WeightSite {
         WeightSite::FfnDown,
     ];
 
+    /// Stable position in [`WeightSite::ALL`] — the per-block site number
+    /// the shard wire format's `site_id` is built from
+    /// (`layer * 6 + index`).
+    pub fn index(self) -> usize {
+        match self {
+            WeightSite::AttnQ => 0,
+            WeightSite::AttnK => 1,
+            WeightSite::AttnV => 2,
+            WeightSite::AttnO => 3,
+            WeightSite::FfnUp => 4,
+            WeightSite::FfnDown => 5,
+        }
+    }
+
+    /// Inverse of [`WeightSite::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 6`.
+    pub fn from_index(index: usize) -> WeightSite {
+        WeightSite::ALL[index]
+    }
+
     /// Short name used in reports.
     pub fn label(self) -> &'static str {
         match self {

@@ -17,11 +17,28 @@
 //! output to [`Transformer::generate`] with the same prompt, temperature
 //! and seed — independent of batch size, admission order, or which other
 //! requests share its steps (asserted by tests).
+//!
+//! One generic [`Scheduler`] serves every execution topology through the
+//! [`ServeModel`] trait: [`BatchScheduler`] (`Scheduler<Transformer>`)
+//! drives the unsharded fused kernels, [`ShardedScheduler`]
+//! (`Scheduler<ShardedModel>`) drives the row-sharded broadcast + gather.
+//! Scheduling, sampling and retirement are one shared state machine and
+//! the two steps share one step body, so whole scheduler runs are
+//! **identical at any shard count**.
+//!
+//! Both admit by slot count and, optionally, by **KV headroom**: give the
+//! scheduler a KV budget ([`BatchScheduler::set_kv_budget`]) and a request
+//! is only admitted while the live cache
+//! ([`ServingMemory::kv_cache_bytes_for`]) plus the worst-case growth of
+//! everything already admitted plus the request's own worst case fits the
+//! budget — over-budget requests wait in the FIFO queue.
 
 use crate::generate::{sample_token, BatchKvCache};
+use crate::memory::ServingMemory;
 use crate::model::Transformer;
+use crate::shard::ShardedModel;
 use fineq_core::KernelScratch;
-use fineq_tensor::Rng;
+use fineq_tensor::{Matrix, Rng};
 use std::collections::VecDeque;
 
 /// One generation request submitted to a [`BatchScheduler`].
@@ -91,126 +108,131 @@ struct ActiveSeq {
     rng: Rng,
 }
 
-/// Continuous-batching engine: a queue of requests, `max_batch` sequence
-/// slots, and one batched decode step that drives them all.
+/// KV-limited admission configuration: a serving-memory plan supplying the
+/// KV byte arithmetic and a byte budget the live-plus-committed cache must
+/// never exceed.
 #[derive(Debug, Clone)]
-pub struct BatchScheduler {
-    model: Transformer,
-    cache: BatchKvCache,
+struct KvBudget {
+    plan: ServingMemory,
+    budget_bytes: f64,
+}
+
+impl KvBudget {
+    /// Worst-case cached tokens of one request over its whole lifetime.
+    /// A sequence feeds (and therefore caches) at most
+    /// `prompt_len + max_new_tokens - 1` tokens — the final sampled token
+    /// is never fed back — so this bound is safe with a token to spare.
+    fn bound_tokens(prompt_len: usize, max_new_tokens: usize) -> usize {
+        prompt_len + max_new_tokens
+    }
+
+    /// Asserts a request's worst case fits an *empty* cache under this
+    /// budget — the feasibility check shared by submit-time and
+    /// install-time validation (a request failing it would wait in the
+    /// FIFO queue forever).
+    fn assert_request_feasible(&self, req: &ServeRequest) {
+        let need = self
+            .plan
+            .kv_cache_bytes(KvBudget::bound_tokens(req.prompt.len(), req.max_new_tokens) as f64);
+        assert!(
+            need <= self.budget_bytes,
+            "request {} can never fit the KV budget: needs {need:.0} bytes of {:.0}",
+            req.id,
+            self.budget_bytes
+        );
+    }
+}
+
+/// The engine-independent half of a continuous-batching scheduler: the
+/// request queue, sequence slots, sampling state and retirement logic.
+/// [`BatchScheduler`] and [`ShardedScheduler`] both drive this exact state
+/// machine, which is what makes their runs identical step for step — the
+/// only thing that differs between them is who computes the logits.
+#[derive(Debug, Clone)]
+struct SchedulerCore {
     slots: Vec<Option<ActiveSeq>>,
     queue: VecDeque<ServeRequest>,
     finished: Vec<FinishedSequence>,
     steps: u64,
     stepped_tokens: u64,
-    /// Kernel restaging/accumulator buffers, reused across every step of
-    /// the scheduler's lifetime (pure scratch: never affects output).
-    scratch: KernelScratch,
+    kv_budget: Option<KvBudget>,
 }
 
-impl BatchScheduler {
-    /// A scheduler owning `model` with `max_batch` concurrent sequence
-    /// slots.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_batch` is zero.
-    pub fn new(model: Transformer, max_batch: usize) -> Self {
+impl SchedulerCore {
+    fn new(max_batch: usize) -> Self {
         assert!(max_batch > 0, "scheduler needs at least one slot");
-        let cfg = model.config();
-        let cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, max_batch);
         Self {
-            model,
-            cache,
             slots: (0..max_batch).map(|_| None).collect(),
             queue: VecDeque::new(),
             finished: Vec::new(),
             steps: 0,
             stepped_tokens: 0,
-            scratch: KernelScratch::new(),
+            kv_budget: None,
         }
     }
 
-    /// The served model.
-    pub fn model(&self) -> &Transformer {
-        &self.model
-    }
-
-    /// The channel-parallel thread pool the served model executes with, if
-    /// one is installed (see [`Transformer::set_thread_pool`]). Every
-    /// batched step's packed weight decode fans out over it; because the
-    /// parallel kernels are bit-identical to serial, the thread count never
-    /// affects served tokens — it stacks multiplicatively with batching as
-    /// pure throughput.
-    pub fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {
-        self.model.thread_pool()
-    }
-
-    /// The live batch cache (for memory accounting).
-    pub fn cache(&self) -> &BatchKvCache {
-        &self.cache
-    }
-
-    /// Sequence slots (the maximum concurrent batch).
-    pub fn max_batch(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Requests waiting for a slot.
-    pub fn queued(&self) -> usize {
-        self.queue.len()
-    }
-
-    /// Sequences currently occupying slots.
-    pub fn active(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
-    }
-
-    /// Whether nothing is queued or in flight.
-    pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.slots.iter().all(Option::is_none)
-    }
-
-    /// Batched steps executed so far.
-    pub fn steps(&self) -> u64 {
-        self.steps
-    }
-
-    /// Tokens fed across all sequences and steps (prefill + decode) — the
-    /// numerator of a tokens/sec measurement.
-    pub fn stepped_tokens(&self) -> u64 {
-        self.stepped_tokens
-    }
-
-    /// Enqueues a request. It enters the batch when a slot frees up (or
-    /// immediately at the next step if one is free).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the prompt is empty or holds an out-of-vocabulary token,
-    /// the temperature is not positive, or `max_new_tokens` is zero — the
-    /// same contract as [`Transformer::generate`], enforced here so a bad
-    /// request is rejected at submission instead of panicking steps later
-    /// inside a batch that holds other requests' work.
-    pub fn submit(&mut self, request: ServeRequest) {
+    fn submit(&mut self, request: ServeRequest, vocab: usize) {
         assert!(!request.prompt.is_empty(), "prompt must not be empty");
-        let vocab = self.model.config().vocab;
         for &tok in &request.prompt {
             assert!(tok < vocab, "prompt token id {tok} out of vocabulary");
         }
         assert!(request.temperature > 0.0, "temperature must be positive");
         assert!(request.max_new_tokens > 0, "max_new_tokens must be positive");
+        if let Some(kv) = &self.kv_budget {
+            kv.assert_request_feasible(&request);
+        }
         self.queue.push_back(request);
     }
 
+    fn set_kv_budget(&mut self, plan: ServingMemory, budget_bytes: f64) {
+        assert!(budget_bytes > 0.0, "KV budget must be positive");
+        let kv = KvBudget { plan, budget_bytes };
+        // Requests queued before the budget was installed get the same
+        // feasibility check submit applies afterwards — otherwise an
+        // already-queued impossible request would block the FIFO head
+        // forever and `run` would spin without progress.
+        for req in &self.queue {
+            kv.assert_request_feasible(req);
+        }
+        self.kv_budget = Some(kv);
+    }
+
+    fn kv_budget_bytes(&self) -> Option<f64> {
+        self.kv_budget.as_ref().map(|kv| kv.budget_bytes)
+    }
+
+    /// Whether admitting the queue head now keeps the KV cache under
+    /// budget for the rest of every admitted sequence's lifetime: live
+    /// bytes ([`ServingMemory::kv_cache_bytes_for`]) plus the worst-case
+    /// growth of every active sequence plus the head's own worst case.
+    fn head_fits_kv_budget(&self, req: &ServeRequest, cache: &BatchKvCache) -> bool {
+        let Some(kv) = &self.kv_budget else { return true };
+        let live = kv.plan.kv_cache_bytes_for(cache);
+        let mut growth_tokens = 0usize;
+        for (slot, seq) in self.slots.iter().enumerate() {
+            if let Some(seq) = seq {
+                let bound = KvBudget::bound_tokens(seq.prompt.len(), seq.max_new_tokens);
+                growth_tokens += bound.saturating_sub(cache.slot_len(slot));
+            }
+        }
+        let need = KvBudget::bound_tokens(req.prompt.len(), req.max_new_tokens);
+        live + kv.plan.kv_cache_bytes((growth_tokens + need) as f64) <= kv.budget_bytes
+    }
+
     /// Moves queued requests into free slots (continuous-batching
-    /// backfill). Called at the start of every step.
-    fn admit(&mut self) {
+    /// backfill). Called at the start of every step. With a KV budget the
+    /// FIFO head waits — no skip-ahead — until headroom opens up.
+    fn admit(&mut self, cache: &mut BatchKvCache) {
         for slot in 0..self.slots.len() {
             if self.slots[slot].is_some() {
                 continue;
             }
-            let Some(req) = self.queue.pop_front() else { break };
-            self.cache.reset_slot(slot);
+            let Some(head) = self.queue.front() else { break };
+            if !self.head_fits_kv_budget(head, cache) {
+                break;
+            }
+            let req = self.queue.pop_front().expect("peeked head exists");
+            cache.reset_slot(slot);
             let next_token = req.prompt[0];
             self.slots[slot] = Some(ActiveSeq {
                 id: req.id,
@@ -226,14 +248,9 @@ impl BatchScheduler {
         }
     }
 
-    /// Runs one batched step: admits queued requests into free slots,
-    /// feeds every active sequence's current token through
-    /// [`Transformer::forward_step_batch`], samples continuations for
-    /// sequences past their prompt, and retires finished ones.
-    ///
-    /// Returns the number of sequences stepped (0 when idle).
-    pub fn step(&mut self) -> usize {
-        self.admit();
+    /// The tokens and slot ids of every active sequence, in slot order —
+    /// the batched step's inputs.
+    fn step_inputs(&self) -> (Vec<usize>, Vec<usize>) {
         let mut tokens = Vec::new();
         let mut slot_ids = Vec::new();
         for (slot, seq) in self.slots.iter().enumerate() {
@@ -242,18 +259,14 @@ impl BatchScheduler {
                 slot_ids.push(slot);
             }
         }
-        if tokens.is_empty() {
-            return 0;
-        }
-        let logits = self.model.forward_step_batch_with(
-            &tokens,
-            &slot_ids,
-            &mut self.cache,
-            &mut self.scratch,
-        );
-        self.steps += 1;
-        self.stepped_tokens += tokens.len() as u64;
+        (tokens, slot_ids)
+    }
 
+    /// Applies one step's logits: samples continuations for sequences past
+    /// their prompt and retires finished ones.
+    fn finish_step(&mut self, logits: &Matrix, slot_ids: &[usize], cache: &mut BatchKvCache) {
+        self.steps += 1;
+        self.stepped_tokens += slot_ids.len() as u64;
         for (row, &slot) in slot_ids.iter().enumerate() {
             let seq = self.slots[slot].as_mut().expect("stepped slot is occupied");
             seq.fed += 1;
@@ -274,7 +287,7 @@ impl BatchScheduler {
                 // Free the K/V history immediately: an idle scheduler holds
                 // no cache, and KV-headroom accounting sees only live
                 // sequences.
-                self.cache.reset_slot(slot);
+                cache.reset_slot(slot);
                 self.finished.push(FinishedSequence {
                     id: seq.id,
                     prompt_len: seq.prompt.len(),
@@ -285,12 +298,236 @@ impl BatchScheduler {
                 seq.next_token = tok;
             }
         }
+    }
+
+    fn active(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.slots.iter().all(Option::is_none)
+    }
+}
+
+/// A model a continuous-batching scheduler can serve: one batched decode
+/// step over slot-addressed K/V histories. Implemented by the unsharded
+/// [`Transformer`] (fused in-place kernels) and the row-sharded
+/// [`ShardedModel`](crate::shard::ShardedModel) (broadcast +
+/// shard-parallel gather). Both run the same shared step body, so any two
+/// implementations over the same weights are bit-identical — which is why
+/// one generic [`Scheduler`] serves both.
+pub trait ServeModel {
+    /// The architecture of the served model.
+    fn config(&self) -> &crate::config::ModelConfig;
+
+    /// One batched decode step with caller-owned kernel scratch; see
+    /// [`Transformer::forward_step_batch_with`].
+    fn forward_step_batch_with(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+        scratch: &mut KernelScratch,
+    ) -> Matrix;
+
+    /// The execution thread pool, if one is installed.
+    fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>>;
+}
+
+impl ServeModel for Transformer {
+    fn config(&self) -> &crate::config::ModelConfig {
+        Transformer::config(self)
+    }
+
+    fn forward_step_batch_with(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+        scratch: &mut KernelScratch,
+    ) -> Matrix {
+        Transformer::forward_step_batch_with(self, tokens, slots, cache, scratch)
+    }
+
+    fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {
+        Transformer::thread_pool(self)
+    }
+}
+
+impl ServeModel for ShardedModel {
+    fn config(&self) -> &crate::config::ModelConfig {
+        ShardedModel::config(self)
+    }
+
+    fn forward_step_batch_with(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+        scratch: &mut KernelScratch,
+    ) -> Matrix {
+        ShardedModel::forward_step_batch_with(self, tokens, slots, cache, scratch)
+    }
+
+    fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {
+        ShardedModel::thread_pool(self)
+    }
+}
+
+/// Continuous-batching engine: a queue of requests, `max_batch` sequence
+/// slots, and one batched decode step that drives them all. Generic over
+/// the [`ServeModel`] computing each step's logits — scheduling, sampling
+/// and retirement are the engine-independent [`SchedulerCore`], so every
+/// instantiation runs the identical state machine.
+#[derive(Debug, Clone)]
+pub struct Scheduler<M> {
+    model: M,
+    cache: BatchKvCache,
+    core: SchedulerCore,
+    /// Kernel restaging/accumulator buffers, reused across every step of
+    /// the scheduler's lifetime (pure scratch: never affects output).
+    scratch: KernelScratch,
+}
+
+/// The unsharded scheduler: a [`Scheduler`] over a [`Transformer`].
+pub type BatchScheduler = Scheduler<Transformer>;
+
+/// The sharded scheduler: a [`Scheduler`] over a
+/// [`ShardedModel`](crate::shard::ShardedModel) — each step broadcasts
+/// the batch's activations, runs worker shards on the thread pool, and
+/// gathers per-shard partial outputs into the full channel range. Output
+/// is **bit-identical** to [`BatchScheduler`] for the same requests at
+/// any shard count (asserted by tests and gated in CI).
+pub type ShardedScheduler = Scheduler<ShardedModel>;
+
+impl<M: ServeModel> Scheduler<M> {
+    /// A scheduler owning `model` with `max_batch` concurrent sequence
+    /// slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(model: M, max_batch: usize) -> Self {
+        let cfg = model.config();
+        let cache = BatchKvCache::new(cfg.n_layers, cfg.d_model, max_batch);
+        Self { model, cache, core: SchedulerCore::new(max_batch), scratch: KernelScratch::new() }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The thread pool the served model executes with, if one is
+    /// installed (see [`Transformer::set_thread_pool`]). The unsharded
+    /// engine fans packed channel loops over it, the sharded engine fans
+    /// whole worker shards; both are bit-identical to serial, so the
+    /// thread count never affects served tokens — it stacks
+    /// multiplicatively with batching as pure throughput.
+    pub fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {
+        self.model.thread_pool()
+    }
+
+    /// The live batch cache (for memory accounting; in the sharded
+    /// topology it lives on the orchestrator, not the shards).
+    pub fn cache(&self) -> &BatchKvCache {
+        &self.cache
+    }
+
+    /// Sequence slots (the maximum concurrent batch).
+    pub fn max_batch(&self) -> usize {
+        self.core.slots.len()
+    }
+
+    /// Requests waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Sequences currently occupying slots.
+    pub fn active(&self) -> usize {
+        self.core.active()
+    }
+
+    /// Whether nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.core.is_idle()
+    }
+
+    /// Batched steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.core.steps
+    }
+
+    /// Tokens fed across all sequences and steps (prefill + decode) — the
+    /// numerator of a tokens/sec measurement.
+    pub fn stepped_tokens(&self) -> u64 {
+        self.core.stepped_tokens
+    }
+
+    /// Limits admission by KV-cache headroom: a request only enters the
+    /// batch while the live cache (`plan.kv_cache_bytes_for`) plus the
+    /// worst-case growth of every admitted sequence plus the request's own
+    /// worst case (`prompt + max_new_tokens` cached tokens) stays within
+    /// `budget_bytes`. Over-budget requests wait in the FIFO queue; the
+    /// cache can therefore never outgrow the budget (asserted by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's KV shape does not match the model or the
+    /// budget is not positive.
+    pub fn set_kv_budget(&mut self, plan: ServingMemory, budget_bytes: f64) {
+        let cfg = self.model.config();
+        assert_eq!(plan.n_layers, cfg.n_layers, "KV plan layer count mismatch");
+        assert_eq!(plan.d_model, cfg.d_model, "KV plan width mismatch");
+        self.core.set_kv_budget(plan, budget_bytes);
+    }
+
+    /// The configured KV budget, if any.
+    pub fn kv_budget_bytes(&self) -> Option<f64> {
+        self.core.kv_budget_bytes()
+    }
+
+    /// Enqueues a request. It enters the batch when a slot frees up (or
+    /// immediately at the next step if one is free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or holds an out-of-vocabulary token,
+    /// the temperature is not positive, `max_new_tokens` is zero — the
+    /// same contract as [`Transformer::generate`], enforced here so a bad
+    /// request is rejected at submission instead of panicking steps later
+    /// inside a batch that holds other requests' work — or a configured KV
+    /// budget is too small to ever hold the request.
+    pub fn submit(&mut self, request: ServeRequest) {
+        self.core.submit(request, self.model.config().vocab);
+    }
+
+    /// Runs one batched step: admits queued requests into free slots,
+    /// feeds every active sequence's current token through the model's
+    /// batched decode step, samples continuations for sequences past
+    /// their prompt, and retires finished ones.
+    ///
+    /// Returns the number of sequences stepped (0 when idle).
+    pub fn step(&mut self) -> usize {
+        self.core.admit(&mut self.cache);
+        let (tokens, slot_ids) = self.core.step_inputs();
+        if tokens.is_empty() {
+            return 0;
+        }
+        let logits = self.model.forward_step_batch_with(
+            &tokens,
+            &slot_ids,
+            &mut self.cache,
+            &mut self.scratch,
+        );
+        self.core.finish_step(&logits, &slot_ids, &mut self.cache);
         tokens.len()
     }
 
     /// Completed sequences accumulated so far, drained.
     pub fn take_finished(&mut self) -> Vec<FinishedSequence> {
-        std::mem::take(&mut self.finished)
+        std::mem::take(&mut self.core.finished)
     }
 
     /// Steps until every queued and active request completes, returning
@@ -300,6 +537,13 @@ impl BatchScheduler {
             self.step();
         }
         self.take_finished()
+    }
+}
+
+impl Scheduler<ShardedModel> {
+    /// Worker shards serving each weight site.
+    pub fn n_shards(&self) -> usize {
+        self.model.n_shards()
     }
 }
 
@@ -434,6 +678,95 @@ mod tests {
             assert!(sched.cache().total_tokens() <= 2 * (3 + 3));
         }
         assert_eq!(sched.take_finished().len(), 6);
+    }
+
+    #[test]
+    fn kv_budget_serializes_admission_without_changing_outputs() {
+        // A budget holding exactly one worst-case sequence: requests run
+        // one at a time even though two slots exist, the live cache never
+        // exceeds the budget, and every request's tokens still match the
+        // unrestricted run (batch composition is invisible per request).
+        let (model, corpus) = fitted_tiny();
+        let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
+        let submit_all = |sched: &mut BatchScheduler| {
+            for id in 0..4u64 {
+                let prompt = corpus.generate(4, 300 + id).tokens().to_vec();
+                sched.submit(request(id, prompt, 5));
+            }
+        };
+        let mut unrestricted = BatchScheduler::new(model.clone(), 2);
+        submit_all(&mut unrestricted);
+        let mut reference = unrestricted.run();
+        reference.sort_by_key(|f| f.id);
+
+        let mut sched = BatchScheduler::new(model, 2);
+        // Exactly one in-flight worst case (4 prompt + 5 budget tokens).
+        let budget = plan.kv_cache_bytes(9.0);
+        sched.set_kv_budget(plan.clone(), budget);
+        assert_eq!(sched.kv_budget_bytes(), Some(budget));
+        submit_all(&mut sched);
+        let mut peak = 0.0f64;
+        while !sched.is_idle() {
+            sched.step();
+            assert!(sched.active() <= 1, "budget admits one sequence at a time");
+            peak = peak.max(plan.kv_cache_bytes_for(sched.cache()));
+        }
+        assert!(peak <= budget, "live KV {peak} must stay within budget {budget}");
+        assert!(peak > 0.0);
+        let mut done = sched.take_finished();
+        done.sort_by_key(|f| f.id);
+        assert_eq!(done, reference, "KV-limited admission never changes request output");
+    }
+
+    #[test]
+    fn kv_budget_admits_concurrently_when_headroom_allows() {
+        let (model, corpus) = fitted_tiny();
+        let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
+        let mut sched = BatchScheduler::new(model, 3);
+        // Room for all three worst cases at once.
+        sched.set_kv_budget(plan, 1e12);
+        for id in 0..3u64 {
+            let prompt = corpus.generate(4, 320 + id).tokens().to_vec();
+            sched.submit(request(id, prompt, 4));
+        }
+        sched.step();
+        assert_eq!(sched.active(), 3, "a generous budget must not serialize the batch");
+        assert_eq!(sched.run().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit the KV budget")]
+    fn impossible_request_is_rejected_at_submit_under_kv_budget() {
+        let (model, _) = fitted_tiny();
+        let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
+        let mut sched = BatchScheduler::new(model, 2);
+        let tiny_budget = plan.kv_cache_bytes(2.0);
+        sched.set_kv_budget(plan, tiny_budget);
+        sched.submit(ServeRequest::new(0, vec![1, 2, 3], 8)); // needs 11 tokens
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit the KV budget")]
+    fn budget_installed_after_queueing_revalidates_the_queue() {
+        // The reverse order — submit first, then install a too-small
+        // budget — must fail at set_kv_budget, not leave `run` spinning on
+        // a head that can never be admitted.
+        let (model, _) = fitted_tiny();
+        let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
+        let mut sched = BatchScheduler::new(model, 2);
+        sched.submit(ServeRequest::new(0, vec![1, 2, 3], 8)); // needs 11 tokens
+        let tiny_budget = plan.kv_cache_bytes(2.0);
+        sched.set_kv_budget(plan, tiny_budget);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn kv_budget_plan_must_match_the_model() {
+        let (model, _) = fitted_tiny();
+        let mut plan = crate::memory::ServingMemory::from_model(&model, 1e9);
+        plan.n_layers += 1;
+        let mut sched = BatchScheduler::new(model, 2);
+        sched.set_kv_budget(plan, 1e9);
     }
 
     #[test]

@@ -115,6 +115,49 @@ fn packed_forward_passes_are_bit_identical_at_every_thread_count() {
     }
 }
 
+/// Attention level: the per-slot attention loop of `forward_step_batch`
+/// fans over the pool (slots are sequence-independent, writes disjoint);
+/// a wide ragged batch must still produce bit-identical logits and K/V
+/// histories at every thread count, including counts that do not divide
+/// the slot count.
+#[test]
+fn parallel_attention_is_bit_identical_at_every_thread_count() {
+    let (model, corpus) = fitted_tiny();
+    let q = FineQuantizer::paper();
+    let mut packed = model.clone();
+    for l in 0..model.n_layers() {
+        for site in WeightSite::ALL {
+            let p = q.quantize_packed(model.weight(l, site).as_dense().expect("dense source"));
+            *packed.weight_mut(l, site) = p.into();
+        }
+    }
+    let n_slots = 9;
+    let tokens = corpus.generate(40, 13).tokens().to_vec();
+    // Ragged schedule: slot s joins at step s % 3 and steps every round it
+    // is present, so histories have different lengths throughout.
+    let schedule: Vec<(Vec<usize>, Vec<usize>)> = (0..8)
+        .map(|step| {
+            let slots: Vec<usize> = (0..n_slots).filter(|s| step >= s % 3).collect();
+            let toks: Vec<usize> =
+                slots.iter().map(|&s| tokens[(step * n_slots + s) % tokens.len()]).collect();
+            (toks, slots)
+        })
+        .collect();
+    let mut serial_cache = BatchKvCache::new(packed.n_layers(), packed.config().d_model, n_slots);
+    let serial: Vec<_> =
+        schedule.iter().map(|(t, s)| packed.forward_step_batch(t, s, &mut serial_cache)).collect();
+    for threads in THREAD_COUNTS {
+        let mut pooled = packed.clone();
+        pooled.set_thread_pool(Some(Arc::new(ThreadPool::new(threads))));
+        let mut cache = BatchKvCache::new(packed.n_layers(), packed.config().d_model, n_slots);
+        for (i, (t, s)) in schedule.iter().enumerate() {
+            let logits = pooled.forward_step_batch(t, s, &mut cache);
+            assert_eq!(logits, serial[i], "step {i} @ {threads} threads");
+        }
+        assert_eq!(cache, serial_cache, "K/V histories @ {threads} threads");
+    }
+}
+
 /// Serving level: complete `BatchScheduler` runs — admission, retirement,
 /// backfill, sampling — produce identical finished sequences at every
 /// thread count, and identical to solo `generate`.
