@@ -137,6 +137,50 @@ mod tests {
         }
     }
 
+    /// The Fig. 6 MUX model against the software SWAR wide-word decoder
+    /// (`fineq_core::decode_block_swar`) over random whole blocks: signed
+    /// lane values must agree, and every lane's scale class must match the
+    /// SWAR width split (a 2-bit lane decodes into the `two` array, a
+    /// 3-bit lane into `three`, a sacrificed lane into neither). Together
+    /// with `mux_decode_matches_shared_decode_table` this closes the
+    /// triangle hardware MUX == LUT == SWAR on the wire format.
+    #[test]
+    fn mux_decode_matches_swar_block_decode() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            // xorshift64: deterministic block bytes without a tensor dep.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2_000 {
+            let word = next();
+            let mut block = [0u8; BLOCK_BYTES];
+            block[0] = (word >> 48) as u8;
+            block[1..].copy_from_slice(&word.to_le_bytes()[..6]);
+            let mut dec = HardwareDecoder::new();
+            let lanes = dec.decode_block(&block);
+            let (two, three) =
+                fineq_core::decode_block_swar(block[0], fineq_core::block_data_word(&block));
+            for (k, cluster) in lanes.iter().enumerate() {
+                for (j, lane) in cluster.iter().enumerate() {
+                    let i = k * 3 + j;
+                    assert_eq!(
+                        (two[i] + three[i]) as i32,
+                        lane.signed(),
+                        "block {block:?} cluster {k} lane {j}"
+                    );
+                    if lane.three_bit {
+                        assert_eq!(two[i], 0, "3-bit/sacrificed lane leaked into `two`");
+                    } else {
+                        assert_eq!(three[i], 0, "2-bit lane leaked into `three`");
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn decoder_agrees_with_software_unpacker() {
         let ch = packed_demo();

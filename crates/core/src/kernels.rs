@@ -6,29 +6,35 @@
 //! per-channel accumulators, one per scale class. These kernels are the
 //! software mirror of that dataflow:
 //!
-//! * every cluster's 6 data bits are decoded through compile-time lookup
-//!   tables — [`DECODE_INTS`] for the raw signed triples (the same
-//!   `ClusterCode` → lane mapping the `fineq-accel` hardware decoder
-//!   implements as a MUX network, which cross-checks against this table)
-//!   and [`SPLIT_LANES`], its width-split form: each `(code, six)` entry
-//!   carries the cluster's three lanes **pre-sorted into scale classes**
-//!   (`two_bit` lanes with zeros in the 3-bit positions, and vice versa);
-//! * no per-lane **width dispatch** survives into any hot loop: the split
-//!   table resolves each lane's scale class at decode-table build time —
-//!   the software analogue of the paper's Fig. 6 parallel MUX decode,
-//!   where all eight clusters of a block resolve without serial control
-//!   flow. The scalar GEMV ([`PackedChannel::dot`]) goes fully branchless:
-//!   every lane accumulates `acc2 += q2·x` **and** `acc3 += q3·x`
-//!   unconditionally (one term is always zero), with no `q == 0` skip —
-//!   measured ~1.5× faster than the branchy form, whose data-dependent
-//!   branches mispredict on quantized weights. The column kernels (GEMM
-//!   over a batch of `n` activations) instead use the split lanes to pick
-//!   the one live class and skip dead lanes, because there a skip saves an
-//!   entire `n`-wide FMA pass (measured: the unconditional form halves
-//!   batch-16 throughput);
-//! * blocks whose 24 lanes are all in-bounds take a fast path with the
-//!   `i >= len` bounds check hoisted out entirely; only the final partial
-//!   block of a channel pays per-lane checks;
+//! * full blocks decode through [`decode_block_swar`]: the 48-bit data
+//!   word loads into one `u64` and all eight clusters (24 lanes) resolve
+//!   in a single SWAR pass of register-wide shifts and masks, with the
+//!   scale-class split selected per cluster from the index byte — the
+//!   software form of the paper's Fig. 6 parallel MUX decode, where all
+//!   eight clusters of a block resolve without serial control flow;
+//! * partial tail blocks (and the [`PackedChannel::dot_scalar`] reference
+//!   path) decode through the compile-time lookup tables instead —
+//!   [`DECODE_INTS`] for the raw signed triples (the same `ClusterCode` →
+//!   lane mapping the `fineq-accel` hardware decoder implements as a MUX
+//!   network, which cross-checks against this table) and [`SPLIT_LANES`],
+//!   its width-split form: each `(code, six)` entry carries the cluster's
+//!   three lanes **pre-sorted into scale classes**. The SWAR decode yields
+//!   the identical width-split integers in the identical lane order
+//!   (cross-checked exhaustively), so every kernel stays **bit-identical**
+//!   to the scalar path and the batch/thread/shard determinism contracts
+//!   survive unchanged;
+//! * no per-lane **width dispatch** survives into any hot loop. The GEMV
+//!   ([`PackedChannel::dot`]) is fully branchless: every lane accumulates
+//!   `acc2 += q2·x` **and** `acc3 += q3·x` unconditionally (one term is
+//!   always zero), with no `q == 0` skip — measured ~1.5× faster than the
+//!   branchy form, whose data-dependent branches mispredict on quantized
+//!   weights. The column kernels (GEMM over a batch of `n` activations)
+//!   instead pick the one live class and skip dead lanes, because there a
+//!   skip saves an entire `n`-wide FMA pass (measured: the unconditional
+//!   form halves batch-16 throughput);
+//! * blocks whose 24 lanes are all in-bounds take the SWAR fast path with
+//!   the `i >= len` bounds check hoisted out entirely; only the final
+//!   partial block of a channel pays per-lane checks;
 //! * the result combines once per channel as `s2·acc2 + s3·acc3` — exactly
 //!   the dual-accumulator scheme of the paper's PE array;
 //! * no intermediate `Matrix` is ever allocated: weight traffic is the
@@ -48,7 +54,8 @@
 //! accumulator buffers across calls (e.g. across a transformer's layers).
 
 use crate::pack::{
-    PackedChannel, PackedMatrix, BLOCK_BYTES, CLUSTERS_PER_BLOCK, WEIGHTS_PER_BLOCK,
+    block_data_word, block_index_byte, PackedChannel, PackedMatrix, BLOCK_BYTES,
+    CLUSTERS_PER_BLOCK, CLUSTER_DATA_BITS, CODE_BITS, WEIGHTS_PER_BLOCK,
 };
 use crate::pool::ThreadPool;
 use fineq_tensor::Matrix;
@@ -141,26 +148,285 @@ pub const SPLIT_LANES: [[([i8; 3], [i8; 3]); 64]; 4] = {
     table
 };
 
-/// Reads the 48 data bits of a 7-byte block into one word.
-#[inline]
-fn data_word(block: &[u8]) -> u64 {
-    debug_assert_eq!(block.len(), BLOCK_BYTES);
-    let mut data = 0u64;
-    let mut i = 0;
-    while i < 6 {
-        data |= (block[1 + i] as u64) << (8 * i);
-        i += 1;
-    }
-    data
-}
-
 /// The width-split lanes of cluster `k_in` within a block, straight from
-/// the index byte and 48-bit data word.
+/// the index byte and 48-bit data word — the per-cluster LUT walk. The
+/// partial-tail loops and the scalar reference path use this; full blocks
+/// go through [`decode_block_swar`] instead.
 #[inline(always)]
 fn split_lanes_at(idx: u8, data: u64, k_in: usize) -> &'static ([i8; 3], [i8; 3]) {
-    let code = ((idx >> (2 * (k_in / 2))) & 0b11) as usize;
-    let six = ((data >> (6 * k_in)) & 0x3F) as usize;
+    let code = ((idx >> (CODE_BITS * (k_in / 2))) & 0b11) as usize;
+    let six = ((data >> (CLUSTER_DATA_BITS * k_in)) & 0x3F) as usize;
     &SPLIT_LANES[code][six]
+}
+
+/// The per-lane LUT walk of a channel's blocks from block `start` onward:
+/// calls `lane(i, two, three)` for every in-bounds weight index in order.
+/// This is the **one** definition of the bounds-checked slow path — every
+/// kernel's partial-tail handling (and the whole of
+/// [`PackedChannel::dot_scalar`]'s tail) goes through it, so the decode
+/// walk cannot drift between call sites and silently break the
+/// bit-identity contract the differential harness asserts.
+#[inline(always)]
+fn for_each_lane_from(ch: &PackedChannel, start: usize, mut lane: impl FnMut(usize, i8, i8)) {
+    for (bb, block) in ch.blocks.chunks_exact(BLOCK_BYTES).skip(start).enumerate() {
+        let b = start + bb;
+        let idx = block_index_byte(block);
+        let data = block_data_word(block);
+        for k_in in 0..CLUSTERS_PER_BLOCK {
+            let k = b * CLUSTERS_PER_BLOCK + k_in;
+            if k >= ch.n_clusters {
+                break;
+            }
+            let (two, three) = split_lanes_at(idx, data, k_in);
+            for j in 0..3 {
+                let i = k * 3 + j;
+                if i >= ch.len {
+                    break;
+                }
+                lane(i, two[j], three[j]);
+            }
+        }
+    }
+}
+
+// ---- SWAR wide-word block decode -----------------------------------------
+//
+// The software mirror of the paper's Fig. 6 *parallel* decode: all eight
+// clusters of a block resolve from the 48-bit data word in one pass of
+// register-wide shifts and masks (SIMD-within-a-register on `u64` byte
+// lanes), with the scale-class split selected per cluster from the index
+// byte — no per-cluster [`SPLIT_LANES`] lookups in the full-block hot
+// loops. std-only by design: this workspace builds without crates.io (and
+// therefore without portable-SIMD or intrinsics shims), and SWAR on `u64`
+// gives wide, branch-free unpacking on any target.
+//
+// Every step operates on one byte lane per cluster. Borrow isolation uses
+// the guarded-subtraction SWAR identity, specialized to subtrahends whose
+// bytes never exceed 0x7F (field magnitudes never exceed 3), which cuts
+// the general 5-op per-byte subtract down to 2 ops — the decode runs a
+// strict op budget because on the GEMV path it competes with a plain L1
+// table load.
+
+/// `0x01` in every byte lane.
+const SWAR_ONES: u64 = 0x0101_0101_0101_0101;
+/// `0x80` in every byte lane (the per-byte borrow guard).
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+/// `0x03` in every byte lane (the 3-bit field magnitude mask).
+const SWAR_MAG2: u64 = 0x0303_0303_0303_0303;
+
+/// Per-byte negation of a word whose bytes are all `<= 0x7F`: byte `b`
+/// becomes `-b` mod 256 (the `i8` two's-complement encoding). `0x80 - b`
+/// can never borrow out of its byte, and the XOR strips the guard bit
+/// back off — the specialized 2-op form of guarded SWAR subtraction.
+#[inline(always)]
+const fn swar_neg_bytes(y: u64) -> u64 {
+    (SWAR_HI - y) ^ SWAR_HI
+}
+
+/// Expands per-byte 0/1 indicators into per-byte 0x00/0xFF masks
+/// (`-1 = 0xFF`).
+#[inline(always)]
+const fn swar_mask(indicator: u64) -> u64 {
+    swar_neg_bytes(indicator)
+}
+
+/// Per-byte sign-magnitude decode: each byte becomes `mag` where its sign
+/// indicator is 0 and `-mag` (two's complement, i.e. the `i8` encoding)
+/// where it is 1. `-0` decodes to `0`, matching the scalar field decoder.
+#[inline(always)]
+const fn swar_sign_apply(mag: u64, sign: u64) -> u64 {
+    let smask = swar_mask(sign);
+    (mag & !smask) | (swar_neg_bytes(mag) & smask)
+}
+
+/// Spreads four 6-bit clusters (packed in the low 24 bits) into four byte
+/// lanes, low 6 bits of each byte.
+#[inline(always)]
+const fn swar_spread4(x: u64) -> u64 {
+    (x & 0x3F) | ((x & 0x0FC0) << 2) | ((x & 0x3_F000) << 4) | ((x & 0xFC_0000) << 6)
+}
+
+/// The raw SWAR decode of one block: six `u64` words, each holding one
+/// lane position's value for all eight clusters (byte lane `k` of
+/// `two[j]` / `three[j]` is cluster `k`'s lane `j` as an `i8`, split by
+/// scale class). The hot loops consume this form directly — extracting a
+/// lane is one shift — so no transpose to lane order is ever materialized
+/// on the hot path. [`decode_block_swar`] is the lane-ordered public view.
+///
+/// The pass: spread the 48-bit word into one byte lane per cluster, decode
+/// **both** field interpretations of every cluster at once (three 2-bit
+/// sign-magnitude fields and two 3-bit ones — each a couple of shift/mask
+/// ops wide across all eight lanes), then resolve the scale-class split
+/// per cluster from the index byte's pair codes via byte masks — the
+/// software form of the Fig. 6 MUX network.
+#[inline(always)]
+fn swar_decode_words(idx: u8, data: u64) -> ([u64; 3], [u64; 3]) {
+    // Byte lane k = cluster k's 6 data bits.
+    let six = swar_spread4(data & 0xFF_FFFF) | (swar_spread4((data >> 24) & 0xFF_FFFF) << 32);
+    // Byte lane k = cluster k's 2-bit code (each pair code replicated to
+    // both of its clusters).
+    let idx = idx as u64;
+    let codes = ((idx & 3) * 0x0101)
+        | (((idx >> 2) & 3) * 0x0101_0000)
+        | (((idx >> 4) & 3) * 0x0101_0000_0000)
+        | (((idx >> 6) & 3) * 0x0101_0000_0000_0000);
+    // Class masks from the two code bits: the bit masks intersect to the
+    // four exact-code masks without testing each code separately
+    // (`m11 ⊆ mb0 ∩ mb1`, so the XORs below peel it back out).
+    let mb0 = swar_mask(codes & SWAR_ONES);
+    let mb1 = swar_mask((codes >> 1) & SWAR_ONES);
+    let m11 = mb0 & mb1; // ZeroThird
+    let m01 = mb0 ^ m11; // ZeroFirst
+    let m10 = mb1 ^ m11; // ZeroSecond
+    let m00 = !(mb0 | mb1); // AllTwoBit
+                            // Both interpretations of every cluster's 6 bits, decoded at once:
+                            // 2-bit fields at bits {0, 2, 4} (1-bit magnitude, sign above it) ...
+    let v2_0 = swar_sign_apply(six & SWAR_ONES, (six >> 1) & SWAR_ONES);
+    let v2_1 = swar_sign_apply((six >> 2) & SWAR_ONES, (six >> 3) & SWAR_ONES);
+    let v2_2 = swar_sign_apply((six >> 4) & SWAR_ONES, (six >> 5) & SWAR_ONES);
+    // ... and 3-bit fields at bits {0, 3} (2-bit magnitude, sign above).
+    let v3_0 = swar_sign_apply(six & SWAR_MAG2, (six >> 2) & SWAR_ONES);
+    let v3_1 = swar_sign_apply((six >> 3) & SWAR_MAG2, (six >> 5) & SWAR_ONES);
+    // The class split, per cluster, straight from the code masks: code 00
+    // puts all three 2-bit lanes in the `two` class; the outlier codes
+    // route their two stored 3-bit fields around the sacrificed position.
+    let two = [v2_0 & m00, v2_1 & m00, v2_2 & m00];
+    let three = [v3_0 & (m10 | m11), (v3_0 & m01) | (v3_1 & m11), v3_1 & (m01 | m10)];
+    (two, three)
+}
+
+/// One block's SWAR decode staged for the hot loops: the six decoded
+/// words stored as plain bytes — `two[j][k]` / `three[j][k]` is lane `j`
+/// of cluster `k` (an `i8` stored as its `u8` bit pattern). Six 8-byte
+/// stores, no per-lane transpose; consumers read single bytes back at
+/// constant offsets from L1-resident stack slots, so staging a block
+/// costs barely more than the decode itself.
+struct DecodedBlockBytes {
+    two: [[u8; 8]; 3],
+    three: [[u8; 8]; 3],
+}
+
+impl DecodedBlockBytes {
+    /// Stages the SWAR decode of a 48-bit data word under an index byte.
+    #[inline(always)]
+    fn from_words(idx: u8, data: u64) -> Self {
+        let (t, h) = swar_decode_words(idx, data);
+        Self {
+            two: [t[0].to_le_bytes(), t[1].to_le_bytes(), t[2].to_le_bytes()],
+            three: [h[0].to_le_bytes(), h[1].to_le_bytes(), h[2].to_le_bytes()],
+        }
+    }
+
+    /// Stages the SWAR decode of one 7-byte block.
+    #[inline(always)]
+    fn decode(block: &[u8]) -> Self {
+        Self::from_words(block_index_byte(block), block_data_word(block))
+    }
+
+    /// Lane `j` of cluster `k`, by scale class.
+    #[inline(always)]
+    fn lanes(&self, k: usize, j: usize) -> (i8, i8) {
+        (self.two[j][k] as i8, self.three[j][k] as i8)
+    }
+}
+
+/// Decodes all eight clusters of a block in one SWAR pass. Returns the
+/// width-split lane values in index order — `two[3k + j]` / `three[3k + j]`
+/// is lane `j` of cluster `k` — exactly the values the per-cluster
+/// [`SPLIT_LANES`] walk yields lane by lane (cross-checked exhaustively by
+/// tests), so routing a kernel through this decoder never changes its
+/// arithmetic, only how the integers were produced.
+#[inline(always)]
+pub fn decode_block_swar(idx: u8, data: u64) -> ([i8; WEIGHTS_PER_BLOCK], [i8; WEIGHTS_PER_BLOCK]) {
+    let d = DecodedBlockBytes::from_words(idx, data);
+    let mut out_two = [0i8; WEIGHTS_PER_BLOCK];
+    let mut out_three = [0i8; WEIGHTS_PER_BLOCK];
+    for k in 0..CLUSTERS_PER_BLOCK {
+        for j in 0..3 {
+            let (two, three) = d.lanes(k, j);
+            out_two[k * 3 + j] = two;
+            out_three[k * 3 + j] = three;
+        }
+    }
+    (out_two, out_three)
+}
+
+/// Number of channels the fused GEMV decodes and accumulates together:
+/// enough independent accumulator chains to hide the float-add latency a
+/// single channel's (order-fixed) chain is bound by, few enough that the
+/// per-block decoded bytes (48 per channel) stay in L1-resident stack
+/// slots. Each activation element is loaded once per group instead of
+/// once per channel.
+const GEMV_CHANNEL_GROUP: usize = 4;
+
+/// Fused GEMV over a run of equal-length channels: `out[c] =
+/// channels[c] · x`, with channels processed [`GEMV_CHANNEL_GROUP`] at a
+/// time through the SWAR block decode. Within a group every channel keeps
+/// its own accumulator pair and its own accumulation order — block by
+/// block, lane by lane, exactly the order of [`PackedChannel::dot`] and
+/// [`PackedChannel::dot_scalar`] — so each output element is
+/// **bit-identical** to the per-channel scalar path; the group only
+/// interleaves *independent* chains, which is what lets the CPU overlap
+/// float-add latencies the serial chain cannot. The win therefore exists
+/// on cores where the scalar loop is pinned at its float-add latency wall
+/// (typical desktop/server cores: one dependent `addss` per weight per
+/// class ≈ 4 cycles/weight) — the `packed_batch` CI gate asserts ≥ 1.2×
+/// there and self-calibrates via a chain-rate probe, because on
+/// narrow/virtualized cores that are µop-throughput-bound instead, the
+/// grouped form measures slightly *below* the scalar loop (0.89× on the
+/// 1-CPU build container) and the gate records without enforcing. The
+/// group remainder falls back to per-channel [`dot`].
+fn matvec_channels(channels: &[PackedChannel], x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(channels.len(), out.len());
+    let mut groups = channels.chunks_exact(GEMV_CHANNEL_GROUP);
+    let mut outs = out.chunks_exact_mut(GEMV_CHANNEL_GROUP);
+    for (chs, os) in groups.by_ref().zip(outs.by_ref()) {
+        let len = chs[0].len;
+        debug_assert!(chs.iter().all(|c| c.len == len && c.len == x.len()));
+        let full = len / WEIGHTS_PER_BLOCK;
+        // Explicit scalar accumulators (not an array): each must live in
+        // its own register — an indexed array here compiles to a
+        // store/reload on every add, putting a store-forwarding round
+        // trip on the chain the grouping exists to hide.
+        let (mut a2_0, mut a2_1, mut a2_2, mut a2_3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut a3_0, mut a3_1, mut a3_2, mut a3_3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for b in 0..full {
+            let bytes = b * BLOCK_BYTES..(b + 1) * BLOCK_BYTES;
+            let d0 = DecodedBlockBytes::decode(&chs[0].blocks[bytes.clone()]);
+            let d1 = DecodedBlockBytes::decode(&chs[1].blocks[bytes.clone()]);
+            let d2 = DecodedBlockBytes::decode(&chs[2].blocks[bytes.clone()]);
+            let d3 = DecodedBlockBytes::decode(&chs[3].blocks[bytes]);
+            let xs = &x[b * WEIGHTS_PER_BLOCK..(b + 1) * WEIGHTS_PER_BLOCK];
+            for k in 0..CLUSTERS_PER_BLOCK {
+                for j in 0..3 {
+                    let xv = xs[k * 3 + j];
+                    let ((t0, h0), (t1, h1)) = (d0.lanes(k, j), d1.lanes(k, j));
+                    let ((t2, h2), (t3, h3)) = (d2.lanes(k, j), d3.lanes(k, j));
+                    a2_0 += t0 as f32 * xv;
+                    a3_0 += h0 as f32 * xv;
+                    a2_1 += t1 as f32 * xv;
+                    a3_1 += h1 as f32 * xv;
+                    a2_2 += t2 as f32 * xv;
+                    a3_2 += h2 as f32 * xv;
+                    a2_3 += t3 as f32 * xv;
+                    a3_3 += h3 as f32 * xv;
+                }
+            }
+        }
+        let mut acc2 = [a2_0, a2_1, a2_2, a2_3];
+        let mut acc3 = [a3_0, a3_1, a3_2, a3_3];
+        for (c, ch) in chs.iter().enumerate() {
+            // Partial tail, per channel: the same per-lane walk as `dot`.
+            for_each_lane_from(ch, full, |i, two, three| {
+                acc2[c] += two as f32 * x[i];
+                acc3[c] += three as f32 * x[i];
+            });
+            os[c] = ch.scale2 * acc2[c] + ch.scale3 * acc3[c];
+        }
+    }
+    for (ch, o) in groups.remainder().iter().zip(outs.into_remainder()) {
+        *o = ch.dot(x);
+    }
 }
 
 /// Reusable kernel scratch: the column-major activation restage and the
@@ -308,45 +574,29 @@ fn accumulate_columns(
     acc2.fill(0.0);
     acc3.fill(0.0);
     let full = ch.len / WEIGHTS_PER_BLOCK;
-    let mut blocks = ch.blocks.chunks_exact(BLOCK_BYTES);
-    for (b, block) in blocks.by_ref().take(full).enumerate() {
-        let idx = block[0];
-        let data = data_word(block);
-        // All 24 lanes of this block are in bounds: no `i >= len` checks.
+    for (b, block) in ch.blocks.chunks_exact(BLOCK_BYTES).take(full).enumerate() {
+        // All 24 lanes decode in one SWAR pass and are in bounds: no
+        // `i >= len` checks. Lane order (and therefore accumulation order)
+        // is identical to the per-cluster walk of the tail below.
+        let d = DecodedBlockBytes::decode(block);
         let cols = &act[b * WEIGHTS_PER_BLOCK * n..(b + 1) * WEIGHTS_PER_BLOCK * n];
-        for k_in in 0..CLUSTERS_PER_BLOCK {
-            let (two, three) = split_lanes_at(idx, data, k_in);
+        for k in 0..CLUSTERS_PER_BLOCK {
             for j in 0..3 {
-                if two[j] == 0 && three[j] == 0 {
+                let (two, three) = d.lanes(k, j);
+                if two == 0 && three == 0 {
                     continue;
                 }
-                let col = &cols[(k_in * 3 + j) * n..(k_in * 3 + j + 1) * n];
-                lane_accumulate(two[j], three[j], col, acc2, acc3);
-            }
-        }
-    }
-    for (bb, block) in blocks.enumerate() {
-        let b = full + bb;
-        let idx = block[0];
-        let data = data_word(block);
-        for k_in in 0..CLUSTERS_PER_BLOCK {
-            let k = b * CLUSTERS_PER_BLOCK + k_in;
-            if k >= ch.n_clusters {
-                break;
-            }
-            let (two, three) = split_lanes_at(idx, data, k_in);
-            for j in 0..3 {
                 let i = k * 3 + j;
-                if i >= ch.len {
-                    break;
-                }
-                if two[j] == 0 && three[j] == 0 {
-                    continue;
-                }
-                lane_accumulate(two[j], three[j], &act[i * n..(i + 1) * n], acc2, acc3);
+                lane_accumulate(two, three, &cols[i * n..(i + 1) * n], acc2, acc3);
             }
         }
     }
+    for_each_lane_from(ch, full, |i, two, three| {
+        if two == 0 && three == 0 {
+            return;
+        }
+        lane_accumulate(two, three, &act[i * n..(i + 1) * n], acc2, acc3);
+    });
 }
 
 impl PackedChannel {
@@ -364,10 +614,49 @@ impl PackedChannel {
         let mut acc2 = 0.0f32;
         let mut acc3 = 0.0f32;
         let full = self.len / WEIGHTS_PER_BLOCK;
-        let mut blocks = self.blocks.chunks_exact(BLOCK_BYTES);
-        for (b, block) in blocks.by_ref().take(full).enumerate() {
-            let idx = block[0];
-            let data = data_word(block);
+        for (b, block) in self.blocks.chunks_exact(BLOCK_BYTES).take(full).enumerate() {
+            // SWAR fast path: all 24 lanes decode in one wide pass; the
+            // FMA loop below accumulates them in the same lane order (and
+            // with the same decoded integers) as [`Self::dot_scalar`], so
+            // the result is bit-identical.
+            let d = DecodedBlockBytes::decode(block);
+            let xs = &x[b * WEIGHTS_PER_BLOCK..(b + 1) * WEIGHTS_PER_BLOCK];
+            for k in 0..CLUSTERS_PER_BLOCK {
+                for j in 0..3 {
+                    let xv = xs[k * 3 + j];
+                    let (two, three) = d.lanes(k, j);
+                    acc2 += two as f32 * xv;
+                    acc3 += three as f32 * xv;
+                }
+            }
+        }
+        for_each_lane_from(self, full, |i, two, three| {
+            acc2 += two as f32 * x[i];
+            acc3 += three as f32 * x[i];
+        });
+        self.scale2 * acc2 + self.scale3 * acc3
+    }
+
+    /// The scalar reference form of [`PackedChannel::dot`]: the same
+    /// branchless dual-accumulator GEMV, but with every cluster decoded
+    /// through the per-cluster [`SPLIT_LANES`] walk instead of the SWAR
+    /// wide-word pass. Kept public as the differential-testing and
+    /// benchmarking baseline — `dot` must equal it **bit for bit** on every
+    /// input (asserted exhaustively by the decode harness), which is what
+    /// lets the batch/thread/shard determinism contracts survive the SWAR
+    /// rewrite unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the channel length.
+    pub fn dot_scalar(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.len, "input length must equal channel length");
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        let full = self.len / WEIGHTS_PER_BLOCK;
+        for (b, block) in self.blocks.chunks_exact(BLOCK_BYTES).take(full).enumerate() {
+            let idx = block_index_byte(block);
+            let data = block_data_word(block);
             let xs = &x[b * WEIGHTS_PER_BLOCK..(b + 1) * WEIGHTS_PER_BLOCK];
             for k_in in 0..CLUSTERS_PER_BLOCK {
                 let (two, three) = split_lanes_at(idx, data, k_in);
@@ -380,26 +669,10 @@ impl PackedChannel {
                 acc3 += three[2] as f32 * xo[2];
             }
         }
-        for (bb, block) in blocks.enumerate() {
-            let b = full + bb;
-            let idx = block[0];
-            let data = data_word(block);
-            for k_in in 0..CLUSTERS_PER_BLOCK {
-                let k = b * CLUSTERS_PER_BLOCK + k_in;
-                if k >= self.n_clusters {
-                    break;
-                }
-                let (two, three) = split_lanes_at(idx, data, k_in);
-                for j in 0..3 {
-                    let i = k * 3 + j;
-                    if i >= self.len {
-                        break;
-                    }
-                    acc2 += two[j] as f32 * x[i];
-                    acc3 += three[j] as f32 * x[i];
-                }
-            }
-        }
+        for_each_lane_from(self, full, |i, two, three| {
+            acc2 += two as f32 * x[i];
+            acc3 += three as f32 * x[i];
+        });
         self.scale2 * acc2 + self.scale3 * acc3
     }
 
@@ -415,37 +688,19 @@ impl PackedChannel {
     pub fn dequantize_into(&self, out: &mut [f32]) {
         assert_eq!(out.len(), self.len, "output length must equal channel length");
         let full = self.len / WEIGHTS_PER_BLOCK;
-        let mut blocks = self.blocks.chunks_exact(BLOCK_BYTES);
-        for (b, block) in blocks.by_ref().take(full).enumerate() {
-            let idx = block[0];
-            let data = data_word(block);
+        for (b, block) in self.blocks.chunks_exact(BLOCK_BYTES).take(full).enumerate() {
+            let d = DecodedBlockBytes::decode(block);
             let os = &mut out[b * WEIGHTS_PER_BLOCK..(b + 1) * WEIGHTS_PER_BLOCK];
-            for k_in in 0..CLUSTERS_PER_BLOCK {
-                let (two, three) = split_lanes_at(idx, data, k_in);
+            for k in 0..CLUSTERS_PER_BLOCK {
                 for j in 0..3 {
-                    os[k_in * 3 + j] = two[j] as f32 * self.scale2 + three[j] as f32 * self.scale3;
+                    let (two, three) = d.lanes(k, j);
+                    os[k * 3 + j] = two as f32 * self.scale2 + three as f32 * self.scale3;
                 }
             }
         }
-        for (bb, block) in blocks.enumerate() {
-            let b = full + bb;
-            let idx = block[0];
-            let data = data_word(block);
-            for k_in in 0..CLUSTERS_PER_BLOCK {
-                let k = b * CLUSTERS_PER_BLOCK + k_in;
-                if k >= self.n_clusters {
-                    break;
-                }
-                let (two, three) = split_lanes_at(idx, data, k_in);
-                for j in 0..3 {
-                    let i = k * 3 + j;
-                    if i >= self.len {
-                        break;
-                    }
-                    out[i] = two[j] as f32 * self.scale2 + three[j] as f32 * self.scale3;
-                }
-            }
-        }
+        for_each_lane_from(self, full, |i, two, three| {
+            out[i] = two as f32 * self.scale2 + three as f32 * self.scale3;
+        });
     }
 
     /// Storage bytes of the channel in serving form: the packed blocks
@@ -481,9 +736,11 @@ impl PackedMatrix {
     }
 
     /// In-place fused GEMV: `y = W x` written into `out`, the channel loop
-    /// optionally distributed over `pool`. Channels are whole work items
-    /// and each writes only its own `out[r]`, so the result is
-    /// bit-identical to the serial path at any thread count.
+    /// optionally distributed over `pool`. Channels stream through the
+    /// grouped SWAR kernel ([`GEMV_CHANNEL_GROUP`] channels per decode
+    /// pass) and are whole work items each writing only its own `out[r]`,
+    /// so the result is bit-identical to the serial per-channel path at
+    /// any thread count.
     ///
     /// # Panics
     ///
@@ -494,19 +751,18 @@ impl PackedMatrix {
         match pool {
             Some(pool) if pool.threads() > 1 => {
                 let writer = SendSlice::new(out);
-                pool.run(self.rows(), 1, &|_, start, end| {
+                // min_chunk = the GEMV group size: the pool sizes chunks
+                // as a multiple of it, so no chunk but the last strands
+                // channels in the ungrouped remainder path and loses the
+                // latency-hiding the grouping buys (chunking never
+                // affects output bits).
+                pool.run(self.rows(), GEMV_CHANNEL_GROUP, &|_, start, end| {
                     // Safety: chunks from `ThreadPool::run` are disjoint.
                     let out = unsafe { writer.slice_mut(start, end) };
-                    for (o, ch) in out.iter_mut().zip(&self.channels()[start..end]) {
-                        *o = ch.dot(x);
-                    }
+                    matvec_channels(&self.channels()[start..end], x, out);
                 });
             }
-            _ => {
-                for (o, ch) in out.iter_mut().zip(self.channels()) {
-                    *o = ch.dot(x);
-                }
-            }
+            _ => matvec_channels(self.channels(), x, out),
         }
     }
 
@@ -773,9 +1029,7 @@ pub fn matvec_sharded_into(
     }
     let serial = |shards: &[(usize, PackedMatrix)], out: &mut [f32]| {
         for (off, m) in shards {
-            for (o, ch) in out[*off..off + m.rows()].iter_mut().zip(m.channels()) {
-                *o = ch.dot(x);
-            }
+            matvec_channels(m.channels(), x, &mut out[*off..off + m.rows()]);
         }
     };
     match pool {
@@ -786,9 +1040,7 @@ pub fn matvec_sharded_into(
                     // Safety: shard ranges are asserted disjoint above and
                     // each shard belongs to exactly one chunk.
                     let slice = unsafe { writer.slice_mut(*off, off + m.rows()) };
-                    for (o, ch) in slice.iter_mut().zip(m.channels()) {
-                        *o = ch.dot(x);
-                    }
+                    matvec_channels(m.channels(), x, slice);
                 }
             });
         }
@@ -890,7 +1142,8 @@ mod tests {
         for k in 0..ch.n_clusters() {
             let code = ch.code_of(k).bits() as usize;
             let block = k / CLUSTERS_PER_BLOCK;
-            let data = data_word(&ch.blocks()[block * BLOCK_BYTES..(block + 1) * BLOCK_BYTES]);
+            let data =
+                block_data_word(&ch.blocks()[block * BLOCK_BYTES..(block + 1) * BLOCK_BYTES]);
             let six = ((data >> (6 * (k % CLUSTERS_PER_BLOCK))) & 0x3F) as usize;
             let lut: [i32; 3] = [
                 DECODE_INTS[code][six][0] as i32,
@@ -934,6 +1187,36 @@ mod tests {
                         _ => assert_eq!((two[j], three[j]), (0, 0), "sacrificed lane must be 0"),
                     }
                 }
+            }
+        }
+    }
+
+    // The exhaustive and random SWAR-vs-LUT differential sweeps live in
+    // the workspace-level harness (`tests/swar_decode.rs`), which owns
+    // the reference walk; the unit tests here cover only the properties
+    // internal to this module.
+
+    #[test]
+    fn swar_decode_ignores_bits_above_the_data_word() {
+        // Callers hand in `block_data_word` (48 bits), but the decoder must
+        // not be sensitive to stray high bits either.
+        let (two, three) = decode_block_swar(0b1110_0100, 0xFFFF_FFFF_FFFF);
+        let with_junk = decode_block_swar(0b1110_0100, 0xFFFF_FFFF_FFFF_FFFF);
+        assert_eq!((two, three), with_junk);
+    }
+
+    #[test]
+    fn dot_is_bit_identical_to_dot_scalar() {
+        // Full blocks, partial tails down to a single lane, and the empty
+        // channel: the SWAR GEMV must equal the scalar reference exactly.
+        for (cols, seed) in
+            [(24usize, 61u64), (48, 62), (96, 63), (25, 64), (47, 65), (7, 66), (1, 67), (2, 68)]
+        {
+            let (_, packed) = random_packed(6, cols, seed);
+            let mut rng = Rng::seed_from(seed ^ 0xD07);
+            let x: Vec<f32> = (0..cols).map(|_| rng.normal(0.0, 1.0)).collect();
+            for (r, ch) in packed.channels().iter().enumerate() {
+                assert_eq!(ch.dot(&x), ch.dot_scalar(&x), "cols {cols} row {r}");
             }
         }
     }

@@ -50,8 +50,8 @@ pub mod stats;
 
 pub use cluster::{split_channel, Cluster};
 pub use encoding::ClusterCode;
-pub use kernels::{matmul_t_sharded_into, matvec_sharded_into, KernelScratch};
-pub use pack::{PackedChannel, PackedMatrix};
+pub use kernels::{decode_block_swar, matmul_t_sharded_into, matvec_sharded_into, KernelScratch};
+pub use pack::{block_data_word, block_index_byte, PackedChannel, PackedMatrix};
 pub use pool::ThreadPool;
 pub use quantizer::{FineQConfig, FineQuantizer};
 pub use serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};

@@ -35,6 +35,42 @@ pub const BLOCK_BYTES: usize = 7;
 /// Weights covered by one packed block (8 clusters × 3 lanes) — the unit
 /// the kernels' full-block fast path advances by.
 pub const WEIGHTS_PER_BLOCK: usize = CLUSTERS_PER_BLOCK * 3;
+/// Data bits per cluster (three 2-bit or two 3-bit sign-magnitude fields).
+pub const CLUSTER_DATA_BITS: usize = 6;
+/// Data bytes per block (the 48-bit word after the index byte).
+pub const BLOCK_DATA_BYTES: usize = BLOCK_BYTES - 1;
+/// Bits of the per-pair cluster code in the index byte.
+pub const CODE_BITS: usize = 2;
+
+/// The index byte of a 7-byte block: four 2-bit pair codes, LSB first.
+///
+/// # Panics
+///
+/// Debug-asserts that `block` is exactly [`BLOCK_BYTES`] long.
+#[inline(always)]
+pub fn block_index_byte(block: &[u8]) -> u8 {
+    debug_assert_eq!(block.len(), BLOCK_BYTES);
+    block[0]
+}
+
+/// The 48-bit data word of a 7-byte block as one little-endian `u64`:
+/// cluster `k` occupies bits `[6k, 6k + 6)` — the word the SWAR decoder
+/// consumes whole.
+///
+/// # Panics
+///
+/// Debug-asserts that `block` is exactly [`BLOCK_BYTES`] long.
+#[inline(always)]
+pub fn block_data_word(block: &[u8]) -> u64 {
+    debug_assert_eq!(block.len(), BLOCK_BYTES);
+    let mut data = 0u64;
+    let mut i = 0;
+    while i < BLOCK_DATA_BYTES {
+        data |= (block[1 + i] as u64) << (8 * i);
+        i += 1;
+    }
+    data
+}
 
 /// Encodes a signed value into an `n`-bit sign-magnitude field
 /// (`n - 1` magnitude bits, sign in the top bit). Negative zero is
@@ -138,7 +174,7 @@ impl PackedChannel {
             for p_in_block in 0..4 {
                 let pair = b * 4 + p_in_block;
                 if pair < codes.len() {
-                    idx |= codes[pair].bits() << (2 * p_in_block);
+                    idx |= codes[pair].bits() << (CODE_BITS * p_in_block);
                 }
             }
             blocks[base] = idx;
@@ -214,7 +250,7 @@ impl PackedChannel {
         let pair = k / 2;
         let block = pair / 4;
         let idx = self.blocks[block * BLOCK_BYTES];
-        ClusterCode::from_bits((idx >> (2 * (pair % 4))) & 0b11)
+        ClusterCode::from_bits((idx >> (CODE_BITS * (pair % 4))) & 0b11)
     }
 
     /// The three integer codes of cluster `k` (zeroed position reads 0).
@@ -226,11 +262,8 @@ impl PackedChannel {
         assert!(k < self.n_clusters, "cluster {k} out of range");
         let block = k / CLUSTERS_PER_BLOCK;
         let base = block * BLOCK_BYTES;
-        let mut data = 0u64;
-        for i in 0..6 {
-            data |= (self.blocks[base + 1 + i] as u64) << (8 * i);
-        }
-        let six = ((data >> (6 * (k % CLUSTERS_PER_BLOCK))) & 0x3F) as u8;
+        let data = block_data_word(&self.blocks[base..base + BLOCK_BYTES]);
+        let six = ((data >> (CLUSTER_DATA_BITS * (k % CLUSTERS_PER_BLOCK))) & 0x3F) as u8;
         unpack_cluster(six, self.code_of(k))
     }
 
@@ -424,6 +457,24 @@ mod tests {
         let ch2 =
             PackedChannel::pack(1.0, 1.0 / 3.0, 27, &[ClusterCode::AllTwoBit; 5], &[[0, 0, 0]; 9]);
         assert_eq!(ch2.data_bytes(), 2 * BLOCK_BYTES); // 9 clusters -> 2 blocks
+    }
+
+    #[test]
+    fn block_word_accessors_mirror_the_layout() {
+        let ch = demo_channel();
+        let block = &ch.blocks()[0..BLOCK_BYTES];
+        assert_eq!(block_index_byte(block), block[0]);
+        let data = block_data_word(block);
+        // Reassembling the word byte by byte must reproduce bytes 1..=6.
+        for (i, &b) in block[1..].iter().enumerate() {
+            assert_eq!(((data >> (8 * i)) & 0xFF) as u8, b, "data byte {i}");
+        }
+        assert_eq!(data >> (CLUSTER_DATA_BITS * CLUSTERS_PER_BLOCK), 0, "48 bits only");
+        // Cluster k's six bits land at [6k, 6k + 6).
+        for k in 0..ch.n_clusters() {
+            let six = ((data >> (CLUSTER_DATA_BITS * k)) & 0x3F) as u8;
+            assert_eq!(unpack_cluster(six, ch.code_of(k)), ch.cluster_ints(k), "cluster {k}");
+        }
     }
 
     #[test]

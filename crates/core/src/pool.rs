@@ -213,10 +213,12 @@ impl ThreadPool {
     /// Runs `body(worker, start, end)` over disjoint chunks covering
     /// `0..n_items`, distributed across the pool, and returns once every
     /// chunk has completed. Chunks are contiguous ranges of at least
-    /// `min_chunk` items, so a whole work item is never split. `worker` is
-    /// the executing thread's stable index in `0..threads()` — at most one
-    /// live chunk per index at any time, so bodies may keep per-worker
-    /// scratch without locking.
+    /// `min_chunk` items **and a multiple of it** (the final chunk may be
+    /// shorter), so a whole work item — or work *group*, when the caller
+    /// processes items several at a time — is never split across chunks.
+    /// `worker` is the executing thread's stable index in `0..threads()`
+    /// — at most one live chunk per index at any time, so bodies may keep
+    /// per-worker scratch without locking.
     ///
     /// Falls back to a single inline `body(0, 0, n_items)` call when the
     /// pool has one thread or the range is too small to split — the serial
@@ -237,8 +239,11 @@ impl ThreadPool {
         // Over-chunk by 4x the thread count so early-finishing workers
         // steal the tail instead of idling (channel costs are uneven:
         // outlier-heavy channels decode the same bytes but different MACs).
+        // Rounding up to a multiple of `min_chunk` keeps caller work
+        // groups whole in every chunk, not just the ones `max` sized.
         let target_chunks = self.threads * 4;
-        let chunk = n_items.div_ceil(target_chunks).max(min_chunk.max(1));
+        let min_chunk = min_chunk.max(1);
+        let chunk = n_items.div_ceil(target_chunks).max(min_chunk).next_multiple_of(min_chunk);
         let n_chunks = n_items.div_ceil(chunk);
         if self.threads == 1 || n_chunks <= 1 {
             body(0, 0, n_items);
@@ -375,6 +380,28 @@ mod tests {
             assert_eq!(w[0].1, w[1].0, "chunks must tile the range");
         }
         assert!(ranges[..ranges.len() - 1].iter().all(|(s, e)| e - s >= 40));
+    }
+
+    #[test]
+    fn chunks_are_whole_multiples_of_min_chunk() {
+        // Callers that process items in fixed-size groups (the grouped
+        // GEMV) rely on every chunk but the last being a whole number of
+        // groups — otherwise group remainders leak into slow paths.
+        let pool = ThreadPool::new(7);
+        let starts = Mutex::new(Vec::new());
+        pool.run(256, 4, &|_, start, end| {
+            starts.lock().unwrap().push((start, end));
+        });
+        let mut ranges = starts.into_inner().unwrap();
+        ranges.sort_unstable();
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 256);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "chunks must tile the range");
+        }
+        for &(s, e) in &ranges[..ranges.len() - 1] {
+            assert_eq!((e - s) % 4, 0, "chunk {s}..{e} must be a whole number of groups");
+        }
     }
 
     #[test]

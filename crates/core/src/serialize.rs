@@ -478,4 +478,104 @@ mod tests {
         let m = sample_packed(8, 24, 15);
         let _ = shard_to_bytes(&m, &sample_header()); // 8 rows at start 2 > 9 total
     }
+
+    #[test]
+    fn every_header_field_mutation_is_rejected_never_silent() {
+        // Seeded-random mutations aimed at the envelope's header fields
+        // specifically: every field, mutated independently (checksum both
+        // stale and refixed), must yield a typed error — never a decode
+        // that silently routes the slice elsewhere.
+        let m = sample_packed(4, 47, 16);
+        let bytes = shard_to_bytes(&m, &sample_header());
+        // (field name, byte range in the header)
+        let fields: [(&str, std::ops::Range<usize>); 7] = [
+            ("magic", 0..4),
+            ("version", 4..6),
+            ("shard_index", 6..8),
+            ("n_shards", 8..10),
+            ("site_id", 10..14),
+            ("row_start", 14..18),
+            ("total_rows", 18..22),
+            // checksum (22..26) is exercised separately below: flipping it
+            // alone must fail against the intact payload.
+        ];
+        let mut rng = Rng::seed_from(0xAEAD);
+        for trial in 0..800 {
+            let (name, range) = &fields[rng.below(fields.len())];
+            let mut mutated = bytes.clone();
+            let i = range.start + rng.below(range.end - range.start);
+            let flip = 1u8 << rng.below(8);
+            mutated[i] ^= flip;
+            // Stale checksum: any header flip must be caught — by magic or
+            // version first, by the checksum otherwise.
+            let stale = shard_from_bytes(&mutated).expect_err("stale header flip must error");
+            match *name {
+                "magic" => assert_eq!(stale, DecodeError::BadMagic, "trial {trial}"),
+                "version" => {
+                    assert!(matches!(stale, DecodeError::BadVersion(_)), "trial {trial}")
+                }
+                _ => assert_eq!(stale, DecodeError::BadChecksum, "trial {trial} {name} byte {i}"),
+            }
+            // Refixed checksum: the corrupted field now *is* the message,
+            // so decoding must still never silently succeed with different
+            // routing — any field change is either rejected (BadRange /
+            // BadVersion / BadMagic) or decodes to exactly the mutated
+            // header (shard_index within range, site_id, larger
+            // total_rows: legitimate alternative routings the checksum
+            // exists to protect in transit, not at rest).
+            refix_checksum(&mut mutated);
+            match shard_from_bytes(&mutated) {
+                Err(
+                    DecodeError::BadMagic
+                    | DecodeError::BadVersion(_)
+                    | DecodeError::BadRange
+                    | DecodeError::Truncated,
+                ) => {}
+                Err(e) => panic!("trial {trial} {name}: unexpected error {e}"),
+                Ok((header, back)) => {
+                    assert_eq!(back, m, "trial {trial} {name}: payload must be untouched");
+                    assert_eq!(
+                        shard_to_bytes(&back, &header),
+                        mutated,
+                        "trial {trial} {name}: decode must round-trip the mutated bytes exactly"
+                    );
+                }
+            }
+        }
+        // The checksum field itself, flipped against an intact payload.
+        let mut rng = Rng::seed_from(77);
+        for _ in 0..64 {
+            let mut mutated = bytes.clone();
+            mutated[22 + rng.below(4)] ^= 1 << rng.below(8);
+            assert_eq!(shard_from_bytes(&mutated).unwrap_err(), DecodeError::BadChecksum);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_rejected() {
+        // Both formats, cut after every possible prefix length (and the
+        // empty input): always a typed error, never a panic or a silent
+        // partial decode.
+        let m = sample_packed(3, 29, 17);
+        let plain = to_bytes(&m);
+        for len in 0..plain.len() {
+            assert_eq!(
+                from_bytes(&plain[..len]).unwrap_err(),
+                DecodeError::Truncated,
+                "matrix blob cut at {len}"
+            );
+        }
+        let wire = shard_to_bytes(&m, &sample_header());
+        for len in 0..wire.len() {
+            let err = shard_from_bytes(&wire[..len]).unwrap_err();
+            // Short of the header it is Truncated outright; past the
+            // header a cut payload breaks the checksum first.
+            let expect = if len < SHARD_HEADER_BYTES {
+                DecodeError::Truncated
+            } else {
+                DecodeError::BadChecksum
+            };
+            assert_eq!(err, expect, "shard envelope cut at {len}");
+        }
+    }
 }

@@ -67,7 +67,7 @@ pub use generate::{BatchKvCache, KvCache};
 pub use memory::ServingMemory;
 pub use model::{LinearWeight, Transformer, WeightSite};
 pub use serving::{
-    BatchScheduler, FinishReason, FinishedSequence, Scheduler, ServeModel, ServeRequest,
-    ShardedScheduler,
+    AdmissionError, BatchScheduler, FinishReason, FinishedSequence, Scheduler, ServeModel,
+    ServeRequest, ShardedScheduler,
 };
 pub use shard::{ShardPlan, ShardedModel, SitePlan};

@@ -31,7 +31,9 @@
 //! is only admitted while the live cache
 //! ([`ServingMemory::kv_cache_bytes_for`]) plus the worst-case growth of
 //! everything already admitted plus the request's own worst case fits the
-//! budget — over-budget requests wait in the FIFO queue.
+//! budget — over-budget requests wait in the FIFO queue, and a request
+//! that could *never* fit is refused at submit with a typed
+//! [`AdmissionError`] (the queue and every admitted sequence unaffected).
 
 use crate::generate::{sample_token, BatchKvCache};
 use crate::memory::ServingMemory;
@@ -108,6 +110,45 @@ struct ActiveSeq {
     rng: Rng,
 }
 
+/// Why a request (or a budget installation) was refused admission. Unlike
+/// the contract violations `submit` panics on (empty prompt,
+/// out-of-vocabulary token, non-positive temperature or budget), an
+/// impossible request under a KV budget is an *operational* condition — a
+/// well-formed request meeting a deliberately tight deployment limit — so
+/// it surfaces as a typed error the caller can handle (shed the request,
+/// split it, route it to a bigger pool) without unwinding the scheduler.
+/// The scheduler's queue and every admitted sequence are untouched by a
+/// rejection (asserted by tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The request's worst-case KV footprint exceeds the configured budget
+    /// even on an otherwise empty cache: it could never be admitted and
+    /// would block the FIFO head forever.
+    KvBudgetExceeded {
+        /// The offending request's id.
+        id: u64,
+        /// Bytes the request's worst case (`prompt + max_new_tokens`
+        /// cached tokens) would need.
+        required_bytes: f64,
+        /// The configured budget.
+        budget_bytes: f64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::KvBudgetExceeded { id, required_bytes, budget_bytes } => write!(
+                f,
+                "request {id} can never fit the KV budget: needs {required_bytes:.0} bytes \
+                 of {budget_bytes:.0}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// KV-limited admission configuration: a serving-memory plan supplying the
 /// KV byte arithmetic and a byte budget the live-plus-committed cache must
 /// never exceed.
@@ -126,20 +167,22 @@ impl KvBudget {
         prompt_len + max_new_tokens
     }
 
-    /// Asserts a request's worst case fits an *empty* cache under this
+    /// Whether a request's worst case fits an *empty* cache under this
     /// budget — the feasibility check shared by submit-time and
     /// install-time validation (a request failing it would wait in the
     /// FIFO queue forever).
-    fn assert_request_feasible(&self, req: &ServeRequest) {
+    fn check_request_feasible(&self, req: &ServeRequest) -> Result<(), AdmissionError> {
         let need = self
             .plan
             .kv_cache_bytes(KvBudget::bound_tokens(req.prompt.len(), req.max_new_tokens) as f64);
-        assert!(
-            need <= self.budget_bytes,
-            "request {} can never fit the KV budget: needs {need:.0} bytes of {:.0}",
-            req.id,
-            self.budget_bytes
-        );
+        if need > self.budget_bytes {
+            return Err(AdmissionError::KvBudgetExceeded {
+                id: req.id,
+                required_bytes: need,
+                budget_bytes: self.budget_bytes,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -171,7 +214,7 @@ impl SchedulerCore {
         }
     }
 
-    fn submit(&mut self, request: ServeRequest, vocab: usize) {
+    fn submit(&mut self, request: ServeRequest, vocab: usize) -> Result<(), AdmissionError> {
         assert!(!request.prompt.is_empty(), "prompt must not be empty");
         for &tok in &request.prompt {
             assert!(tok < vocab, "prompt token id {tok} out of vocabulary");
@@ -179,22 +222,29 @@ impl SchedulerCore {
         assert!(request.temperature > 0.0, "temperature must be positive");
         assert!(request.max_new_tokens > 0, "max_new_tokens must be positive");
         if let Some(kv) = &self.kv_budget {
-            kv.assert_request_feasible(&request);
+            kv.check_request_feasible(&request)?;
         }
         self.queue.push_back(request);
+        Ok(())
     }
 
-    fn set_kv_budget(&mut self, plan: ServingMemory, budget_bytes: f64) {
+    fn set_kv_budget(
+        &mut self,
+        plan: ServingMemory,
+        budget_bytes: f64,
+    ) -> Result<(), AdmissionError> {
         assert!(budget_bytes > 0.0, "KV budget must be positive");
         let kv = KvBudget { plan, budget_bytes };
         // Requests queued before the budget was installed get the same
         // feasibility check submit applies afterwards — otherwise an
         // already-queued impossible request would block the FIFO head
-        // forever and `run` would spin without progress.
+        // forever and `run` would spin without progress. Rejecting the
+        // installation leaves the scheduler exactly as it was.
         for req in &self.queue {
-            kv.assert_request_feasible(req);
+            kv.check_request_feasible(req)?;
         }
         self.kv_budget = Some(kv);
+        Ok(())
     }
 
     fn kv_budget_bytes(&self) -> Option<f64> {
@@ -472,15 +522,27 @@ impl<M: ServeModel> Scheduler<M> {
     /// `budget_bytes`. Over-budget requests wait in the FIFO queue; the
     /// cache can therefore never outgrow the budget (asserted by tests).
     ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError::KvBudgetExceeded`] if an already-queued
+    /// request could never fit the new budget (it would block the FIFO
+    /// head forever); the scheduler is left unchanged — the new budget is
+    /// not installed and any previously installed budget stays in
+    /// effect.
+    ///
     /// # Panics
     ///
     /// Panics if the plan's KV shape does not match the model or the
     /// budget is not positive.
-    pub fn set_kv_budget(&mut self, plan: ServingMemory, budget_bytes: f64) {
+    pub fn set_kv_budget(
+        &mut self,
+        plan: ServingMemory,
+        budget_bytes: f64,
+    ) -> Result<(), AdmissionError> {
         let cfg = self.model.config();
         assert_eq!(plan.n_layers, cfg.n_layers, "KV plan layer count mismatch");
         assert_eq!(plan.d_model, cfg.d_model, "KV plan width mismatch");
-        self.core.set_kv_budget(plan, budget_bytes);
+        self.core.set_kv_budget(plan, budget_bytes)
     }
 
     /// The configured KV budget, if any.
@@ -491,16 +553,24 @@ impl<M: ServeModel> Scheduler<M> {
     /// Enqueues a request. It enters the batch when a slot frees up (or
     /// immediately at the next step if one is free).
     ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError::KvBudgetExceeded`] if a configured KV
+    /// budget is too small to ever hold the request's worst case — an
+    /// operational rejection, not a panic, because a well-formed request
+    /// meeting a tight deployment limit is the serving layer's to handle.
+    /// A rejected request leaves the queue and every already-admitted
+    /// sequence untouched (asserted by tests).
+    ///
     /// # Panics
     ///
     /// Panics if the prompt is empty or holds an out-of-vocabulary token,
-    /// the temperature is not positive, `max_new_tokens` is zero — the
+    /// the temperature is not positive, or `max_new_tokens` is zero — the
     /// same contract as [`Transformer::generate`], enforced here so a bad
     /// request is rejected at submission instead of panicking steps later
-    /// inside a batch that holds other requests' work — or a configured KV
-    /// budget is too small to ever hold the request.
-    pub fn submit(&mut self, request: ServeRequest) {
-        self.core.submit(request, self.model.config().vocab);
+    /// inside a batch that holds other requests' work.
+    pub fn submit(&mut self, request: ServeRequest) -> Result<(), AdmissionError> {
+        self.core.submit(request, self.model.config().vocab)
     }
 
     /// Runs one batched step: admits queued requests into free slots,
@@ -581,11 +651,13 @@ mod tests {
         let mut rng = Rng::seed_from(909);
         let expect = model.generate(&prompt, 12, 0.8, &mut rng);
         let mut sched = BatchScheduler::new(model, 1);
-        sched.submit(ServeRequest {
-            temperature: 0.8,
-            seed: 909,
-            ..ServeRequest::new(7, prompt.clone(), 12)
-        });
+        sched
+            .submit(ServeRequest {
+                temperature: 0.8,
+                seed: 909,
+                ..ServeRequest::new(7, prompt.clone(), 12)
+            })
+            .expect("no KV budget configured");
         let done = sched.run();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, 7);
@@ -608,7 +680,7 @@ mod tests {
             let n = 4 + 2 * (id as usize % 3);
             let mut rng = Rng::seed_from(100 + id);
             expected.push(model.generate(&prompt, n, 0.9, &mut rng));
-            sched.submit(request(id, prompt, n));
+            sched.submit(request(id, prompt, n)).expect("no KV budget configured");
         }
         assert_eq!(sched.queued(), 5);
         let mut done = sched.run();
@@ -630,7 +702,7 @@ mod tests {
         let prompt = corpus.generate(4, 31).tokens().to_vec();
         // Same prompt length and budget: all three retire on the same step.
         for id in 0..3 {
-            sched.submit(request(id, prompt.clone(), 5));
+            sched.submit(request(id, prompt.clone(), 5)).expect("no KV budget configured");
         }
         let mut last_active = 0;
         while !sched.is_idle() {
@@ -654,11 +726,13 @@ mod tests {
         let mut rng = Rng::seed_from(111);
         let solo = model.generate(&prompt, 8, 1.0, &mut rng);
         let mut sched = BatchScheduler::new(model, 1);
-        sched.submit(ServeRequest {
-            seed: 111,
-            eos: Some(solo[0]),
-            ..ServeRequest::new(1, prompt, 8)
-        });
+        sched
+            .submit(ServeRequest {
+                seed: 111,
+                eos: Some(solo[0]),
+                ..ServeRequest::new(1, prompt, 8)
+            })
+            .expect("no KV budget configured");
         let done = sched.run();
         assert_eq!(done[0].reason, FinishReason::Eos);
         assert_eq!(done[0].generated, vec![solo[0]], "eos token is kept, then the run stops");
@@ -670,7 +744,7 @@ mod tests {
         let mut sched = BatchScheduler::new(model, 2);
         for id in 0..6u64 {
             let prompt = corpus.generate(3, 70 + id).tokens().to_vec();
-            sched.submit(request(id, prompt, 3));
+            sched.submit(request(id, prompt, 3)).expect("no KV budget configured");
         }
         while !sched.is_idle() {
             sched.step();
@@ -691,7 +765,7 @@ mod tests {
         let submit_all = |sched: &mut BatchScheduler| {
             for id in 0..4u64 {
                 let prompt = corpus.generate(4, 300 + id).tokens().to_vec();
-                sched.submit(request(id, prompt, 5));
+                sched.submit(request(id, prompt, 5)).expect("fits the budget");
             }
         };
         let mut unrestricted = BatchScheduler::new(model.clone(), 2);
@@ -702,7 +776,7 @@ mod tests {
         let mut sched = BatchScheduler::new(model, 2);
         // Exactly one in-flight worst case (4 prompt + 5 budget tokens).
         let budget = plan.kv_cache_bytes(9.0);
-        sched.set_kv_budget(plan.clone(), budget);
+        sched.set_kv_budget(plan.clone(), budget).expect("queue is empty");
         assert_eq!(sched.kv_budget_bytes(), Some(budget));
         submit_all(&mut sched);
         let mut peak = 0.0f64;
@@ -724,10 +798,10 @@ mod tests {
         let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
         let mut sched = BatchScheduler::new(model, 3);
         // Room for all three worst cases at once.
-        sched.set_kv_budget(plan, 1e12);
+        sched.set_kv_budget(plan, 1e12).expect("queue is empty");
         for id in 0..3u64 {
             let prompt = corpus.generate(4, 320 + id).tokens().to_vec();
-            sched.submit(request(id, prompt, 4));
+            sched.submit(request(id, prompt, 4)).expect("fits the budget");
         }
         sched.step();
         assert_eq!(sched.active(), 3, "a generous budget must not serialize the batch");
@@ -735,28 +809,98 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "can never fit the KV budget")]
-    fn impossible_request_is_rejected_at_submit_under_kv_budget() {
+    fn impossible_request_is_rejected_at_submit_with_a_typed_error() {
         let (model, _) = fitted_tiny();
         let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
         let mut sched = BatchScheduler::new(model, 2);
         let tiny_budget = plan.kv_cache_bytes(2.0);
-        sched.set_kv_budget(plan, tiny_budget);
-        sched.submit(ServeRequest::new(0, vec![1, 2, 3], 8)); // needs 11 tokens
+        sched.set_kv_budget(plan.clone(), tiny_budget).expect("queue is empty");
+        // Needs 11 cached tokens against a 2-token budget: typed error,
+        // not a panic, and the scheduler stays usable.
+        let err = sched.submit(ServeRequest::new(9, vec![1, 2, 3], 8)).unwrap_err();
+        let AdmissionError::KvBudgetExceeded { id, required_bytes, budget_bytes } = err.clone();
+        assert_eq!(id, 9);
+        assert_eq!(required_bytes, plan.kv_cache_bytes(11.0));
+        assert_eq!(budget_bytes, tiny_budget);
+        assert!(err.to_string().contains("can never fit the KV budget"), "{err}");
+        assert_eq!(sched.queued(), 0, "a rejected request must not enter the queue");
+        assert!(sched.is_idle());
     }
 
     #[test]
-    #[should_panic(expected = "can never fit the KV budget")]
-    fn budget_installed_after_queueing_revalidates_the_queue() {
-        // The reverse order — submit first, then install a too-small
-        // budget — must fail at set_kv_budget, not leave `run` spinning on
-        // a head that can never be admitted.
+    fn rejection_leaves_previously_admitted_sequences_unaffected() {
+        // Admit work, advance it mid-decode, then submit an impossible
+        // request: the rejection must change nothing — not the queue, not
+        // the in-flight sequences, not their tokens. The run must finish
+        // identical to a run that never saw the rejected request.
+        let (model, corpus) = fitted_tiny();
+        let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
+        let budget = plan.kv_cache_bytes(2.0 * 9.0); // two worst-case requests
+        let prompts: Vec<Vec<usize>> =
+            (0..2).map(|i| corpus.generate(4, 500 + i).tokens().to_vec()).collect();
+
+        let mut reference = BatchScheduler::new(model.clone(), 2);
+        reference.set_kv_budget(plan.clone(), budget).expect("queue is empty");
+        for (i, p) in prompts.iter().enumerate() {
+            reference.submit(request(i as u64, p.clone(), 5)).expect("fits the budget");
+        }
+        let expect = reference.run();
+
+        let mut sched = BatchScheduler::new(model, 2);
+        sched.set_kv_budget(plan, budget).expect("queue is empty");
+        for (i, p) in prompts.iter().enumerate() {
+            sched.submit(request(i as u64, p.clone(), 5)).expect("fits the budget");
+        }
+        // Let admission and a few decode steps happen first.
+        sched.step();
+        sched.step();
+        let (active, queued) = (sched.active(), sched.queued());
+        assert!(active > 0, "sequences must be in flight before the rejection");
+        let err = sched.submit(ServeRequest::new(99, vec![1; 30], 30));
+        assert!(matches!(err, Err(AdmissionError::KvBudgetExceeded { id: 99, .. })), "{err:?}");
+        assert_eq!((sched.active(), sched.queued()), (active, queued), "rejection is a no-op");
+        assert_eq!(sched.run(), expect, "in-flight output must be untouched by the rejection");
+    }
+
+    #[test]
+    fn failed_budget_tightening_keeps_the_old_budget_in_effect() {
+        // Tightening an installed budget below a queued request's worst
+        // case must fail without touching the existing configuration: the
+        // OLD budget — not none — keeps gating admission afterwards.
         let (model, _) = fitted_tiny();
         let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
         let mut sched = BatchScheduler::new(model, 2);
-        sched.submit(ServeRequest::new(0, vec![1, 2, 3], 8)); // needs 11 tokens
+        let generous = plan.kv_cache_bytes(11.0);
+        sched.set_kv_budget(plan.clone(), generous).expect("queue is empty");
+        sched.submit(ServeRequest::new(3, vec![1, 2, 3], 8)).expect("fits the budget");
+        let tiny = plan.kv_cache_bytes(2.0);
+        let err = sched.set_kv_budget(plan, tiny).unwrap_err();
+        assert!(matches!(err, AdmissionError::KvBudgetExceeded { id: 3, .. }), "{err:?}");
+        assert_eq!(
+            sched.kv_budget_bytes(),
+            Some(generous),
+            "the previous budget must remain installed after a failed tightening"
+        );
+        assert_eq!(sched.queued(), 1);
+        assert_eq!(sched.run().len(), 1, "the queued request still runs under the old budget");
+    }
+
+    #[test]
+    fn budget_installed_after_queueing_revalidates_the_queue() {
+        // The reverse order — submit first, then install a too-small
+        // budget — must fail at set_kv_budget, not leave `run` spinning on
+        // a head that can never be admitted. The failed installation
+        // leaves the scheduler budget-free and the queue intact.
+        let (model, _) = fitted_tiny();
+        let plan = crate::memory::ServingMemory::from_model(&model, 1e9);
+        let mut sched = BatchScheduler::new(model, 2);
+        sched.submit(ServeRequest::new(0, vec![1, 2, 3], 8)).expect("no budget yet");
         let tiny_budget = plan.kv_cache_bytes(2.0);
-        sched.set_kv_budget(plan, tiny_budget);
+        let err = sched.set_kv_budget(plan, tiny_budget).unwrap_err();
+        assert!(matches!(err, AdmissionError::KvBudgetExceeded { id: 0, .. }), "{err:?}");
+        assert_eq!(sched.kv_budget_bytes(), None, "a rejected budget must not install");
+        assert_eq!(sched.queued(), 1, "the queued request survives the failed installation");
+        assert_eq!(sched.run().len(), 1, "and still runs to completion without a budget");
     }
 
     #[test]
@@ -766,7 +910,7 @@ mod tests {
         let mut plan = crate::memory::ServingMemory::from_model(&model, 1e9);
         plan.n_layers += 1;
         let mut sched = BatchScheduler::new(model, 2);
-        sched.set_kv_budget(plan, 1e9);
+        let _ = sched.set_kv_budget(plan, 1e9);
     }
 
     #[test]
@@ -774,7 +918,7 @@ mod tests {
     fn empty_prompt_is_rejected_at_submit() {
         let (model, _) = fitted_tiny();
         let mut sched = BatchScheduler::new(model, 1);
-        sched.submit(ServeRequest::new(0, Vec::new(), 4));
+        let _ = sched.submit(ServeRequest::new(0, Vec::new(), 4));
     }
 
     #[test]
@@ -783,7 +927,7 @@ mod tests {
         let (model, _) = fitted_tiny();
         let vocab = model.config().vocab;
         let mut sched = BatchScheduler::new(model, 1);
-        sched.submit(ServeRequest::new(0, vec![vocab + 5], 4));
+        let _ = sched.submit(ServeRequest::new(0, vec![vocab + 5], 4));
     }
 
     #[test]
@@ -791,7 +935,7 @@ mod tests {
     fn non_positive_temperature_is_rejected_at_submit() {
         let (model, _) = fitted_tiny();
         let mut sched = BatchScheduler::new(model, 1);
-        sched.submit(ServeRequest { temperature: 0.0, ..ServeRequest::new(0, vec![1], 4) });
+        let _ = sched.submit(ServeRequest { temperature: 0.0, ..ServeRequest::new(0, vec![1], 4) });
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() {
             eos: Some(0),
             ..ServeRequest::new(id, prompt, 8 + (id as usize % 4) * 4)
         };
-        sched.submit(request);
+        sched.submit(request).expect("no KV budget configured");
     }
     println!("requests queued              : {}", sched.queued());
 

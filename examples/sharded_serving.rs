@@ -73,7 +73,7 @@ fn main() {
         })
         .collect();
     for r in &requests {
-        sched.submit(r.clone());
+        sched.submit(r.clone()).expect("no KV budget configured");
     }
     let t0 = Instant::now();
     let mut done = sched.run();
@@ -88,7 +88,7 @@ fn main() {
         1,
     );
     for r in &requests {
-        reference_sched.submit(r.clone());
+        reference_sched.submit(r.clone()).expect("no KV budget configured");
     }
     let mut reference = reference_sched.run();
     reference.sort_by_key(|f| f.id);

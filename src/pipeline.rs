@@ -462,11 +462,9 @@ mod tests {
         let prompt = corpus.generate(5, 17).tokens().to_vec();
         let mut rng = fineq_tensor::Rng::seed_from(33);
         let expect = sched.model().generate(&prompt, 6, 0.7, &mut rng);
-        sched.submit(ServeRequest {
-            temperature: 0.7,
-            seed: 33,
-            ..ServeRequest::new(1, prompt, 6)
-        });
+        sched
+            .submit(ServeRequest { temperature: 0.7, seed: 33, ..ServeRequest::new(1, prompt, 6) })
+            .expect("no KV budget configured");
         let done = sched.run();
         assert_eq!(done[0].generated, expect);
     }
@@ -487,13 +485,13 @@ mod tests {
             }
         };
         let (mut plain, _) = serve_packed_with_threads(&model, &q, &cfg, 2, 1);
-        submit(&mut |r| plain.submit(r));
+        submit(&mut |r| plain.submit(r).expect("no KV budget configured"));
         let reference = plain.run();
         for n_shards in [1usize, 3] {
             let (mut sched, report) = serve_sharded_with_threads(&model, &q, &cfg, 2, n_shards, 2);
             assert_eq!(sched.n_shards(), n_shards);
             assert_eq!(report.sites.len(), model.n_layers() * 6);
-            submit(&mut |r| sched.submit(r));
+            submit(&mut |r| sched.submit(r).expect("no KV budget configured"));
             assert_eq!(sched.run(), reference, "{n_shards} shards");
         }
     }

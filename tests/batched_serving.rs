@@ -31,7 +31,9 @@ fn packed_batch_of_one_is_token_identical_to_generate() {
     let prompt = corpus.generate(7, 91).tokens().to_vec();
     let mut rng = Rng::seed_from(4242);
     let expect = sched.model().generate(&prompt, 10, 0.9, &mut rng);
-    sched.submit(ServeRequest { temperature: 0.9, seed: 4242, ..ServeRequest::new(0, prompt, 10) });
+    sched
+        .submit(ServeRequest { temperature: 0.9, seed: 4242, ..ServeRequest::new(0, prompt, 10) })
+        .expect("no KV budget configured");
     let done = sched.run();
     assert_eq!(done.len(), 1);
     assert_eq!(done[0].generated, expect);
@@ -51,11 +53,13 @@ fn packed_continuous_batching_matches_solo_references() {
         let n = 3 + id as usize % 5;
         let mut rng = Rng::seed_from(500 + id);
         expected.push(sched.model().generate(&prompt, n, 0.85, &mut rng));
-        sched.submit(ServeRequest {
-            temperature: 0.85,
-            seed: 500 + id,
-            ..ServeRequest::new(id, prompt, n)
-        });
+        sched
+            .submit(ServeRequest {
+                temperature: 0.85,
+                seed: 500 + id,
+                ..ServeRequest::new(id, prompt, n)
+            })
+            .expect("no KV budget configured");
     }
     let mut done = sched.run();
     assert_eq!(done.len(), 8);
@@ -75,10 +79,12 @@ fn scheduler_drains_and_accepts_a_second_wave() {
     for wave in 0..2u64 {
         for id in 0..4u64 {
             let prompt = corpus.generate(4, 300 + 10 * wave + id).tokens().to_vec();
-            sched.submit(ServeRequest {
-                temperature: 0.8,
-                ..ServeRequest::new(10 * wave + id, prompt, 4)
-            });
+            sched
+                .submit(ServeRequest {
+                    temperature: 0.8,
+                    ..ServeRequest::new(10 * wave + id, prompt, 4)
+                })
+                .expect("no KV budget configured");
         }
         while !sched.is_idle() {
             sched.step();
@@ -98,7 +104,9 @@ fn batch_cache_bytes_track_the_serving_plan() {
     let plan = ServingMemory::from_model(sched.model(), 1e9);
     for id in 0..3u64 {
         let prompt = corpus.generate(5, 400 + id).tokens().to_vec();
-        sched.submit(ServeRequest { temperature: 1.0, ..ServeRequest::new(id, prompt, 6) });
+        sched
+            .submit(ServeRequest { temperature: 1.0, ..ServeRequest::new(id, prompt, 6) })
+            .expect("no KV budget configured");
     }
     while !sched.is_idle() {
         sched.step();
@@ -123,8 +131,8 @@ fn dense_and_packed_schedulers_step_identically() {
     for id in 0..4u64 {
         let prompt = corpus.generate(4, 600 + id).tokens().to_vec();
         let req = ServeRequest { temperature: 0.9, ..ServeRequest::new(id, prompt, 5) };
-        dense.submit(req.clone());
-        packed.submit(req);
+        dense.submit(req.clone()).expect("no KV budget configured");
+        packed.submit(req).expect("no KV budget configured");
     }
     let d = dense.run();
     let p = packed.run();

@@ -168,12 +168,14 @@ fn batch_scheduler_runs_are_bit_identical_at_every_thread_count() {
     let submit_all = |sched: &mut fineq::lm::BatchScheduler| {
         for id in 0..6u64 {
             let prompt = corpus.generate(3 + id as usize % 4, 70 + id).tokens().to_vec();
-            sched.submit(ServeRequest {
-                temperature: 0.85,
-                seed: 900 + id,
-                eos: Some(0),
-                ..ServeRequest::new(id, prompt, 4 + id as usize % 3)
-            });
+            sched
+                .submit(ServeRequest {
+                    temperature: 0.85,
+                    seed: 900 + id,
+                    eos: Some(0),
+                    ..ServeRequest::new(id, prompt, 4 + id as usize % 3)
+                })
+                .expect("no KV budget configured");
         }
     };
     let reference = {

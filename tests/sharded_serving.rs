@@ -109,14 +109,14 @@ fn sharded_scheduler_runs_equal_unsharded_at_every_shard_count() {
     };
     let reference = {
         let mut sched = BatchScheduler::new(model.clone(), 2);
-        submit_all(Box::new(|r| sched.submit(r)));
+        submit_all(Box::new(|r| sched.submit(r).expect("admitted")));
         sched.run()
     };
     assert_eq!(reference.len(), 6);
     for n_shards in SHARD_COUNTS {
         let mut sched = ShardedScheduler::new(ShardedModel::new(&model, n_shards), 2);
         assert_eq!(sched.n_shards(), n_shards);
-        submit_all(Box::new(|r| sched.submit(r)));
+        submit_all(Box::new(|r| sched.submit(r).expect("admitted")));
         let done = sched.run();
         assert_eq!(done, reference, "sharding must be invisible at {n_shards} shards");
         assert_eq!(sched.cache().total_tokens(), 0, "retirement frees K/V");
@@ -141,13 +141,13 @@ fn pipeline_sharded_serving_matches_packed_serving() {
         .collect();
     let reference = {
         let (mut sched, _) = serve_packed_with_threads(&model, &q, &cfg, 3, 1);
-        requests.iter().for_each(|r| sched.submit(r.clone()));
+        requests.iter().for_each(|r| sched.submit(r.clone()).expect("fits the budget"));
         sched.run()
     };
     for n_shards in [2usize, 5] {
         let (mut sched, _) = serve_sharded_with_threads(&model, &q, &cfg, 3, n_shards, 3);
         assert_eq!(sched.thread_pool().expect("pool installed").threads(), 3);
-        requests.iter().for_each(|r| sched.submit(r.clone()));
+        requests.iter().for_each(|r| sched.submit(r.clone()).expect("fits the budget"));
         assert_eq!(sched.run(), reference, "{n_shards} shards");
     }
 }
@@ -167,15 +167,15 @@ fn kv_budget_on_the_sharded_scheduler_preserves_outputs() {
         .collect();
     let mut reference = {
         let mut sched = BatchScheduler::new(model.clone(), 2);
-        requests.iter().for_each(|r| sched.submit(r.clone()));
+        requests.iter().for_each(|r| sched.submit(r.clone()).expect("fits the budget"));
         sched.run()
     };
     reference.sort_by_key(|f| f.id);
     let plan = fineq::lm::ServingMemory::from_model(&model, 1e9);
     let budget = plan.kv_cache_bytes(7.0); // one worst case: 3 prompt + 4 new
     let mut sched = ShardedScheduler::new(ShardedModel::new(&model, 3), 2);
-    sched.set_kv_budget(plan.clone(), budget);
-    requests.iter().for_each(|r| sched.submit(r.clone()));
+    sched.set_kv_budget(plan.clone(), budget).expect("queue is empty");
+    requests.iter().for_each(|r| sched.submit(r.clone()).expect("fits the budget"));
     while !sched.is_idle() {
         sched.step();
         assert!(sched.active() <= 1, "budget admits one sequence at a time");

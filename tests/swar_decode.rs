@@ -1,0 +1,259 @@
+//! Differential harness for the SWAR wide-word decode: the wide path must
+//! be **bit-identical** to the scalar per-cluster LUT walk everywhere it
+//! can possibly be reached — `assert_eq!`, never approximate.
+//!
+//! Layer by layer:
+//!
+//! 1. block level — `decode_block_swar` against `SPLIT_LANES` /
+//!    `DECODE_INTS` over the **full** `code × six` space (every cluster
+//!    position, plus random mixed blocks);
+//! 2. channel level — `dot` (SWAR full-block fast path) against
+//!    `dot_scalar` (LUT reference) for every partial-tail length 1..=24,
+//!    alone and behind a full block, under every cluster code;
+//! 3. matrix level — seeded-random whole-matrix sweeps (odd shapes,
+//!    1-row, 1-col) across `matvec` / `matmul` / `matmul_t`;
+//! 4. serving level — whole `BatchScheduler` / `ShardedScheduler` runs at
+//!    threads {1, 2, 4, 7} × shards {1, 2, 3, 5}, all bit-identical to
+//!    the serial unsharded reference.
+//!
+//! Together these are the proof obligation the SWAR rewrite carries: the
+//! batch-composition, thread-count and shard-count determinism contracts
+//! of PRs 2–4 survive because the decoded integers and the accumulation
+//! order never changed.
+
+use fineq::core::kernels::{DECODE_INTS, LANE_WIDTHS, SPLIT_LANES};
+use fineq::core::pack::{BLOCK_BYTES, CLUSTERS_PER_BLOCK, WEIGHTS_PER_BLOCK};
+use fineq::core::{decode_block_swar, ClusterCode, FineQuantizer, PackedChannel, PackedMatrix};
+use fineq::lm::builder::{build_fitted_model, BuilderSpec};
+use fineq::lm::corpus::Corpus;
+use fineq::lm::ServeRequest;
+use fineq::pipeline::{serve_packed_with_threads, serve_sharded_with_threads, PipelineConfig};
+use fineq::tensor::{Matrix, Rng};
+
+/// The scalar reference for one whole block: the per-cluster LUT walk.
+fn split_lanes_block(idx: u8, data: u64) -> ([i8; WEIGHTS_PER_BLOCK], [i8; WEIGHTS_PER_BLOCK]) {
+    let mut two = [0i8; WEIGHTS_PER_BLOCK];
+    let mut three = [0i8; WEIGHTS_PER_BLOCK];
+    for k in 0..CLUSTERS_PER_BLOCK {
+        let code = ((idx >> (2 * (k / 2))) & 0b11) as usize;
+        let six = ((data >> (6 * k)) & 0x3F) as usize;
+        let (t, h) = SPLIT_LANES[code][six];
+        for j in 0..3 {
+            two[k * 3 + j] = t[j];
+            three[k * 3 + j] = h[j];
+        }
+    }
+    (two, three)
+}
+
+/// Exhaustive `code × six` coverage: every combination replicated across
+/// all clusters, and every combination alone at each of the 8 cluster
+/// positions — 4 × 64 × 9 block decodes, each checked lane for lane
+/// against the LUT walk and summed back against `DECODE_INTS`.
+#[test]
+fn swar_decode_covers_the_full_code_six_space() {
+    for code in 0..4u8 {
+        let idx = code * 0b0101_0101;
+        for six in 0..64u64 {
+            let everywhere = (0..CLUSTERS_PER_BLOCK).fold(0u64, |d, k| d | (six << (6 * k)));
+            for data in
+                std::iter::once(everywhere).chain((0..CLUSTERS_PER_BLOCK).map(|k| six << (6 * k)))
+            {
+                let (two, three) = decode_block_swar(idx, data);
+                assert_eq!(
+                    (two, three),
+                    split_lanes_block(idx, data),
+                    "code {code} six {six:06b} data {data:012x}"
+                );
+                // The class split must also sum back to the raw decode
+                // table (the accelerator's reference semantics).
+                for k in 0..CLUSTERS_PER_BLOCK {
+                    let six_k = ((data >> (6 * k)) & 0x3F) as usize;
+                    for j in 0..3 {
+                        assert_eq!(
+                            two[k * 3 + j] + three[k * 3 + j],
+                            DECODE_INTS[code as usize][six_k][j],
+                            "code {code} cluster {k} lane {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Random mixed blocks: arbitrary index bytes (all four pair codes
+/// differing) and arbitrary 48-bit words, including bit patterns packing
+/// never emits (negative-zero fields) — the decoder is total on the wire
+/// format.
+#[test]
+fn swar_decode_matches_lut_walk_on_random_mixed_blocks() {
+    let mut rng = Rng::seed_from(0x5AAB);
+    for trial in 0..50_000 {
+        let idx = rng.below(256) as u8;
+        let data = (rng.below(1 << 24) as u64) | ((rng.below(1 << 24) as u64) << 24);
+        assert_eq!(
+            decode_block_swar(idx, data),
+            split_lanes_block(idx, data),
+            "trial {trial}: idx {idx:08b} data {data:012x}"
+        );
+    }
+}
+
+/// A packed channel of exactly `len` weights with seeded-random codes and
+/// in-range field values — constructed through `PackedChannel::pack`, so
+/// every cluster code (not just the ones a real quantizer favours) lands
+/// in the tail.
+fn random_channel(len: usize, rng: &mut Rng) -> PackedChannel {
+    let n_clusters = len.div_ceil(3);
+    let codes: Vec<ClusterCode> = (0..n_clusters.div_ceil(2))
+        .map(|_| ClusterCode::ALL[rng.below(ClusterCode::ALL.len())])
+        .collect();
+    let quantized: Vec<[i32; 3]> =
+        (0..n_clusters).map(|_| [0, 1, 2].map(|_| rng.below(7) as i32 - 3)).collect();
+    PackedChannel::pack(0.3, 0.1, len, &codes, &quantized)
+}
+
+/// Channel-level differential: `dot` (SWAR fast path + per-lane tail)
+/// against `dot_scalar` (pure LUT walk) and against an independent
+/// reconstruction from `cluster_ints` + `LANE_WIDTHS` — every partial
+/// tail length 1..=24, bare and behind one full block, many seeds.
+#[test]
+fn dot_equals_scalar_reference_for_every_tail_length() {
+    let mut rng = Rng::seed_from(0xD1FF);
+    for tail in 1..=WEIGHTS_PER_BLOCK {
+        for lead_blocks in [0usize, 1, 2] {
+            for round in 0..8 {
+                let len = lead_blocks * WEIGHTS_PER_BLOCK + tail;
+                let ch = random_channel(len, &mut rng);
+                assert_eq!(ch.data_bytes(), len.div_ceil(3).div_ceil(8) * BLOCK_BYTES);
+                let x: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
+                let fused = ch.dot(&x);
+                assert_eq!(
+                    fused,
+                    ch.dot_scalar(&x),
+                    "tail {tail} lead {lead_blocks} round {round}"
+                );
+                // Third decoder: the pack-module bit unpacker, accumulated
+                // with the kernels' exact expression and order.
+                let (mut acc2, mut acc3) = (0.0f32, 0.0f32);
+                for (i, &xv) in x.iter().enumerate() {
+                    let (k, j) = (i / 3, i % 3);
+                    let q = ch.cluster_ints(k)[j];
+                    let (two, three) = match LANE_WIDTHS[ch.code_of(k).bits() as usize][j] {
+                        2 => (q, 0),
+                        3 => (0, q),
+                        _ => (0, 0),
+                    };
+                    acc2 += two as f32 * xv;
+                    acc3 += three as f32 * xv;
+                }
+                let reference = ch.scale2() * acc2 + ch.scale3() * acc3;
+                assert_eq!(fused, reference, "tail {tail} lead {lead_blocks} round {round}");
+                // Dequantize must agree element-wise with the same walk.
+                let mut dq = vec![f32::NAN; len];
+                ch.dequantize_into(&mut dq);
+                for (i, &v) in dq.iter().enumerate() {
+                    let (k, j) = (i / 3, i % 3);
+                    let q = ch.cluster_ints(k)[j];
+                    let expect = match LANE_WIDTHS[ch.code_of(k).bits() as usize][j] {
+                        2 => q as f32 * ch.scale2(),
+                        3 => q as f32 * ch.scale3(),
+                        _ => 0.0,
+                    };
+                    assert_eq!(v, expect, "weight {i} of len {len}");
+                }
+            }
+        }
+    }
+}
+
+fn random_packed(rows: usize, cols: usize, seed: u64) -> PackedMatrix {
+    let mut rng = Rng::seed_from(seed);
+    let w = Matrix::from_fn(rows, cols, |_, _| {
+        let v = rng.laplace(0.0, 0.02);
+        if rng.chance(0.04) {
+            v * 10.0
+        } else {
+            v
+        }
+    });
+    FineQuantizer::paper().quantize_packed(&w)
+}
+
+/// Matrix-level differential sweep: seeded-random matrices in odd shapes
+/// (1-row, 1-col, partial tails, widths crossing several blocks) — every
+/// GEMV/GEMM output element must equal the scalar `dot_scalar` reference
+/// exactly, through the grouped SWAR kernel and both GEMM orientations.
+#[test]
+fn whole_matrix_kernels_equal_the_scalar_reference() {
+    for (rows, cols, seed) in [
+        (1usize, 1usize, 81u64),
+        (1, 24, 82),
+        (5, 1, 83),
+        (4, 24, 84),
+        (7, 47, 85),
+        (16, 93, 86),
+        (33, 121, 87),
+    ] {
+        let packed = random_packed(rows, cols, seed);
+        let mut rng = Rng::seed_from(seed ^ 0xD1F);
+        let x: Vec<f32> = (0..cols).map(|_| rng.normal(0.0, 1.0)).collect();
+        let a = Matrix::from_fn(5, cols, |_, _| rng.normal(0.0, 1.0));
+        let xm = Matrix::from_fn(cols, 3, |_, _| rng.normal(0.0, 1.0));
+        let scalar_mv: Vec<f32> = packed.channels().iter().map(|c| c.dot_scalar(&x)).collect();
+        assert_eq!(packed.matvec(&x), scalar_mv, "{rows}x{cols} matvec");
+        let mt = packed.matmul_t(&a);
+        for t in 0..a.rows() {
+            for (r, ch) in packed.channels().iter().enumerate() {
+                assert_eq!(mt[(t, r)], ch.dot_scalar(a.row(t)), "{rows}x{cols} matmul_t ({t},{r})");
+            }
+        }
+        let mm = packed.matmul(&xm);
+        for c in 0..xm.cols() {
+            let col: Vec<f32> = (0..cols).map(|i| xm[(i, c)]).collect();
+            for (r, ch) in packed.channels().iter().enumerate() {
+                assert_eq!(mm[(r, c)], ch.dot_scalar(&col), "{rows}x{cols} matmul ({r},{c})");
+            }
+        }
+    }
+}
+
+/// Serving-level differential: complete scheduler runs over the SWAR
+/// kernels at every thread × shard combination — admission, sampling,
+/// retirement included — must be identical to the serial unsharded
+/// reference, finished sequence for finished sequence.
+#[test]
+fn scheduler_runs_are_identical_at_all_thread_and_shard_counts() {
+    let corpus = Corpus::wiki_like(64, 5);
+    let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 3_000, 2);
+    let cfg = PipelineConfig::default();
+    let q = FineQuantizer::paper();
+    let submit_all = |sub: &mut dyn FnMut(ServeRequest)| {
+        for id in 0..6u64 {
+            let prompt = corpus.generate(3 + id as usize % 4, 800 + id).tokens().to_vec();
+            sub(ServeRequest {
+                temperature: 0.85,
+                seed: 640 + id,
+                eos: Some(0),
+                ..ServeRequest::new(id, prompt, 4 + id as usize % 3)
+            });
+        }
+    };
+    let reference = {
+        let (mut sched, _) = serve_packed_with_threads(&model, &q, &cfg, 2, 1);
+        submit_all(&mut |r| sched.submit(r).expect("no KV budget configured"));
+        sched.run()
+    };
+    assert_eq!(reference.len(), 6);
+    for threads in [1usize, 2, 4, 7] {
+        let (mut sched, _) = serve_packed_with_threads(&model, &q, &cfg, 2, threads);
+        submit_all(&mut |r| sched.submit(r).expect("no KV budget configured"));
+        assert_eq!(sched.run(), reference, "unsharded @ {threads} threads");
+        for shards in [1usize, 2, 3, 5] {
+            let (mut sched, _) = serve_sharded_with_threads(&model, &q, &cfg, 2, shards, threads);
+            submit_all(&mut |r| sched.submit(r).expect("no KV budget configured"));
+            assert_eq!(sched.run(), reference, "{shards} shards @ {threads} threads");
+        }
+    }
+}
