@@ -34,7 +34,15 @@
 //!   are µop-throughput-bound instead — like this 1-CPU build container,
 //!   where the grouped form measures ~0.9× scalar — record without
 //!   enforcing. The two paths' *outputs* are asserted exactly equal on
-//!   every host — the perf gate never trades away the determinism gate.
+//!   every host — the perf gate never trades away the determinism gate;
+//! * paged-KV burst: page-granular admission with youngest-first
+//!   preemption and copy-on-write prefix sharing must deliver ≥ 1.5× the
+//!   FIFO admit-or-wait baseline through the same 12-page pool (enforced on
+//!   ≥ 4-CPU hosts, recorded-only below), the peak physical KV bytes must
+//!   sit measurably below per-copy accounting, and all three scheduling
+//!   policies must produce the identical token stream (enforced on every
+//!   host — preemption and sharing are execution configuration, never
+//!   semantics).
 
 use fineq::core::{FineQuantizer, ThreadPool};
 use fineq::lm::builder::{llm_like_matrix, BuilderSpec};
@@ -230,6 +238,39 @@ fn with_threads(model: &Transformer, threads: usize) -> Transformer {
     m
 }
 
+/// Burst workload shape: many requests sharing one long system-prompt
+/// prefix, hitting a page pool far smaller than their combined worst case.
+const BURST_PREFIX_TOKENS: usize = 32;
+const BURST_REQUESTS: u64 = 24;
+const BURST_SLOTS: usize = 8;
+const BURST_PAGES: usize = 12;
+
+/// The burst requests: a common 32-token prefix (the shared system
+/// prompt), 4 unique suffix tokens, and staggered decode budgets so
+/// retirements spread out and backfilled requests find live donors to
+/// share pages with.
+fn burst_requests(vocab: usize) -> Vec<ServeRequest> {
+    let prefix: Vec<usize> = (0..BURST_PREFIX_TOKENS).map(|i| (i * 17 + 5) % vocab).collect();
+    (0..BURST_REQUESTS)
+        .map(|id| {
+            let mut prompt = prefix.clone();
+            prompt.extend((0..4).map(|i| (id as usize * 13 + i * 7 + 1) % vocab));
+            ServeRequest {
+                temperature: 0.9,
+                seed: 7000 + id,
+                ..ServeRequest::new(id, prompt, 8 + id as usize % 8)
+            }
+        })
+        .collect()
+}
+
+/// Tokens a finished set delivered (prompt + continuation) — the burst
+/// throughput numerator. Identical across scheduling policies because the
+/// token streams themselves are asserted identical.
+fn delivered_tokens(done: &[fineq::lm::FinishedSequence]) -> u64 {
+    done.iter().map(|f| (f.prompt_len + f.generated.len()) as u64).sum()
+}
+
 fn main() {
     let (dense, packed) = bench_models();
 
@@ -383,6 +424,86 @@ fn main() {
         );
     }
 
+    section("paged-KV burst (shared-prefix prompts through a tight page pool)");
+    let plan = fineq::lm::ServingMemory::from_model(&packed, 1e12);
+    let burst = burst_requests(packed.config().vocab);
+    let page_tokens = fineq::lm::PAGE_TOKENS;
+    // Unpressured reference: every burst policy below must reproduce this
+    // token stream exactly.
+    let burst_reference_hash = {
+        let mut sched = BatchScheduler::new(packed.clone(), BURST_SLOTS);
+        burst.iter().for_each(|r| sched.submit(r.clone()).expect("no budget configured"));
+        finished_hash(sched.run())
+    };
+    // FIFO admit-or-wait baseline: the byte budget reserves each admitted
+    // sequence's whole worst case up front, so the same 12 pages of memory
+    // admit only as many sequences as fit fully reserved.
+    let fifo_budget_bytes = plan.page_bytes(page_tokens) * BURST_PAGES as f64;
+    let run_fifo = || {
+        let mut sched = BatchScheduler::new(packed.clone(), BURST_SLOTS);
+        sched.set_kv_budget(plan.clone(), fifo_budget_bytes).expect("nothing queued yet");
+        burst.iter().for_each(|r| sched.submit(r.clone()).expect("fits the budget"));
+        sched
+    };
+    // Paged policy: same 12 pages, but admission needs only next-step
+    // headroom, prefix pages are shared copy-on-write, and pool pressure
+    // preempts the youngest sequence instead of blocking admission.
+    let run_paged = || {
+        let mut sched = BatchScheduler::new(packed.clone(), BURST_SLOTS);
+        sched.set_page_budget(BURST_PAGES).expect("nothing queued yet");
+        sched.enable_prefix_sharing(true);
+        burst.iter().for_each(|r| sched.submit(r.clone()).expect("fits the pool"));
+        sched
+    };
+    // Determinism and accounting first (untimed, instrumented): both
+    // policies must reproduce the unpressured token stream, sharing must
+    // measurably beat per-copy accounting, and the pool must actually
+    // have been under pressure. All deterministic — asserted on any host.
+    let fifo_hash = {
+        let mut sched = run_fifo();
+        finished_hash(sched.run())
+    };
+    let (paged_hash, kv_bytes_saved, burst_preemptions, burst_shared_tokens) = {
+        let mut sched = run_paged();
+        let mut saved = 0i64;
+        while !sched.is_idle() {
+            sched.step();
+            let logical = sched.cache().fp16_bytes() as i64;
+            let physical = sched.cache().allocated_fp16_bytes() as i64;
+            saved = saved.max(logical - physical);
+        }
+        let stats = sched.stats();
+        (finished_hash(sched.take_finished()), saved, stats.preemptions, stats.shared_prefix_tokens)
+    };
+    let paged_matches_unpressured =
+        paged_hash == burst_reference_hash && fifo_hash == burst_reference_hash;
+    println!("   unpressured reference hash    : {burst_reference_hash:016x}");
+    println!(
+        "   FIFO admit-or-wait hash       : {fifo_hash:016x}  {}",
+        if fifo_hash == burst_reference_hash { "== reference" } else { "MISMATCH" }
+    );
+    println!(
+        "   paged + preempt + share hash  : {paged_hash:016x}  {}",
+        if paged_hash == burst_reference_hash { "== reference" } else { "MISMATCH" }
+    );
+    println!(
+        "   preemptions {burst_preemptions}, shared-prefix tokens {burst_shared_tokens}, \
+         peak KV bytes saved by sharing {kv_bytes_saved}"
+    );
+    let fifo_burst_tps = tokens_per_sec(|| delivered_tokens(&run_fifo().run()));
+    let paged_burst_tps = tokens_per_sec(|| delivered_tokens(&run_paged().run()));
+    let paged_burst_speedup = paged_burst_tps / fifo_burst_tps;
+    let paged_gate_enforced = host_cpus >= 4;
+    println!(
+        "   FIFO admit-or-wait            {fifo_burst_tps:>10.0} tok/s delivered \
+         ({BURST_REQUESTS} requests, {BURST_PAGES}-page pool)"
+    );
+    println!("   paged + preempt + share       {paged_burst_tps:>10.0} tok/s delivered");
+    println!(
+        "   paged / FIFO: {paged_burst_speedup:.2}x   (gate >= 1.5x, {})",
+        if paged_gate_enforced { "enforced" } else { "recorded only: host has < 4 CPUs" }
+    );
+
     section("dense reference (same shapes, fp32 weights)");
     let dense_solo16 = solo_loop_tps(&dense, 16);
     let dense_batch16 = batched_tps(&dense, 16);
@@ -407,6 +528,15 @@ fn main() {
         .push_obj("sharded_batch16_tokens_per_sec", sharded_entries)
         .push("sharded_output_hash", format!("{unsharded_hash:016x}").as_str())
         .push("gate_sharded_matches_unsharded", sharded_hashes_equal)
+        .push("paged_burst_tokens_per_sec", paged_burst_tps)
+        .push("fifo_burst_tokens_per_sec", fifo_burst_tps)
+        .push("kv_bytes_saved_by_sharing", kv_bytes_saved.max(0) as usize)
+        .push("burst_preemptions", burst_preemptions as usize)
+        .push("burst_shared_prefix_tokens", burst_shared_tokens as usize)
+        .push("gate_paged_burst_speedup", paged_burst_speedup)
+        .push("gate_paged_burst_speedup_min", 1.5)
+        .push("gate_paged_burst_enforced", paged_gate_enforced)
+        .push("gate_paged_matches_unpressured", paged_matches_unpressured)
         .push("dense_solo_loop_tokens_per_sec", dense_solo16)
         .push("dense_batch16_tokens_per_sec", dense_batch16)
         .push("batch16_speedup_vs_batch1", speedup16)
@@ -464,9 +594,35 @@ fn main() {
         "sharded serving output diverged from the unsharded scheduler \
          (reference hash {unsharded_hash:016x})"
     );
+    // Paged-KV determinism and accounting gates: scheduling policy is
+    // execution configuration, never semantics, and the shared-prefix
+    // bytes saved must be real. All deterministic — enforced on any host.
+    assert!(
+        paged_matches_unpressured,
+        "burst output diverged across scheduling policies (reference \
+         {burst_reference_hash:016x}, fifo {fifo_hash:016x}, paged {paged_hash:016x})"
+    );
+    assert!(
+        burst_preemptions > 0,
+        "the burst pool must be tight enough to actually preempt — widen the workload or \
+         shrink BURST_PAGES"
+    );
+    assert!(
+        kv_bytes_saved > 0,
+        "prefix sharing must put peak physical KV bytes below per-copy accounting, saved \
+         {kv_bytes_saved}"
+    );
+    if paged_gate_enforced {
+        assert!(
+            paged_burst_speedup >= 1.5,
+            "paged admission + preemption + prefix sharing must deliver >=1.5x FIFO \
+             admit-or-wait on the burst workload, got {paged_burst_speedup:.2}x \
+             ({paged_burst_tps:.0} vs {fifo_burst_tps:.0} tok/s) on {host_cpus} CPUs"
+        );
+    }
     println!(
         "packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16, \
          {thread_scaling:.2}x at 4 threads, {swar_gemv_speedup:.2}x SWAR GEMV, \
-         sharded output bit-identical)"
+         {paged_burst_speedup:.2}x paged burst, sharded output bit-identical)"
     );
 }

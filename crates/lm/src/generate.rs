@@ -61,6 +61,18 @@ impl KvCache {
         2 * self.layers.len() * self.d_model * self.len * 2
     }
 
+    /// One layer's contiguous key and value histories (`len` rows of
+    /// `d_model` each) — the comparison surface paged-cache tests gather
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= n_layers`.
+    pub fn layer_kv(&self, layer: usize) -> (&[f32], &[f32]) {
+        let (ks, vs) = &self.layers[layer];
+        (ks, vs)
+    }
+
     fn push(&mut self, layer: usize, k: &[f32], v: &[f32]) {
         let (ks, vs) = &mut self.layers[layer];
         ks.extend_from_slice(k);
@@ -68,34 +80,114 @@ impl KvCache {
     }
 }
 
-/// Per-layer K/V histories for `N` independent sequences decoded together.
+/// Default page size of a [`BatchKvCache`]: cached positions per physical
+/// page (the vLLM-style granule the serving layer allocates, shares and
+/// preempts at).
+pub const PAGE_TOKENS: usize = 16;
+
+/// One physical KV page: `page_tokens` cached positions × every layer ×
+/// K and V, refcounted so slots with a common prompt prefix can map the
+/// same page (copy-on-write).
+#[derive(Debug, Clone)]
+struct KvPage {
+    /// Flattened `[layer][k|v][t_off][d_model]` storage; see
+    /// [`BatchKvCache::kv_base`] for the index arithmetic.
+    data: Vec<f32>,
+    /// How many slot page tables reference this page. 0 = on the free
+    /// list; >1 = shared (writes must copy first).
+    refs: u32,
+}
+
+/// One sequence slot of a paged cache: the page table mapping logical
+/// position ranges to physical pages, and the token ids fed so far (the
+/// prefix-matching key — K/V at position `t` depends only on tokens
+/// `0..=t`, so equal fed-token prefixes have bit-identical K/V and may
+/// share pages).
+#[derive(Debug, Clone, Default)]
+struct PageSlot {
+    table: Vec<usize>,
+    tokens: Vec<usize>,
+}
+
+/// Paged per-layer K/V histories for `N` independent sequences decoded
+/// together.
 ///
-/// Each slot is a full [`KvCache`] with its own length, so sequences of
-/// different ages (mid-prefill, deep into decode, freshly backfilled) share
-/// one batch. Memory is the **sum** of the per-slot histories:
-/// `2 * n_layers * d_model * total_tokens()` fp16 elements — the same
-/// accounting [`crate::memory::ServingMemory::kv_cache_bytes`] uses for
-/// `concurrent_tokens` (asserted by tests in `memory`).
-#[derive(Debug, Clone, PartialEq)]
+/// Physical storage is a pool of fixed-size refcounted pages
+/// ([`PAGE_TOKENS`] positions × layer × K/V each) drawn from a free list;
+/// each slot owns a page *table*, not a contiguous buffer, so sequences of
+/// different ages (mid-prefill, deep into decode, freshly backfilled)
+/// share one batch and memory is allocated in page granules instead of
+/// monolithic per-sequence reservations. Two accountings follow:
+///
+/// * **used** (logical) bytes — [`BatchKvCache::fp16_bytes`]: the sum of
+///   per-slot cached positions, `2 * n_layers * d_model * total_tokens()`
+///   fp16 elements, the per-copy arithmetic of
+///   [`crate::memory::ServingMemory::kv_cache_bytes`];
+/// * **allocated** (physical) bytes —
+///   [`BatchKvCache::allocated_fp16_bytes`]: live pool pages × page bytes.
+///   Below `used` when prefix sharing maps one physical page into several
+///   slots; above it when tail pages are partially filled.
+///
+/// Prefix sharing ([`BatchKvCache::share_prefix`]) maps a new slot onto a
+/// donor's leading pages copy-on-write: the shared pages' refcounts rise,
+/// and the first write into a shared tail page copies it first
+/// ([`BatchKvCache::begin_step`]), so divergence never mutates a
+/// batchmate's history. Equality ([`PartialEq`]) is **logical**: two
+/// caches are equal when every slot holds the same fed tokens and the same
+/// gathered K/V rows, whatever the physical page layout.
+#[derive(Debug, Clone)]
 pub struct BatchKvCache {
-    slots: Vec<KvCache>,
+    pages: Vec<KvPage>,
+    /// Indices of zero-ref pages available for reuse.
+    free: Vec<usize>,
+    /// Physical pool ceiling in pages (`None` = unbounded). Enforced at
+    /// allocation; the serving layer preempts before stepping past it.
+    capacity: Option<usize>,
+    slots: Vec<PageSlot>,
     n_layers: usize,
     d_model: usize,
+    page_tokens: usize,
+    cow_copies: u64,
+    shared_prefix_tokens: u64,
 }
 
 impl BatchKvCache {
     /// An empty cache with `n_slots` sequence slots for a model of the
-    /// given shape.
+    /// given shape, at the default [`PAGE_TOKENS`] page size and an
+    /// unbounded page pool.
     ///
     /// # Panics
     ///
     /// Panics if `n_slots` is zero.
     pub fn new(n_layers: usize, d_model: usize, n_slots: usize) -> Self {
+        Self::with_page_tokens(n_layers, d_model, n_slots, PAGE_TOKENS)
+    }
+
+    /// [`BatchKvCache::new`] with an explicit page size (cached positions
+    /// per physical page). Small pages waste less tail space and share
+    /// prefixes at finer grain; large pages mean fewer table entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slots` or `page_tokens` is zero.
+    pub fn with_page_tokens(
+        n_layers: usize,
+        d_model: usize,
+        n_slots: usize,
+        page_tokens: usize,
+    ) -> Self {
         assert!(n_slots > 0, "a batch cache needs at least one slot");
+        assert!(page_tokens > 0, "a page must hold at least one position");
         Self {
-            slots: (0..n_slots).map(|_| KvCache::new(n_layers, d_model)).collect(),
+            pages: Vec::new(),
+            free: Vec::new(),
+            capacity: None,
+            slots: (0..n_slots).map(|_| PageSlot::default()).collect(),
             n_layers,
             d_model,
+            page_tokens,
+            cow_copies: 0,
+            shared_prefix_tokens: 0,
         }
     }
 
@@ -114,13 +206,9 @@ impl BatchKvCache {
         self.d_model
     }
 
-    /// The single-sequence cache behind one slot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `slot >= n_slots()`.
-    pub fn slot(&self, slot: usize) -> &KvCache {
-        &self.slots[slot]
+    /// Cached positions per physical page.
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
     }
 
     /// Cached positions of one slot.
@@ -129,37 +217,362 @@ impl BatchKvCache {
     ///
     /// Panics if `slot >= n_slots()`.
     pub fn slot_len(&self, slot: usize) -> usize {
-        self.slots[slot].len()
+        self.slots[slot].tokens.len()
+    }
+
+    /// The token ids fed into one slot so far, in position order — the
+    /// prefix key [`BatchKvCache::share_prefix`] matches against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= n_slots()`.
+    pub fn slot_tokens(&self, slot: usize) -> &[usize] {
+        &self.slots[slot].tokens
     }
 
     /// Total cached positions across all slots — the `concurrent_tokens`
     /// of the serving-memory model.
     pub fn total_tokens(&self) -> usize {
-        self.slots.iter().map(|s| s.len()).sum()
+        self.slots.iter().map(|s| s.tokens.len()).sum()
     }
 
-    /// Bytes the whole batch cache would occupy at fp16 storage.
+    /// **Used** (logical) bytes at fp16: per-copy accounting over cached
+    /// positions, blind to page sharing and tail-page slack. This is the
+    /// byte-budget admission unit
+    /// ([`crate::memory::ServingMemory::kv_cache_bytes_used`]); physical
+    /// residency is [`BatchKvCache::allocated_fp16_bytes`].
     pub fn fp16_bytes(&self) -> usize {
-        self.slots.iter().map(|s| s.fp16_bytes()).sum()
+        2 * self.n_layers * self.d_model * self.total_tokens() * 2
     }
 
-    /// Clears one slot so a new sequence can be backfilled into it.
+    /// **Allocated** (physical) bytes at fp16: live pool pages × bytes per
+    /// page. With prefix sharing this drops below [`fp16_bytes`]
+    /// (one physical page backs several slots); without it, tail-page
+    /// slack puts it above.
+    ///
+    /// [`fp16_bytes`]: BatchKvCache::fp16_bytes
+    pub fn allocated_fp16_bytes(&self) -> usize {
+        self.allocated_pages() * self.page_fp16_bytes()
+    }
+
+    /// Bytes one page occupies at fp16.
+    pub fn page_fp16_bytes(&self) -> usize {
+        2 * self.n_layers * self.d_model * self.page_tokens * 2
+    }
+
+    /// Live pages: referenced by at least one slot's table.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Pages currently mapped by more than one slot (copy-on-write shared
+    /// prefix pages).
+    pub fn shared_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.refs > 1).count()
+    }
+
+    /// Copy-on-write page copies performed so far (a shared tail page
+    /// copied because its slot diverged from the donor).
+    pub fn cow_copies(&self) -> u64 {
+        self.cow_copies
+    }
+
+    /// Cached positions inherited through [`BatchKvCache::share_prefix`]
+    /// so far — prefill positions whose K/V (and attention compute) were
+    /// never paid a second time.
+    pub fn shared_prefix_tokens(&self) -> u64 {
+        self.shared_prefix_tokens
+    }
+
+    /// The physical pool ceiling in pages, if bounded.
+    pub fn capacity_pages(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Bounds (or unbounds) the physical page pool. A capacity below the
+    /// currently allocated page count is allowed — no page is dropped; the
+    /// pool just refuses growth, and the serving layer's preemption
+    /// restores headroom before the next step needs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn set_capacity_pages(&mut self, capacity: Option<usize>) {
+        assert!(capacity != Some(0), "a bounded pool needs at least one page");
+        self.capacity = capacity;
+    }
+
+    /// Pages the pool can still hand out before hitting the capacity
+    /// ceiling (`None` = unbounded).
+    pub fn free_pages(&self) -> Option<usize> {
+        self.capacity.map(|cap| cap.saturating_sub(self.allocated_pages()))
+    }
+
+    /// Clears one slot so a new sequence can be backfilled into it. Its
+    /// pages' refcounts drop; pages reaching zero return to the free list
+    /// (shared prefix pages survive as long as any other slot maps them).
     ///
     /// # Panics
     ///
     /// Panics if `slot >= n_slots()`.
     pub fn reset_slot(&mut self, slot: usize) {
-        self.slots[slot] = KvCache::new(self.n_layers, self.d_model);
+        let table = std::mem::take(&mut self.slots[slot].table);
+        self.slots[slot].tokens.clear();
+        for p in table {
+            self.pages[p].refs -= 1;
+            if self.pages[p].refs == 0 {
+                self.free.push(p);
+            }
+        }
     }
 
-    /// Marks one decoded position committed for every stepped slot — the
-    /// end-of-step bookkeeping shared by the transformer's and the sharded
-    /// engine's batched steps (both push per-layer K/V first, then commit
-    /// the position once).
-    pub(crate) fn commit_step(&mut self, slots: &[usize]) {
-        for &slot in slots {
-            self.slots[slot].len += 1;
+    /// Maps an empty slot onto the longest common fed-token prefix of any
+    /// occupied slot (copy-on-write), returning how many cached positions
+    /// it inherited — positions whose prefill steps the caller may skip.
+    ///
+    /// Soundness: K/V at position `t` is a deterministic function of
+    /// tokens `0..=t` (per-slot arithmetic is batch-invariant), so equal
+    /// token prefixes have **bit-identical** K/V and mapping the donor's
+    /// pages changes no output. Sharing is capped at `script.len() - 1`
+    /// because logits are not cached — at least one token must still be
+    /// fed to produce the next-token distribution. A partially filled
+    /// shared tail page is fine: positions past the shared length hold
+    /// donor data this slot never reads (attention walks `0..len` only)
+    /// and the first write into the page copies it first (see
+    /// [`BatchKvCache::begin_step`]).
+    ///
+    /// Ties prefer the lowest donor slot index (deterministic). Allocates
+    /// nothing — only refcounts rise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or not empty.
+    pub fn share_prefix(&mut self, slot: usize, script: &[usize]) -> usize {
+        assert!(
+            self.slots[slot].tokens.is_empty(),
+            "prefix sharing targets an empty slot (reset it first)"
+        );
+        if script.len() < 2 {
+            return 0;
         }
+        let limit = script.len() - 1;
+        let (mut best, mut donor) = (0usize, None);
+        for (s, ps) in self.slots.iter().enumerate() {
+            if s == slot {
+                continue;
+            }
+            let lcp = ps.tokens.iter().zip(script).take_while(|(a, b)| a == b).count().min(limit);
+            if lcp > best {
+                (best, donor) = (lcp, Some(s));
+            }
+        }
+        let Some(donor) = donor else { return 0 };
+        let shared_pages = best.div_ceil(self.page_tokens);
+        let mapped: Vec<usize> = self.slots[donor].table[..shared_pages].to_vec();
+        for &p in &mapped {
+            self.pages[p].refs += 1;
+        }
+        self.slots[slot].table = mapped;
+        self.slots[slot].tokens.extend_from_slice(&script[..best]);
+        self.shared_prefix_tokens += best as u64;
+        best
+    }
+
+    /// Gathers one slot's cached keys and values for one layer into
+    /// contiguous `len × d_model` row-major buffers — the logical view a
+    /// single-sequence [`KvCache`] would hold, whatever pages back it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `layer` is out of range.
+    pub fn slot_kv(&self, slot: usize, layer: usize) -> (Vec<f32>, Vec<f32>) {
+        assert!(layer < self.n_layers, "layer {layer} out of range");
+        let len = self.slots[slot].tokens.len();
+        let d = self.d_model;
+        let mut ks = Vec::with_capacity(len * d);
+        let mut vs = Vec::with_capacity(len * d);
+        let rows = PagedRows {
+            pages: &self.pages,
+            table: &self.slots[slot].table,
+            layer,
+            page_tokens: self.page_tokens,
+            d,
+        };
+        for j in 0..len {
+            ks.extend_from_slice(rows.k_row(j));
+            vs.extend_from_slice(rows.v_row(j));
+        }
+        (ks, vs)
+    }
+
+    /// Base index of position `pos`'s K (`kv = 0`) or V (`kv = 1`) row
+    /// *within its page's data*.
+    fn kv_base(&self, layer: usize, kv: usize, pos: usize) -> usize {
+        ((layer * 2 + kv) * self.page_tokens + pos % self.page_tokens) * self.d_model
+    }
+
+    /// Pops a free page or grows the pool, respecting the capacity bound.
+    fn alloc_page(&mut self) -> usize {
+        if let Some(p) = self.free.pop() {
+            self.pages[p].refs = 1;
+            return p;
+        }
+        if let Some(cap) = self.capacity {
+            assert!(
+                self.allocated_pages() < cap,
+                "page pool exhausted ({cap} pages): the scheduler must preempt before stepping"
+            );
+        }
+        let elems = 2 * self.n_layers * self.page_tokens * self.d_model;
+        self.pages.push(KvPage { data: vec![0.0; elems], refs: 1 });
+        self.pages.len() - 1
+    }
+
+    /// Physical pages one batched step over `slots` would draw from the
+    /// pool: one per slot whose next position opens a fresh page or lands
+    /// in a shared tail page (copy-on-write). The serving layer compares
+    /// this against [`BatchKvCache::free_pages`] to decide preemption
+    /// *before* the step runs.
+    pub fn pages_needed_for_step(&self, slots: &[usize]) -> usize {
+        slots
+            .iter()
+            .filter(|&&slot| {
+                let ps = &self.slots[slot];
+                let page_idx = ps.tokens.len() / self.page_tokens;
+                page_idx == ps.table.len() || self.pages[ps.table[page_idx]].refs > 1
+            })
+            .count()
+    }
+
+    /// Reserves this step's write targets for every stepped slot — all
+    /// pool mutation of a batched step happens **here, serially**, before
+    /// the (possibly parallel) attention fan-out: a slot at a page
+    /// boundary gets a fresh page; a slot whose tail page is shared gets a
+    /// private copy first (copy-on-write). After this returns, each
+    /// stepped slot's tail page has `refs == 1` and is therefore that
+    /// slot's exclusive write target, every shared page is read-only for
+    /// the step, and the page tables themselves are frozen — the
+    /// disjoint-write safety the parallel attention path rests on.
+    pub(crate) fn begin_step(&mut self, slots: &[usize]) {
+        for &slot in slots {
+            let len = self.slots[slot].tokens.len();
+            let page_idx = len / self.page_tokens;
+            if page_idx == self.slots[slot].table.len() {
+                let p = self.alloc_page();
+                self.slots[slot].table.push(p);
+                continue;
+            }
+            let tail = self.slots[slot].table[page_idx];
+            if self.pages[tail].refs > 1 {
+                let p = self.alloc_page();
+                let (src, dst) = if tail < p {
+                    let (lo, hi) = self.pages.split_at_mut(p);
+                    (&lo[tail], &mut hi[0])
+                } else {
+                    let (lo, hi) = self.pages.split_at_mut(tail);
+                    (&hi[0], &mut lo[p])
+                };
+                dst.data.copy_from_slice(&src.data);
+                self.pages[tail].refs -= 1;
+                self.slots[slot].table[page_idx] = p;
+                self.cow_copies += 1;
+            }
+        }
+    }
+
+    /// Writes position `slot_len(slot)`'s K/V rows for one layer into the
+    /// slot's reserved tail page. Requires [`BatchKvCache::begin_step`]
+    /// to have reserved the page this step.
+    fn write_kv(&mut self, slot: usize, layer: usize, k: &[f32], v: &[f32]) {
+        let pos = self.slots[slot].tokens.len();
+        let page = self.slots[slot].table[pos / self.page_tokens];
+        let kb = self.kv_base(layer, 0, pos);
+        let vb = self.kv_base(layer, 1, pos);
+        let data = &mut self.pages[page].data;
+        data[kb..kb + k.len()].copy_from_slice(k);
+        data[vb..vb + v.len()].copy_from_slice(v);
+    }
+
+    /// Marks one decoded position committed for every stepped slot and
+    /// records the token that produced it — the end-of-step bookkeeping
+    /// shared by the transformer's and the sharded engine's batched steps
+    /// (both write per-layer K/V first, then commit the position once).
+    /// The recorded token ids are what [`BatchKvCache::share_prefix`]
+    /// matches new sequences against.
+    pub(crate) fn commit_step(&mut self, slots: &[usize], tokens: &[usize]) {
+        for (&slot, &tok) in slots.iter().zip(tokens) {
+            self.slots[slot].tokens.push(tok);
+        }
+    }
+}
+
+/// Logical equality: same shape and, per slot, the same fed tokens and
+/// the same gathered K/V rows — physical page layout, page size, sharing
+/// topology and pool bounds are execution configuration, not identity
+/// (the same reasoning as `Transformer`'s pool-blind `PartialEq`).
+impl PartialEq for BatchKvCache {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n_layers != other.n_layers
+            || self.d_model != other.d_model
+            || self.slots.len() != other.slots.len()
+        {
+            return false;
+        }
+        (0..self.slots.len()).all(|s| {
+            self.slots[s].tokens == other.slots[s].tokens
+                && (0..self.n_layers).all(|l| self.slot_kv(s, l) == other.slot_kv(s, l))
+        })
+    }
+}
+
+/// Row access into one slot's cached K/V history for one layer — the
+/// seam that lets [`attend_one`] run identically over a contiguous
+/// [`KvCache`] and a paged [`BatchKvCache`] table walk.
+pub(crate) trait KvRows {
+    fn k_row(&self, j: usize) -> &[f32];
+    fn v_row(&self, j: usize) -> &[f32];
+}
+
+/// Contiguous rows: the single-sequence [`KvCache`] layout.
+struct ContigRows<'a> {
+    ks: &'a [f32],
+    vs: &'a [f32],
+    d: usize,
+}
+
+impl KvRows for ContigRows<'_> {
+    fn k_row(&self, j: usize) -> &[f32] {
+        &self.ks[j * self.d..(j + 1) * self.d]
+    }
+    fn v_row(&self, j: usize) -> &[f32] {
+        &self.vs[j * self.d..(j + 1) * self.d]
+    }
+}
+
+/// Paged rows: position `j` lives in page `table[j / page_tokens]` at
+/// in-page offset `j % page_tokens`.
+struct PagedRows<'a> {
+    pages: &'a [KvPage],
+    table: &'a [usize],
+    layer: usize,
+    page_tokens: usize,
+    d: usize,
+}
+
+impl PagedRows<'_> {
+    fn row(&self, kv: usize, j: usize) -> &[f32] {
+        let data = &self.pages[self.table[j / self.page_tokens]].data;
+        let base = ((self.layer * 2 + kv) * self.page_tokens + j % self.page_tokens) * self.d;
+        &data[base..base + self.d]
+    }
+}
+
+impl KvRows for PagedRows<'_> {
+    fn k_row(&self, j: usize) -> &[f32] {
+        self.row(0, j)
+    }
+    fn v_row(&self, j: usize) -> &[f32] {
+        self.row(1, j)
     }
 }
 
@@ -190,22 +603,24 @@ pub(crate) fn validate_batch_step(
 }
 
 /// One new query attending over a sequence's cached keys/values (the new
-/// position's K/V already appended): multi-head scores with ALiBi bias,
+/// position's K/V already written): multi-head scores with ALiBi bias,
 /// softmax, weighted V accumulation into `ctx`.
 ///
 /// This is the single attention inner loop shared by
 /// [`Transformer::forward_step`] and
 /// [`Transformer::forward_step_batch`] — sharing it is what guarantees the
-/// two paths are arithmetically identical per sequence.
-fn attend_one(cfg: &ModelConfig, q: &[f32], ks: &[f32], vs: &[f32], t: usize, ctx: &mut [f32]) {
-    let d = cfg.d_model;
+/// two paths are arithmetically identical per sequence. It is generic over
+/// [`KvRows`] so the contiguous single-sequence cache and the paged
+/// page-table walk run the *same* arithmetic in the same order — row
+/// addressing is the only thing that differs.
+fn attend_one<R: KvRows>(cfg: &ModelConfig, q: &[f32], rows: &R, t: usize, ctx: &mut [f32]) {
     let dh = cfg.d_head();
     let inv_sqrt = 1.0 / (dh as f32).sqrt();
     let mut scores = vec![0.0f32; t + 1];
     for (head, &slope) in cfg.alibi_slopes.iter().enumerate() {
         let off = head * dh;
         for (j, s) in scores.iter_mut().enumerate() {
-            let krow = &ks[j * d + off..j * d + off + dh];
+            let krow = &rows.k_row(j)[off..off + dh];
             let mut dot = 0.0f32;
             for (a, b) in q[off..off + dh].iter().zip(krow) {
                 dot += a * b;
@@ -217,7 +632,7 @@ fn attend_one(cfg: &ModelConfig, q: &[f32], ks: &[f32], vs: &[f32], t: usize, ct
             if a == 0.0 {
                 continue;
             }
-            let vrow = &vs[j * d + off..j * d + off + dh];
+            let vrow = &rows.v_row(j)[off..off + dh];
             for (c, &vv) in ctx[off..off + dh].iter_mut().zip(vrow) {
                 *c += a * vv;
             }
@@ -225,13 +640,18 @@ fn attend_one(cfg: &ModelConfig, q: &[f32], ks: &[f32], vs: &[f32], t: usize, ct
     }
 }
 
-/// One batched step's attention for one layer: appends row `i`'s new K/V
-/// to slot `slots[i]`'s history and attends its query over that history,
-/// accumulating into `ctx` row `i`.
+/// One batched step's attention for one layer: writes row `i`'s new K/V
+/// into slot `slots[i]`'s reserved tail page and attends its query over
+/// that slot's page table, accumulating into `ctx` row `i`.
 ///
-/// Slots are sequence-independent, so with a pool and more than one row
-/// the per-slot loop fans out across workers — each work item touches only
-/// its own cache slot and its own `ctx` row (disjoint writes; slot
+/// All pool mutation happened in [`BatchKvCache::begin_step`] (pages
+/// reserved, shared tails copied), so this function first lands every
+/// slot's K/V rows serially — each slot's tail page has `refs == 1` and
+/// belongs to it alone — and then attends with the page tables and pool
+/// **read-only**. Slots are sequence-independent, so with a pool and more
+/// than one row the attention loop fans out across workers — each work
+/// item reads only its own slot's table (shared pages are never written
+/// after their copy-on-write) and writes only its own `ctx` row (slot
 /// uniqueness is asserted by [`validate_batch_step`] in every caller), and
 /// per-slot arithmetic is exactly the serial loop, so output is
 /// **bit-identical at any thread count**. This cuts the serial fraction a
@@ -249,6 +669,23 @@ pub(crate) fn attend_batch(
     ctx: &mut Matrix,
     pool: Option<&fineq_core::ThreadPool>,
 ) {
+    // K/V landing is a short serial memcpy loop; write order across slots
+    // is invisible (disjoint pages) and per-slot order is unchanged.
+    for (i, &slot) in slots.iter().enumerate() {
+        cache.write_kv(slot, layer, k.row(i), v.row(i));
+    }
+    let d = cfg.d_model;
+    let attend_slot = |i: usize, slot: usize, crow: &mut [f32]| {
+        let ps = &cache.slots[slot];
+        let rows = PagedRows {
+            pages: &cache.pages,
+            table: &ps.table,
+            layer,
+            page_tokens: cache.page_tokens,
+            d,
+        };
+        attend_one(cfg, q.row(i), &rows, ps.tokens.len(), crow);
+    };
     match pool {
         Some(pool) if pool.threads() > 1 && slots.len() > 1 => {
             /// Raw pointer smuggled across the pool's workers; soundness
@@ -263,31 +700,22 @@ pub(crate) fn attend_batch(
                     self.0
                 }
             }
-            let d = cfg.d_model;
-            let slot_ptr = SendPtr(cache.slots.as_mut_ptr());
             let ctx_ptr = SendPtr(ctx.as_mut_slice().as_mut_ptr());
             pool.run(slots.len(), 1, &|_, start, end| {
                 for (i, &slot) in slots.iter().enumerate().take(end).skip(start) {
                     // Safety: slot indices are unique within a step and
                     // `ctx` row `i` belongs to this work item alone, so
-                    // every write is disjoint from every other worker's.
-                    let sc = unsafe { &mut *slot_ptr.get().add(slot) };
-                    sc.push(layer, k.row(i), v.row(i));
-                    let t = sc.len;
-                    let (ks, vs) = &sc.layers[layer];
+                    // every write is disjoint from every other worker's;
+                    // the cache is only read.
                     let crow =
                         unsafe { std::slice::from_raw_parts_mut(ctx_ptr.get().add(i * d), d) };
-                    attend_one(cfg, q.row(i), ks, vs, t, crow);
+                    attend_slot(i, slot, crow);
                 }
             });
         }
         _ => {
             for (i, &slot) in slots.iter().enumerate() {
-                let sc = &mut cache.slots[slot];
-                sc.push(layer, k.row(i), v.row(i));
-                let t = sc.len;
-                let (ks, vs) = &sc.layers[layer];
-                attend_one(cfg, q.row(i), ks, vs, t, ctx.row_mut(i));
+                attend_slot(i, slot, ctx.row_mut(i));
             }
         }
     }
@@ -313,6 +741,10 @@ pub(crate) fn batched_step_body(
     mut site_forward: impl FnMut(usize, WeightSite, &Matrix) -> Matrix,
 ) -> Matrix {
     validate_batch_step(cfg, tokens, slots, cache);
+    // Reserve every slot's write target up front (fresh pages, CoW tail
+    // copies): all pool mutation is serial and done before any layer's
+    // attention fan-out, so the parallel path sees frozen page tables.
+    cache.begin_step(slots);
     let b = tokens.len();
     let d = cfg.d_model;
 
@@ -346,7 +778,7 @@ pub(crate) fn batched_step_body(
         let ffn_out = site_forward(l, WeightSite::FfnDown, &mid);
         h.add_in_place(&ffn_out);
     }
-    cache.commit_step(slots);
+    cache.commit_step(slots, tokens);
     rmsnorm_rows(&h).matmul_transpose(head)
 }
 
@@ -423,7 +855,7 @@ impl Transformer {
             cache.push(l, &k, &v);
             let (ks, vs) = &cache.layers[l];
             ctx.fill(0.0);
-            attend_one(cfg, &q, ks, vs, t, &mut ctx);
+            attend_one(cfg, &q, &ContigRows { ks, vs, d }, t, &mut ctx);
             self.weight(l, WeightSite::AttnO).matvec_into(&ctx, &mut attn_out, pool);
             for (hv, a) in h.iter_mut().zip(&attn_out) {
                 *hv += a;
@@ -683,7 +1115,12 @@ mod tests {
             }
             for s in 0..3 {
                 assert_eq!(batch.slot_len(s), seqs[s].len());
-                assert_eq!(batch.slot(s), &solo[s], "cache contents must match too");
+                assert_eq!(batch.slot_tokens(s), &seqs[s][..], "fed tokens are recorded");
+                for l in 0..cfg.n_layers {
+                    let (ks, vs) = batch.slot_kv(s, l);
+                    let (sk, sv) = solo[s].layer_kv(l);
+                    assert_eq!((&ks[..], &vs[..]), (sk, sv), "cache contents must match too");
+                }
             }
         }
     }
@@ -700,10 +1137,15 @@ mod tests {
         assert_eq!(cache.total_tokens(), 4);
         let per_token = 2 * cfg.n_layers * cfg.d_model * 2;
         assert_eq!(cache.fp16_bytes(), 4 * per_token);
-        assert_eq!(cache.fp16_bytes(), (0..4).map(|s| cache.slot(s).fp16_bytes()).sum());
+        // Physical accounting: two occupied slots => two allocated pages
+        // (each shorter than one page), zero shared.
+        assert_eq!(cache.allocated_pages(), 2);
+        assert_eq!(cache.allocated_fp16_bytes(), 2 * cache.page_fp16_bytes());
+        assert_eq!(cache.shared_pages(), 0);
         cache.reset_slot(0);
         assert_eq!(cache.total_tokens(), 1);
         assert_eq!(cache.slot_len(0), 0);
+        assert_eq!(cache.allocated_pages(), 1, "reset frees the slot's pages");
     }
 
     #[test]
@@ -748,5 +1190,142 @@ mod tests {
         let w = Matrix::from_rows(&[vec![1.0, 2.0], vec![-0.5, 0.25]]);
         let y = vec_matmul_t(&[3.0, 4.0], &w);
         assert_eq!(y, vec![11.0, -0.5]);
+    }
+
+    #[test]
+    fn page_size_is_invisible_to_decoding() {
+        // The same ragged schedule through page sizes 1/2/3/16 must leave
+        // logically equal caches and produce identical logits — page
+        // boundaries are physical layout, not arithmetic.
+        let (model, corpus) = fitted_tiny();
+        let cfg = model.config().clone();
+        let tokens = corpus.generate(14, 51).tokens().to_vec();
+        let schedule: Vec<(Vec<usize>, Vec<usize>)> = (0..7)
+            .map(|step| {
+                let slots: Vec<usize> = (0..2).filter(|s| step >= *s).collect();
+                (slots.iter().map(|&s| tokens[step * 2 + s]).collect(), slots)
+            })
+            .collect();
+        let mut reference = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let expect: Vec<Matrix> =
+            schedule.iter().map(|(t, s)| model.forward_step_batch(t, s, &mut reference)).collect();
+        for page_tokens in [1usize, 2, 3] {
+            let mut cache =
+                BatchKvCache::with_page_tokens(cfg.n_layers, cfg.d_model, 2, page_tokens);
+            for (i, (t, s)) in schedule.iter().enumerate() {
+                let logits = model.forward_step_batch(t, s, &mut cache);
+                assert_eq!(logits, expect[i], "page_tokens {page_tokens} step {i}");
+            }
+            assert_eq!(cache, reference, "logical equality across page sizes");
+            assert_eq!(cache.fp16_bytes(), reference.fp16_bytes());
+        }
+    }
+
+    #[test]
+    fn shared_prefix_slots_decode_identically_to_fresh_ones() {
+        // Slot 1 inherits slot 0's prompt pages through share_prefix, then
+        // both continue on different tokens: slot 1's logits and K/V must
+        // be bit-identical to a sequence that fed the whole script itself.
+        let (model, corpus) = fitted_tiny();
+        let cfg = model.config().clone();
+        let script = corpus.generate(9, 61).tokens().to_vec();
+        let mut cache = BatchKvCache::with_page_tokens(cfg.n_layers, cfg.d_model, 2, 4);
+        for &t in &script {
+            let _ = model.forward_step_batch(&[t], &[0], &mut cache);
+        }
+        let shared = cache.share_prefix(1, &script);
+        assert_eq!(shared, script.len() - 1, "full prefix minus the uncached-logits token");
+        assert_eq!(cache.shared_prefix_tokens(), shared as u64);
+        assert!(cache.shared_pages() > 0, "prefix pages are mapped, not copied");
+
+        let mut solo = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut solo_logits = Vec::new();
+        for &t in &script {
+            solo_logits = model.forward_step(t, &mut solo);
+        }
+        // Feed the one remaining script token into the shared slot: logits
+        // equal the solo pass over the whole script.
+        let batched = model.forward_step_batch(&[script[shared]], &[1], &mut cache);
+        assert_eq!(batched.row(0), &solo_logits[..], "shared prefill skips nothing numerically");
+        // Diverge: different continuations per slot stay bit-exact vs solo.
+        let (a, b) = (3usize, 7usize);
+        let out = model.forward_step_batch(&[a, b], &[0, 1], &mut cache);
+        let solo1 = model.forward_step(b, &mut solo);
+        assert_eq!(out.row(1), &solo1[..], "diverged shared slot matches its solo reference");
+        for l in 0..cfg.n_layers {
+            let (ks, vs) = cache.slot_kv(1, l);
+            let (sk, sv) = solo.layer_kv(l);
+            assert_eq!((&ks[..], &vs[..]), (sk, sv), "layer {l} history");
+        }
+    }
+
+    #[test]
+    fn cow_divergence_keeps_refcounts_and_bytes_honest() {
+        // Two sequences share prefix pages, diverge, and mutate
+        // independently: the COW copy splits only the tail page, refcounts
+        // and both byte accountings track every transition.
+        let (model, corpus) = fitted_tiny();
+        let cfg = model.config().clone();
+        let page = 4usize;
+        let script = corpus.generate(6, 71).tokens().to_vec(); // 6 tokens: 1.5 pages
+        let mut cache = BatchKvCache::with_page_tokens(cfg.n_layers, cfg.d_model, 2, page);
+        for &t in &script {
+            let _ = model.forward_step_batch(&[t], &[0], &mut cache);
+        }
+        assert_eq!(cache.allocated_pages(), 2);
+        let shared = cache.share_prefix(1, &script);
+        assert_eq!(shared, 5, "6-token script shares 5 positions (logits are not cached)");
+        // 5 positions span 2 pages; both now mapped twice, none copied.
+        assert_eq!(cache.allocated_pages(), 2);
+        assert_eq!(cache.shared_pages(), 2);
+        assert_eq!(cache.cow_copies(), 0);
+        // Used counts per-copy (6 + 5 positions); allocated counts pages.
+        assert_eq!(cache.fp16_bytes(), 11 * 2 * cfg.n_layers * cfg.d_model * 2);
+        assert_eq!(cache.allocated_fp16_bytes(), 2 * cache.page_fp16_bytes());
+
+        // Slot 1 writes position 5 — inside the shared tail page, so the
+        // step COWs it: one new page, tail no longer shared.
+        let _ = model.forward_step_batch(&[script[5]], &[1], &mut cache);
+        assert_eq!(cache.cow_copies(), 1, "divergence copies the shared tail page once");
+        assert_eq!(cache.allocated_pages(), 3);
+        assert_eq!(cache.shared_pages(), 1, "the full prefix page stays shared");
+
+        // Independent mutation after divergence: each slot's history stays
+        // bit-identical to a solo run of its own script.
+        let conts = [[9usize, 2, 8], [4usize, 1, 5]];
+        for (&a, &b) in conts[0].iter().zip(&conts[1]) {
+            let _ = model.forward_step_batch(&[a, b], &[0, 1], &mut cache);
+        }
+        for (slot, cont) in conts.iter().enumerate() {
+            let mut solo = KvCache::new(cfg.n_layers, cfg.d_model);
+            for &t in script.iter().chain(cont) {
+                let _ = model.forward_step(t, &mut solo);
+            }
+            for l in 0..cfg.n_layers {
+                let (ks, vs) = cache.slot_kv(slot, l);
+                let (sk, sv) = solo.layer_kv(l);
+                assert_eq!((&ks[..], &vs[..]), (sk, sv), "slot {slot} layer {l}");
+            }
+        }
+
+        // Releasing the donor keeps the still-shared page alive for slot 1
+        // and frees the donor-only ones.
+        let before = cache.allocated_pages();
+        cache.reset_slot(0);
+        assert!(cache.allocated_pages() < before);
+        assert_eq!(cache.shared_pages(), 0);
+        assert_eq!(cache.slot_len(1), script.len() + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "page pool exhausted")]
+    fn exhausted_page_pool_is_a_loud_invariant_violation() {
+        let (model, _) = fitted_tiny();
+        let cfg = model.config().clone();
+        let mut cache = BatchKvCache::with_page_tokens(cfg.n_layers, cfg.d_model, 2, 2);
+        cache.set_capacity_pages(Some(1));
+        for t in 0..3 {
+            let _ = model.forward_step_batch(&[t], &[0], &mut cache);
+        }
     }
 }

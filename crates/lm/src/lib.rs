@@ -21,11 +21,14 @@
 //!   model genuinely predicts text.
 //! * [`eval`] — windowed perplexity, the paper's accuracy metric.
 //! * [`memory`] — the serving-memory layout model behind Fig. 2b.
-//! * [`serving`] — the continuous-batching schedulers: a [`BatchKvCache`]
-//!   of independent sequence slots stepped together through
-//!   `Transformer::forward_step_batch`, so packed weight streams are
-//!   decoded once per layer per step for the whole batch; admission is by
-//!   slot count and, optionally, KV-byte headroom.
+//! * [`serving`] — the continuous-batching schedulers: a **paged**
+//!   [`BatchKvCache`] (fixed-size token pages from a refcounted pool,
+//!   copy-on-write prefix sharing) of independent sequence slots stepped
+//!   together through `Transformer::forward_step_batch`, so packed weight
+//!   streams are decoded once per layer per step for the whole batch;
+//!   admission is by slot count, KV-byte headroom, or page-pool headroom
+//!   with youngest-first preemption — preempted sequences resume
+//!   token-identically.
 //! * [`shard`] — row-sharded serving: a [`ShardPlan`] partitions every
 //!   packed weight site's output channels across worker shards (balanced
 //!   by packed bytes), a [`ShardedModel`] holds the slices (each
@@ -63,11 +66,11 @@ pub use config::{Activation, ModelConfig, SimPreset};
 pub use corpus::{Corpus, TokenStream};
 pub use eval::{cross_entropy, perplexity};
 pub use fineq_core::{KernelScratch, ThreadPool};
-pub use generate::{BatchKvCache, KvCache};
+pub use generate::{BatchKvCache, KvCache, PAGE_TOKENS};
 pub use memory::ServingMemory;
 pub use model::{LinearWeight, Transformer, WeightSite};
 pub use serving::{
-    AdmissionError, BatchScheduler, FinishReason, FinishedSequence, Scheduler, ServeModel,
-    ServeRequest, ShardedScheduler,
+    AdmissionError, BatchScheduler, FinishReason, FinishedSequence, PreemptionEvent, Scheduler,
+    SchedulerStats, ServeModel, ServeRequest, ShardedScheduler,
 };
 pub use shard::{ShardPlan, ShardedModel, SitePlan};

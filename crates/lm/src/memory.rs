@@ -113,12 +113,14 @@ impl ServingMemory {
             * self.kv_bytes_per_elem
     }
 
-    /// Bytes a batched serving cache occupies under this plan's KV
-    /// accounting: [`ServingMemory::kv_cache_bytes`] evaluated at the
-    /// cache's total cached tokens. Equals the cache's own
-    /// [`BatchKvCache::fp16_bytes`] when `kv_bytes_per_elem` is 2
-    /// (asserted by tests), tying the scheduler's live cache to the
-    /// Fig. 2b arithmetic.
+    /// **Physical** bytes a batched serving cache occupies under this
+    /// plan's KV accounting: [`ServingMemory::kv_cache_bytes`] evaluated
+    /// at the allocated page count times the page granule. This is what
+    /// the device actually spends — partial tail pages are charged in
+    /// full, pages shared copy-on-write across sequences are charged
+    /// once. Equals the cache's own
+    /// [`BatchKvCache::allocated_fp16_bytes`] when `kv_bytes_per_elem`
+    /// is 2 (asserted by tests).
     ///
     /// # Panics
     ///
@@ -126,7 +128,30 @@ impl ServingMemory {
     pub fn kv_cache_bytes_for(&self, cache: &BatchKvCache) -> f64 {
         assert_eq!(cache.n_layers(), self.n_layers, "cache layer count mismatch");
         assert_eq!(cache.d_model(), self.d_model, "cache width mismatch");
+        self.kv_cache_bytes((cache.allocated_pages() * cache.page_tokens()) as f64)
+    }
+
+    /// **Logical** bytes a batched serving cache holds: the per-copy sum
+    /// over slots of their cached tokens, ignoring page rounding and
+    /// sharing — each sequence charged as if it owned its whole history.
+    /// Equals the cache's own [`BatchKvCache::fp16_bytes`] when
+    /// `kv_bytes_per_elem` is 2. This is the byte-budget admission
+    /// metric (`Scheduler::set_kv_budget`), and the gap to
+    /// [`ServingMemory::kv_cache_bytes_for`] is what prefix sharing
+    /// saves (minus page-rounding waste).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was shaped for a different model.
+    pub fn kv_cache_bytes_used(&self, cache: &BatchKvCache) -> f64 {
+        assert_eq!(cache.n_layers(), self.n_layers, "cache layer count mismatch");
+        assert_eq!(cache.d_model(), self.d_model, "cache width mismatch");
         self.kv_cache_bytes(cache.total_tokens() as f64)
+    }
+
+    /// Bytes of one KV page of `page_tokens` tokens under this plan.
+    pub fn page_bytes(&self, page_tokens: usize) -> f64 {
+        self.kv_cache_bytes(page_tokens as f64)
     }
 
     /// How many sequences of `seq_len` cached tokens fit simultaneously
@@ -143,6 +168,32 @@ impl ServingMemory {
         let free = self.device_bytes * (1.0 - other_frac) - self.weight_bytes();
         (free / (2.0 * self.n_layers as f64 * self.d_model as f64 * self.kv_bytes_per_elem))
             .max(0.0)
+    }
+
+    /// How many whole KV pages of `page_tokens` tokens fit after weights
+    /// and `other_frac` of the device are reserved — the integer pool cap
+    /// to hand [`crate::serving::Scheduler::set_page_budget`]. Unlike the
+    /// fractional [`ServingMemory::max_concurrent_tokens`], this is the
+    /// exact granule admission allocates at, so the plan and the
+    /// scheduler cannot drift.
+    pub fn max_pages(&self, other_frac: f64, page_tokens: usize) -> usize {
+        assert!(page_tokens > 0, "page granule must be positive");
+        (self.max_concurrent_tokens(other_frac) / page_tokens as f64).floor() as usize
+    }
+
+    /// How many sequences of `seq_len` cached tokens fit simultaneously
+    /// when each is charged whole pages of `page_tokens` — the integer,
+    /// page-rounded counterpart of
+    /// [`ServingMemory::max_concurrent_sequences`] (without prefix
+    /// sharing, which only raises the count).
+    pub fn max_concurrent_sequences_paged(
+        &self,
+        seq_len: usize,
+        other_frac: f64,
+        page_tokens: usize,
+    ) -> usize {
+        let pages_per_seq = seq_len.max(1).div_ceil(page_tokens);
+        self.max_pages(other_frac, page_tokens) / pages_per_seq
     }
 
     /// The Fig. 2b layout: fractions of device memory used by weights, KV
@@ -263,7 +314,36 @@ mod tests {
         let _ = model.forward_step_batch(&[4, 5], &[0, 2], &mut cache);
         let _ = model.forward_step_batch(&[6], &[0], &mut cache);
         assert_eq!(cache.total_tokens(), 6);
-        assert_eq!(cache.fp16_bytes() as f64, plan.kv_cache_bytes_for(&cache));
+        // Logical (per-copy) and physical (allocated-page) accounting both
+        // tie back to the cache's own byte counters.
+        assert_eq!(cache.fp16_bytes() as f64, plan.kv_cache_bytes_used(&cache));
+        assert_eq!(cache.allocated_fp16_bytes() as f64, plan.kv_cache_bytes_for(&cache));
+        // Three ragged slots hold one partial page each.
+        assert_eq!(plan.kv_cache_bytes_for(&cache), 3.0 * plan.page_bytes(cache.page_tokens()));
+    }
+
+    #[test]
+    fn paged_capacity_variants_are_integer_and_conservative() {
+        let m = ServingMemory::llama2_13b_a100();
+        let pages = m.max_pages(0.05, 16);
+        // Whole pages: never more tokens than the fractional capacity.
+        assert!((pages * 16) as f64 <= m.max_concurrent_tokens(0.05));
+        assert!((pages + 1) as f64 * 16.0 > m.max_concurrent_tokens(0.05));
+        // Page-rounded sequences: 2048-token sequences cost exactly 128
+        // pages of 16, so the paged and fractional counts agree here...
+        assert_eq!(m.max_concurrent_sequences_paged(2048, 0.05, 16), pages / 128);
+        // ...but a 2049-token sequence pays a whole extra page.
+        assert_eq!(m.max_concurrent_sequences_paged(2049, 0.05, 16), pages / 129);
+        assert!(
+            (m.max_concurrent_sequences_paged(2049, 0.05, 16) as f64)
+                <= m.max_concurrent_sequences(2049, 0.05)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "page granule must be positive")]
+    fn zero_page_granule_is_rejected() {
+        let _ = ServingMemory::llama2_13b_a100().max_pages(0.05, 0);
     }
 
     #[test]

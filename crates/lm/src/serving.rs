@@ -29,11 +29,27 @@
 //! Both admit by slot count and, optionally, by **KV headroom**: give the
 //! scheduler a KV budget ([`BatchScheduler::set_kv_budget`]) and a request
 //! is only admitted while the live cache
-//! ([`ServingMemory::kv_cache_bytes_for`]) plus the worst-case growth of
+//! ([`ServingMemory::kv_cache_bytes_used`]) plus the worst-case growth of
 //! everything already admitted plus the request's own worst case fits the
 //! budget — over-budget requests wait in the FIFO queue, and a request
 //! that could *never* fit is refused at submit with a typed
 //! [`AdmissionError`] (the queue and every admitted sequence unaffected).
+//!
+//! The cache behind both schedulers is **paged** (fixed-size token pages
+//! from a shared pool — see [`BatchKvCache`]), which unlocks a second,
+//! page-granular admission mode: [`Scheduler::set_page_budget`] caps the
+//! pool at `max_pages` physical pages and admits a request as soon as the
+//! pool has headroom for its *next step* rather than reserving its whole
+//! worst case up front. Over-commitment is resolved by **preemption**: when
+//! the pool cannot cover the next step, the youngest sequence's pages are
+//! evicted, the sequence is parked on a resume queue, and a typed
+//! [`PreemptionEvent`] records the eviction. A resumed sequence replays its
+//! prompt and already-generated tokens *without re-consuming its sampling
+//! RNG*, so a preempted-and-resumed run is token-identical to an
+//! unpressured one (asserted by tests at every thread × shard count).
+//! [`Scheduler::enable_prefix_sharing`] additionally maps equal prompt
+//! prefixes onto the same physical pages copy-on-write, so common-system-
+//! prompt traffic pays KV bytes once instead of per sequence.
 
 use crate::generate::{sample_token, BatchKvCache};
 use crate::memory::ServingMemory;
@@ -108,6 +124,22 @@ struct ActiveSeq {
     temperature: f32,
     eos: Option<usize>,
     rng: Rng,
+    /// Admission stamp (monotonic): preemption evicts the youngest —
+    /// the sequence with the largest stamp — first, so the oldest work
+    /// keeps its cache and finishes.
+    admitted_at: u64,
+}
+
+impl ActiveSeq {
+    /// The full token script this sequence has committed to so far:
+    /// prompt then generated continuation. On (re-)admission the slot
+    /// replays this script; the replay feeds tokens without sampling, so
+    /// the RNG is not re-consumed and resumed output is token-identical.
+    fn script(&self) -> Vec<usize> {
+        let mut s = self.prompt.clone();
+        s.extend_from_slice(&self.generated);
+        s
+    }
 }
 
 /// Why a request (or a budget installation) was refused admission. Unlike
@@ -121,9 +153,9 @@ struct ActiveSeq {
 /// rejection (asserted by tests).
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdmissionError {
-    /// The request's worst-case KV footprint exceeds the configured budget
-    /// even on an otherwise empty cache: it could never be admitted and
-    /// would block the FIFO head forever.
+    /// The request's worst-case KV footprint exceeds the configured byte
+    /// budget even on an otherwise empty cache: it could never be admitted
+    /// and would block the FIFO head forever.
     KvBudgetExceeded {
         /// The offending request's id.
         id: u64,
@@ -132,16 +164,43 @@ pub enum AdmissionError {
         required_bytes: f64,
         /// The configured budget.
         budget_bytes: f64,
+        /// The worst case expressed in whole KV pages.
+        required_pages: usize,
+        /// Pages the byte budget could hold when empty — the most that
+        /// could ever be free for this request.
+        free_pages: usize,
+    },
+    /// The request's worst case needs more physical pages than the
+    /// configured page pool holds in total.
+    PageBudgetExceeded {
+        /// The offending request's (or sequence's) id.
+        id: u64,
+        /// Whole pages the worst case (`prompt + max_new_tokens` cached
+        /// tokens) would occupy.
+        required_pages: usize,
+        /// Total pages in the configured pool.
+        budget_pages: usize,
     },
 }
 
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmissionError::KvBudgetExceeded { id, required_bytes, budget_bytes } => write!(
+            AdmissionError::KvBudgetExceeded {
+                id,
+                required_bytes,
+                budget_bytes,
+                required_pages,
+                free_pages,
+            } => write!(
                 f,
                 "request {id} can never fit the KV budget: needs {required_bytes:.0} bytes \
-                 of {budget_bytes:.0}"
+                 of {budget_bytes:.0} ({required_pages} pages of at most {free_pages} free)"
+            ),
+            AdmissionError::PageBudgetExceeded { id, required_pages, budget_pages } => write!(
+                f,
+                "request {id} can never fit the page pool: needs {required_pages} pages \
+                 of {budget_pages}"
             ),
         }
     }
@@ -170,20 +229,72 @@ impl KvBudget {
     /// Whether a request's worst case fits an *empty* cache under this
     /// budget — the feasibility check shared by submit-time and
     /// install-time validation (a request failing it would wait in the
-    /// FIFO queue forever).
-    fn check_request_feasible(&self, req: &ServeRequest) -> Result<(), AdmissionError> {
-        let need = self
-            .plan
-            .kv_cache_bytes(KvBudget::bound_tokens(req.prompt.len(), req.max_new_tokens) as f64);
+    /// FIFO queue forever). `page_tokens` translates the byte arithmetic
+    /// into the page-granular context the error carries.
+    fn check_request_feasible(
+        &self,
+        req: &ServeRequest,
+        page_tokens: usize,
+    ) -> Result<(), AdmissionError> {
+        let bound = KvBudget::bound_tokens(req.prompt.len(), req.max_new_tokens);
+        let need = self.plan.kv_cache_bytes(bound as f64);
         if need > self.budget_bytes {
+            let page_bytes = self.plan.kv_cache_bytes(page_tokens as f64);
             return Err(AdmissionError::KvBudgetExceeded {
                 id: req.id,
                 required_bytes: need,
                 budget_bytes: self.budget_bytes,
+                required_pages: bound.div_ceil(page_tokens),
+                free_pages: (self.budget_bytes / page_bytes).floor() as usize,
             });
         }
         Ok(())
     }
+}
+
+/// One preemption, recorded when pool pressure evicts a sequence's pages.
+/// The sequence itself is parked on the scheduler's resume queue — this
+/// event is the caller-visible audit record, drained through
+/// [`Scheduler::take_preemption_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptionEvent {
+    /// The evicted request's id.
+    pub id: u64,
+    /// The batched step count at eviction time.
+    pub step: u64,
+    /// Cached tokens dropped from the pool (replayed on resume).
+    pub dropped_cached_tokens: usize,
+}
+
+/// A point-in-time occupancy snapshot of a [`Scheduler`]: where every
+/// request is (queued / active / parked for resume / finished) and how the
+/// page pool behind them is spent. Taken with [`Scheduler::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Requests waiting in the FIFO queue (never yet admitted).
+    pub queued: usize,
+    /// Sequences currently occupying batch slots.
+    pub active: usize,
+    /// Sequences evicted under pool pressure, waiting to resume.
+    pub preempted: usize,
+    /// Total preemptions so far (a sequence may be evicted repeatedly).
+    pub preemptions: u64,
+    /// Completed sequences not yet drained with `take_finished`.
+    pub finished: usize,
+    /// Physical pages currently allocated from the pool.
+    pub allocated_pages: usize,
+    /// Pages of headroom under the configured pool capacity (`None` when
+    /// no page budget is installed — the pool grows on demand).
+    pub free_pages: Option<usize>,
+    /// Physical pages mapped by more than one sequence (prefix sharing).
+    pub shared_pages: usize,
+    /// Copy-on-write page copies performed so far.
+    pub cow_copies: u64,
+    /// Tokens per page (the pool's allocation granule).
+    pub page_tokens: usize,
+    /// Cumulative tokens admitted by mapping shared pages instead of
+    /// recomputing and re-caching them.
+    pub shared_prefix_tokens: u64,
 }
 
 /// The engine-independent half of a continuous-batching scheduler: the
@@ -195,10 +306,21 @@ impl KvBudget {
 struct SchedulerCore {
     slots: Vec<Option<ActiveSeq>>,
     queue: VecDeque<ServeRequest>,
+    /// Sequences evicted under pool pressure, in eviction order. Resumes
+    /// take priority over the FIFO queue so preempted work cannot starve.
+    preempted: VecDeque<ActiveSeq>,
     finished: Vec<FinishedSequence>,
     steps: u64,
     stepped_tokens: u64,
     kv_budget: Option<KvBudget>,
+    /// Physical-page pool cap; installed by `set_page_budget` together
+    /// with the cache-side capacity.
+    page_budget: Option<usize>,
+    prefix_sharing: bool,
+    preemptions: u64,
+    preemption_events: Vec<PreemptionEvent>,
+    /// Monotonic admission stamp source (counts re-admissions too).
+    admit_counter: u64,
 }
 
 impl SchedulerCore {
@@ -207,14 +329,25 @@ impl SchedulerCore {
         Self {
             slots: (0..max_batch).map(|_| None).collect(),
             queue: VecDeque::new(),
+            preempted: VecDeque::new(),
             finished: Vec::new(),
             steps: 0,
             stepped_tokens: 0,
             kv_budget: None,
+            page_budget: None,
+            prefix_sharing: false,
+            preemptions: 0,
+            preemption_events: Vec::new(),
+            admit_counter: 0,
         }
     }
 
-    fn submit(&mut self, request: ServeRequest, vocab: usize) -> Result<(), AdmissionError> {
+    fn submit(
+        &mut self,
+        request: ServeRequest,
+        vocab: usize,
+        page_tokens: usize,
+    ) -> Result<(), AdmissionError> {
         assert!(!request.prompt.is_empty(), "prompt must not be empty");
         for &tok in &request.prompt {
             assert!(tok < vocab, "prompt token id {tok} out of vocabulary");
@@ -222,9 +355,35 @@ impl SchedulerCore {
         assert!(request.temperature > 0.0, "temperature must be positive");
         assert!(request.max_new_tokens > 0, "max_new_tokens must be positive");
         if let Some(kv) = &self.kv_budget {
-            kv.check_request_feasible(&request)?;
+            kv.check_request_feasible(&request, page_tokens)?;
+        }
+        if let Some(budget_pages) = self.page_budget {
+            Self::check_pages_feasible(
+                request.id,
+                KvBudget::bound_tokens(request.prompt.len(), request.max_new_tokens),
+                page_tokens,
+                budget_pages,
+            )?;
         }
         self.queue.push_back(request);
+        Ok(())
+    }
+
+    /// Whether a worst case of `bound` cached tokens could ever fit a pool
+    /// of `budget_pages` — the page-granular analogue of
+    /// [`KvBudget::check_request_feasible`]. This is also the invariant
+    /// preemption convergence rests on: a lone admitted sequence always
+    /// fits, so evicting down to one sequence always unblocks the step.
+    fn check_pages_feasible(
+        id: u64,
+        bound: usize,
+        page_tokens: usize,
+        budget_pages: usize,
+    ) -> Result<(), AdmissionError> {
+        let required_pages = bound.div_ceil(page_tokens);
+        if required_pages > budget_pages {
+            return Err(AdmissionError::PageBudgetExceeded { id, required_pages, budget_pages });
+        }
         Ok(())
     }
 
@@ -232,6 +391,7 @@ impl SchedulerCore {
         &mut self,
         plan: ServingMemory,
         budget_bytes: f64,
+        page_tokens: usize,
     ) -> Result<(), AdmissionError> {
         assert!(budget_bytes > 0.0, "KV budget must be positive");
         let kv = KvBudget { plan, budget_bytes };
@@ -241,9 +401,35 @@ impl SchedulerCore {
         // forever and `run` would spin without progress. Rejecting the
         // installation leaves the scheduler exactly as it was.
         for req in &self.queue {
-            kv.check_request_feasible(req)?;
+            kv.check_request_feasible(req, page_tokens)?;
         }
         self.kv_budget = Some(kv);
+        Ok(())
+    }
+
+    /// Installs a page-pool cap of `max_pages` after revalidating every
+    /// queued, parked and active sequence's worst case against it; the
+    /// caller caps the cache only after this succeeds.
+    fn set_page_budget(
+        &mut self,
+        max_pages: usize,
+        page_tokens: usize,
+    ) -> Result<(), AdmissionError> {
+        assert!(max_pages > 0, "page budget must be positive");
+        let bounds = self
+            .queue
+            .iter()
+            .map(|r| (r.id, KvBudget::bound_tokens(r.prompt.len(), r.max_new_tokens)))
+            .chain(
+                self.preempted
+                    .iter()
+                    .chain(self.slots.iter().flatten())
+                    .map(|s| (s.id, KvBudget::bound_tokens(s.prompt.len(), s.max_new_tokens))),
+            );
+        for (id, bound) in bounds {
+            Self::check_pages_feasible(id, bound, page_tokens, max_pages)?;
+        }
+        self.page_budget = Some(max_pages);
         Ok(())
     }
 
@@ -251,50 +437,137 @@ impl SchedulerCore {
         self.kv_budget.as_ref().map(|kv| kv.budget_bytes)
     }
 
-    /// Whether admitting the queue head now keeps the KV cache under
-    /// budget for the rest of every admitted sequence's lifetime: live
-    /// bytes ([`ServingMemory::kv_cache_bytes_for`]) plus the worst-case
-    /// growth of every active sequence plus the head's own worst case.
-    fn head_fits_kv_budget(&self, req: &ServeRequest, cache: &BatchKvCache) -> bool {
-        let Some(kv) = &self.kv_budget else { return true };
-        let live = kv.plan.kv_cache_bytes_for(cache);
-        let mut growth_tokens = 0usize;
-        for (slot, seq) in self.slots.iter().enumerate() {
-            if let Some(seq) = seq {
-                let bound = KvBudget::bound_tokens(seq.prompt.len(), seq.max_new_tokens);
-                growth_tokens += bound.saturating_sub(cache.slot_len(slot));
-            }
-        }
-        let need = KvBudget::bound_tokens(req.prompt.len(), req.max_new_tokens);
-        live + kv.plan.kv_cache_bytes((growth_tokens + need) as f64) <= kv.budget_bytes
+    /// Slot ids of every occupied slot, in slot order.
+    fn active_slots(&self) -> Vec<usize> {
+        (0..self.slots.len()).filter(|&s| self.slots[s].is_some()).collect()
     }
 
-    /// Moves queued requests into free slots (continuous-batching
-    /// backfill). Called at the start of every step. With a KV budget the
-    /// FIFO head waits — no skip-ahead — until headroom opens up.
+    /// Whether a sequence with worst case `prompt_len + max_new_tokens`
+    /// can be admitted *now* under the configured budgets.
+    ///
+    /// The byte budget reserves conservatively: live bytes
+    /// ([`ServingMemory::kv_cache_bytes_used`]) plus the worst-case growth
+    /// of every active sequence plus the newcomer's own worst case must
+    /// fit — admission order alone keeps the cache under budget forever.
+    /// The page budget is deliberately *optimistic*: it only asks for
+    /// headroom covering the batch's next step plus one page for the
+    /// newcomer, because preemption recovers from pressure that only
+    /// materializes later. That optimism is where paged throughput comes
+    /// from — slots fill on actual usage, not on reservations.
+    fn fits_budgets(&self, prompt_len: usize, max_new_tokens: usize, cache: &BatchKvCache) -> bool {
+        if let Some(kv) = &self.kv_budget {
+            let live = kv.plan.kv_cache_bytes_used(cache);
+            let mut growth_tokens = 0usize;
+            for (slot, seq) in self.slots.iter().enumerate() {
+                if let Some(seq) = seq {
+                    let bound = KvBudget::bound_tokens(seq.prompt.len(), seq.max_new_tokens);
+                    growth_tokens += bound.saturating_sub(cache.slot_len(slot));
+                }
+            }
+            let need = KvBudget::bound_tokens(prompt_len, max_new_tokens);
+            if live + kv.plan.kv_cache_bytes((growth_tokens + need) as f64) > kv.budget_bytes {
+                return false;
+            }
+        }
+        if self.page_budget.is_some() {
+            let headroom = cache.free_pages().expect("page budget installs a cache capacity");
+            if headroom < cache.pages_needed_for_step(&self.active_slots()) + 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Installs a sequence into `slot`, replay-priming it from its script:
+    /// with prefix sharing the slot maps every page an already-resident
+    /// sequence has for the same token prefix (copy-on-write), and `fed`
+    /// skips past whatever was shared. `finish_step` then replays the
+    /// remaining script tokens without sampling, so admission — first or
+    /// repeated — never consumes RNG state.
+    fn install(&mut self, slot: usize, mut seq: ActiveSeq, cache: &mut BatchKvCache) {
+        cache.reset_slot(slot);
+        let script = seq.script();
+        let shared = if self.prefix_sharing { cache.share_prefix(slot, &script) } else { 0 };
+        seq.fed = shared;
+        seq.next_token = script[shared];
+        seq.admitted_at = self.admit_counter;
+        self.admit_counter += 1;
+        self.slots[slot] = Some(seq);
+    }
+
+    /// Moves work into free slots (continuous-batching backfill), called
+    /// at the start of every step. Preempted sequences resume first, then
+    /// the FIFO queue; under a budget the head waits — no skip-ahead —
+    /// until headroom opens up.
     fn admit(&mut self, cache: &mut BatchKvCache) {
         for slot in 0..self.slots.len() {
             if self.slots[slot].is_some() {
                 continue;
             }
+            if let Some(parked) = self.preempted.front() {
+                if !self.fits_budgets(parked.prompt.len(), parked.max_new_tokens, cache) {
+                    break;
+                }
+                let seq = self.preempted.pop_front().expect("peeked head exists");
+                self.install(slot, seq, cache);
+                continue;
+            }
             let Some(head) = self.queue.front() else { break };
-            if !self.head_fits_kv_budget(head, cache) {
+            if !self.fits_budgets(head.prompt.len(), head.max_new_tokens, cache) {
                 break;
             }
             let req = self.queue.pop_front().expect("peeked head exists");
-            cache.reset_slot(slot);
-            let next_token = req.prompt[0];
-            self.slots[slot] = Some(ActiveSeq {
-                id: req.id,
-                prompt: req.prompt,
-                fed: 0,
-                next_token,
-                generated: Vec::new(),
-                max_new_tokens: req.max_new_tokens,
-                temperature: req.temperature,
-                eos: req.eos,
-                rng: Rng::seed_from(req.seed),
+            self.install(
+                slot,
+                ActiveSeq {
+                    id: req.id,
+                    prompt: req.prompt,
+                    fed: 0,
+                    next_token: 0,
+                    generated: Vec::new(),
+                    max_new_tokens: req.max_new_tokens,
+                    temperature: req.temperature,
+                    eos: req.eos,
+                    rng: Rng::seed_from(req.seed),
+                    admitted_at: 0,
+                },
+                cache,
+            );
+        }
+    }
+
+    /// Evicts sequences until the pool can cover the batch's next step.
+    /// Runs after admission, before the forward step. Victims are chosen
+    /// youngest-first (largest admission stamp), so the oldest work keeps
+    /// its cache and drains the pool by finishing. Submit-time feasibility
+    /// guarantees a lone sequence always fits, so this always terminates
+    /// with a steppable batch.
+    fn preempt_for_headroom(&mut self, cache: &mut BatchKvCache) {
+        if self.page_budget.is_none() {
+            return;
+        }
+        loop {
+            let active = self.active_slots();
+            if active.len() <= 1 {
+                return;
+            }
+            let headroom = cache.free_pages().expect("page budget installs a cache capacity");
+            if cache.pages_needed_for_step(&active) <= headroom {
+                return;
+            }
+            let victim = *active
+                .iter()
+                .max_by_key(|&&s| self.slots[s].as_ref().expect("active slot").admitted_at)
+                .expect("active is non-empty");
+            let seq = self.slots[victim].take().expect("victim slot is occupied");
+            self.preemption_events.push(PreemptionEvent {
+                id: seq.id,
+                step: self.steps,
+                dropped_cached_tokens: cache.slot_len(victim),
             });
+            cache.reset_slot(victim);
+            self.preempted.push_back(seq);
+            self.preemptions += 1;
         }
     }
 
@@ -326,6 +599,17 @@ impl SchedulerCore {
                 seq.next_token = seq.prompt[seq.fed];
                 continue;
             }
+            let replayed = seq.fed - seq.prompt.len();
+            if replayed < seq.generated.len() {
+                // Replaying a preempted sequence's already-sampled tokens:
+                // feed them back like prompt tokens, without sampling — the
+                // RNG stays exactly where eviction left it, which is what
+                // makes resumed output token-identical. (An unpreempted
+                // sequence never reaches this branch: when it samples,
+                // `fed` equals `prompt + generated` exactly.)
+                seq.next_token = seq.generated[replayed];
+                continue;
+            }
             // Decode: sample from this step's logits through the same
             // helper `Transformer::generate` uses.
             let tok = sample_token(logits.row(row), seq.temperature, &mut seq.rng);
@@ -355,7 +639,7 @@ impl SchedulerCore {
     }
 
     fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.slots.iter().all(Option::is_none)
+        self.queue.is_empty() && self.preempted.is_empty() && self.slots.iter().all(Option::is_none)
     }
 }
 
@@ -463,6 +747,20 @@ impl<M: ServeModel> Scheduler<M> {
         Self { model, cache, core: SchedulerCore::new(max_batch), scratch: KernelScratch::new() }
     }
 
+    /// Like [`Scheduler::new`] but with an explicit KV page granule
+    /// instead of the default [`crate::generate::PAGE_TOKENS`] — smaller
+    /// pages make page budgets meaningful for short test sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `page_tokens` is zero.
+    pub fn with_page_tokens(model: M, max_batch: usize, page_tokens: usize) -> Self {
+        let cfg = model.config();
+        let cache =
+            BatchKvCache::with_page_tokens(cfg.n_layers, cfg.d_model, max_batch, page_tokens);
+        Self { model, cache, core: SchedulerCore::new(max_batch), scratch: KernelScratch::new() }
+    }
+
     /// The served model.
     pub fn model(&self) -> &M {
         &self.model
@@ -516,7 +814,7 @@ impl<M: ServeModel> Scheduler<M> {
     }
 
     /// Limits admission by KV-cache headroom: a request only enters the
-    /// batch while the live cache (`plan.kv_cache_bytes_for`) plus the
+    /// batch while the live cache (`plan.kv_cache_bytes_used`) plus the
     /// worst-case growth of every admitted sequence plus the request's own
     /// worst case (`prompt + max_new_tokens` cached tokens) stays within
     /// `budget_bytes`. Over-budget requests wait in the FIFO queue; the
@@ -542,12 +840,89 @@ impl<M: ServeModel> Scheduler<M> {
         let cfg = self.model.config();
         assert_eq!(plan.n_layers, cfg.n_layers, "KV plan layer count mismatch");
         assert_eq!(plan.d_model, cfg.d_model, "KV plan width mismatch");
-        self.core.set_kv_budget(plan, budget_bytes)
+        self.core.set_kv_budget(plan, budget_bytes, self.cache.page_tokens())
     }
 
     /// The configured KV budget, if any.
     pub fn kv_budget_bytes(&self) -> Option<f64> {
         self.core.kv_budget_bytes()
+    }
+
+    /// Caps the physical KV page pool at `max_pages` and switches
+    /// admission to page granularity: a request is admitted as soon as the
+    /// pool has headroom for the batch's next step (plus one page for the
+    /// newcomer) instead of reserving its whole worst case. Pool pressure
+    /// later is resolved by preempting the youngest sequence — see
+    /// [`Scheduler::take_preemption_events`] — and resumed sequences
+    /// replay to token-identical output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError::PageBudgetExceeded`] if any queued,
+    /// parked or active sequence's worst case could never fit `max_pages`
+    /// at once (it could then never resume); the scheduler and the cache
+    /// capacity are left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_pages` is zero.
+    pub fn set_page_budget(&mut self, max_pages: usize) -> Result<(), AdmissionError> {
+        self.core.set_page_budget(max_pages, self.cache.page_tokens())?;
+        self.cache.set_capacity_pages(Some(max_pages));
+        Ok(())
+    }
+
+    /// The configured page-pool cap, if any.
+    pub fn page_budget(&self) -> Option<usize> {
+        self.core.page_budget
+    }
+
+    /// Enables (or disables) copy-on-write prefix sharing: a newly
+    /// admitted sequence maps the physical pages of any resident sequence
+    /// with the same token prefix instead of recomputing and re-caching
+    /// it. Off by default so runs stay step-for-step comparable with
+    /// sharing-unaware schedulers; turning it on never changes served
+    /// tokens, only KV bytes and prefill work (asserted by tests).
+    pub fn enable_prefix_sharing(&mut self, on: bool) {
+        self.core.prefix_sharing = on;
+    }
+
+    /// Whether copy-on-write prefix sharing is enabled.
+    pub fn prefix_sharing(&self) -> bool {
+        self.core.prefix_sharing
+    }
+
+    /// Sequences evicted under pool pressure, currently parked for resume.
+    pub fn preempted(&self) -> usize {
+        self.core.preempted.len()
+    }
+
+    /// Total preemptions so far (one sequence may be evicted repeatedly).
+    pub fn preemptions(&self) -> u64 {
+        self.core.preemptions
+    }
+
+    /// Drains the recorded [`PreemptionEvent`]s (oldest first).
+    pub fn take_preemption_events(&mut self) -> Vec<PreemptionEvent> {
+        std::mem::take(&mut self.core.preemption_events)
+    }
+
+    /// A point-in-time occupancy snapshot: request states and page-pool
+    /// spend. Cheap — counters and free-list arithmetic only.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            queued: self.core.queue.len(),
+            active: self.core.active(),
+            preempted: self.core.preempted.len(),
+            preemptions: self.core.preemptions,
+            finished: self.core.finished.len(),
+            allocated_pages: self.cache.allocated_pages(),
+            free_pages: self.cache.free_pages(),
+            shared_pages: self.cache.shared_pages(),
+            cow_copies: self.cache.cow_copies(),
+            page_tokens: self.cache.page_tokens(),
+            shared_prefix_tokens: self.cache.shared_prefix_tokens(),
+        }
     }
 
     /// Enqueues a request. It enters the batch when a slot frees up (or
@@ -556,9 +931,11 @@ impl<M: ServeModel> Scheduler<M> {
     /// # Errors
     ///
     /// Returns [`AdmissionError::KvBudgetExceeded`] if a configured KV
-    /// budget is too small to ever hold the request's worst case — an
-    /// operational rejection, not a panic, because a well-formed request
-    /// meeting a tight deployment limit is the serving layer's to handle.
+    /// byte budget — or [`AdmissionError::PageBudgetExceeded`] if a
+    /// configured page pool — is too small to ever hold the request's
+    /// worst case: an operational rejection, not a panic, because a
+    /// well-formed request meeting a tight deployment limit is the
+    /// serving layer's to handle.
     /// A rejected request leaves the queue and every already-admitted
     /// sequence untouched (asserted by tests).
     ///
@@ -570,7 +947,7 @@ impl<M: ServeModel> Scheduler<M> {
     /// request is rejected at submission instead of panicking steps later
     /// inside a batch that holds other requests' work.
     pub fn submit(&mut self, request: ServeRequest) -> Result<(), AdmissionError> {
-        self.core.submit(request, self.model.config().vocab)
+        self.core.submit(request, self.model.config().vocab, self.cache.page_tokens())
     }
 
     /// Runs one batched step: admits queued requests into free slots,
@@ -581,6 +958,7 @@ impl<M: ServeModel> Scheduler<M> {
     /// Returns the number of sequences stepped (0 when idle).
     pub fn step(&mut self) -> usize {
         self.core.admit(&mut self.cache);
+        self.core.preempt_for_headroom(&mut self.cache);
         let (tokens, slot_ids) = self.core.step_inputs();
         if tokens.is_empty() {
             return 0;
@@ -783,7 +1161,7 @@ mod tests {
         while !sched.is_idle() {
             sched.step();
             assert!(sched.active() <= 1, "budget admits one sequence at a time");
-            peak = peak.max(plan.kv_cache_bytes_for(sched.cache()));
+            peak = peak.max(plan.kv_cache_bytes_used(sched.cache()));
         }
         assert!(peak <= budget, "live KV {peak} must stay within budget {budget}");
         assert!(peak > 0.0);
@@ -818,10 +1196,23 @@ mod tests {
         // Needs 11 cached tokens against a 2-token budget: typed error,
         // not a panic, and the scheduler stays usable.
         let err = sched.submit(ServeRequest::new(9, vec![1, 2, 3], 8)).unwrap_err();
-        let AdmissionError::KvBudgetExceeded { id, required_bytes, budget_bytes } = err.clone();
+        let AdmissionError::KvBudgetExceeded {
+            id,
+            required_bytes,
+            budget_bytes,
+            required_pages,
+            free_pages,
+        } = err.clone()
+        else {
+            panic!("expected a byte-budget rejection, got {err:?}");
+        };
         assert_eq!(id, 9);
         assert_eq!(required_bytes, plan.kv_cache_bytes(11.0));
         assert_eq!(budget_bytes, tiny_budget);
+        // Page context rides along: 11 tokens is one (partial) default
+        // page, and a 2-token byte budget holds zero whole pages.
+        assert_eq!(required_pages, 11usize.div_ceil(sched.cache().page_tokens()));
+        assert_eq!(free_pages, 0);
         assert!(err.to_string().contains("can never fit the KV budget"), "{err}");
         assert_eq!(sched.queued(), 0, "a rejected request must not enter the queue");
         assert!(sched.is_idle());
@@ -943,5 +1334,146 @@ mod tests {
     fn zero_slot_scheduler_is_rejected() {
         let (model, _) = fitted_tiny();
         let _ = BatchScheduler::new(model, 0);
+    }
+
+    #[test]
+    fn page_budget_preempts_and_resumes_without_changing_outputs() {
+        // A pool far too small for three concurrent worst cases: the
+        // scheduler must preempt under pressure, park-and-resume, and
+        // still finish every request token-identical to an unpressured
+        // run — the paper-stack determinism contract applied to paging.
+        let (model, corpus) = fitted_tiny();
+        let submit_all = |sched: &mut BatchScheduler| {
+            for id in 0..5u64 {
+                let prompt = corpus.generate(4 + id as usize % 3, 700 + id).tokens().to_vec();
+                sched.submit(request(id, prompt, 5 + id as usize % 4)).expect("feasible");
+            }
+        };
+        let mut reference = BatchScheduler::with_page_tokens(model.clone(), 3, 2);
+        submit_all(&mut reference);
+        let mut expect = reference.run();
+        expect.sort_by_key(|f| f.id);
+        assert_eq!(reference.preemptions(), 0, "no budget, no pressure");
+
+        // Worst case is 6 prompt + 8 new = 14 tokens = 7 pages; grant 8 —
+        // any single sequence fits, three concurrent ones do not.
+        let mut sched = BatchScheduler::with_page_tokens(model, 3, 2);
+        sched.set_page_budget(8).expect("nothing queued yet");
+        assert_eq!(sched.page_budget(), Some(8));
+        submit_all(&mut sched);
+        while !sched.is_idle() {
+            sched.step();
+            assert!(sched.cache().allocated_pages() <= 8, "the pool must never outgrow its budget");
+        }
+        let mut done = sched.take_finished();
+        done.sort_by_key(|f| f.id);
+        assert_eq!(done, expect, "preempted-and-resumed output must be token-identical");
+        assert!(sched.preemptions() > 0, "this budget must actually exercise preemption");
+        let events = sched.take_preemption_events();
+        assert_eq!(events.len() as u64, sched.preemptions());
+        assert!(events.iter().all(|e| e.id < 5));
+        assert!(sched.take_preemption_events().is_empty(), "events drain once");
+        assert_eq!(sched.cache().allocated_pages(), 0, "idle pool is fully free");
+    }
+
+    #[test]
+    fn page_budget_rejects_impossible_requests_with_a_typed_error() {
+        let (model, _) = fitted_tiny();
+        let mut sched = BatchScheduler::with_page_tokens(model, 2, 2);
+        sched.set_page_budget(3).expect("nothing queued yet");
+        // 4 prompt + 5 new = 9 tokens = 5 pages against a 3-page pool.
+        let err = sched.submit(ServeRequest::new(11, vec![1, 2, 3, 4], 5)).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::PageBudgetExceeded { id: 11, required_pages: 5, budget_pages: 3 }
+        );
+        assert!(err.to_string().contains("can never fit the page pool"), "{err}");
+        assert!(sched.is_idle(), "a rejected request must not enter the queue");
+
+        // A feasible request queues; tightening the pool below its worst
+        // case must then fail and leave the old budget installed.
+        sched.submit(ServeRequest::new(12, vec![1, 2, 3], 2)).expect("5 tokens fit 3 pages");
+        let err = sched.set_page_budget(2).unwrap_err();
+        assert!(
+            matches!(err, AdmissionError::PageBudgetExceeded { id: 12, required_pages: 3, .. }),
+            "{err:?}"
+        );
+        assert_eq!(sched.page_budget(), Some(3), "failed tightening is a no-op");
+        assert_eq!(sched.run().len(), 1, "the queued request still runs");
+    }
+
+    #[test]
+    fn prefix_sharing_changes_bytes_not_tokens() {
+        // Requests with a common prompt run identically with sharing on
+        // and off; with it on, physical (allocated-page) bytes drop below
+        // logical (per-copy) bytes while prefixes overlap.
+        let (model, corpus) = fitted_tiny();
+        let prompt = corpus.generate(12, 808).tokens().to_vec();
+        let submit_all = |sched: &mut BatchScheduler| {
+            for id in 0..4u64 {
+                // Staggered budgets so retirements happen at different
+                // steps and backfilled requests find a live donor.
+                sched
+                    .submit(request(id, prompt.clone(), 3 + 3 * id as usize))
+                    .expect("no budget configured");
+            }
+        };
+        let mut reference = BatchScheduler::with_page_tokens(model.clone(), 2, 4);
+        submit_all(&mut reference);
+        let mut expect = reference.run();
+        expect.sort_by_key(|f| f.id);
+
+        let mut sched = BatchScheduler::with_page_tokens(model, 2, 4);
+        sched.enable_prefix_sharing(true);
+        assert!(sched.prefix_sharing());
+        submit_all(&mut sched);
+        let mut max_saved = 0isize;
+        while !sched.is_idle() {
+            sched.step();
+            let logical = sched.cache().fp16_bytes() as isize;
+            let physical = sched.cache().allocated_fp16_bytes() as isize;
+            max_saved = max_saved.max(logical - physical);
+        }
+        let mut done = sched.take_finished();
+        done.sort_by_key(|f| f.id);
+        assert_eq!(done, expect, "sharing must never change served tokens");
+        let stats = sched.stats();
+        assert!(stats.shared_prefix_tokens > 0, "backfill must have mapped shared pages");
+        assert!(stats.cow_copies > 0, "diverging continuations must have copied on write");
+        assert!(max_saved > 0, "shared prefixes must save physical bytes over per-copy");
+    }
+
+    #[test]
+    fn stats_snapshot_accounts_for_every_request() {
+        let (model, corpus) = fitted_tiny();
+        let mut sched = BatchScheduler::with_page_tokens(model, 2, 2);
+        sched.set_page_budget(6).expect("nothing queued yet");
+        for id in 0..4u64 {
+            let prompt = corpus.generate(3, 900 + id).tokens().to_vec();
+            sched.submit(request(id, prompt, 4)).expect("feasible");
+        }
+        let idle = sched.stats();
+        assert_eq!((idle.queued, idle.active, idle.preempted, idle.finished), (4, 0, 0, 0));
+        assert_eq!(idle.page_tokens, 2);
+        assert_eq!(idle.free_pages, Some(6));
+        while !sched.is_idle() {
+            sched.step();
+            let s = sched.stats();
+            assert_eq!(
+                s.queued + s.active + s.preempted + s.finished,
+                4,
+                "every request is in exactly one state"
+            );
+            assert_eq!(s.preemptions, sched.preemptions());
+            assert_eq!(s.allocated_pages, sched.cache().allocated_pages());
+            assert_eq!(
+                s.free_pages,
+                Some(6 - s.allocated_pages),
+                "free + allocated must tile the budget"
+            );
+        }
+        let done = sched.stats();
+        assert_eq!((done.queued, done.active, done.preempted, done.finished), (0, 0, 0, 4));
+        assert_eq!(done.allocated_pages, 0);
     }
 }

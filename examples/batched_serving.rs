@@ -30,25 +30,43 @@ fn main() {
     // available parallelism); thread count never changes served tokens.
     println!("kernel threads               : {}", sched.thread_pool().map_or(1, |p| p.threads()));
 
-    // Ten requests with different prompts, budgets and seeds — more than
-    // the batch holds, so retirement backfills slots mid-decode.
+    // Page-granular serving: cap the KV pool at a page budget sized like
+    // a deployment would (whole pages of the plan's headroom), and share
+    // common prompt prefixes copy-on-write.
+    let page_budget = 40;
+    sched.set_page_budget(page_budget).expect("nothing queued yet");
+    sched.enable_prefix_sharing(true);
+    println!("page budget                  : {page_budget} pages of {} tokens", {
+        sched.cache().page_tokens()
+    });
+
+    // Ten requests with different budgets and seeds — more than the batch
+    // holds, so retirement backfills slots mid-decode. Even ids share one
+    // system-prompt prefix, so backfilled sequences map the pages a live
+    // one already cached.
+    let system_prompt = corpus.generate(8, 40).tokens().to_vec();
     for id in 0..10u64 {
-        let prompt = corpus.generate(4 + id as usize % 5, 40 + id).tokens().to_vec();
+        let mut prompt = system_prompt.clone();
+        if id % 2 == 1 {
+            prompt = corpus.generate(4 + id as usize % 5, 40 + id).tokens().to_vec();
+        }
         let request = ServeRequest {
             temperature: 0.8,
             eos: Some(0),
             ..ServeRequest::new(id, prompt, 8 + (id as usize % 4) * 4)
         };
-        sched.submit(request).expect("no KV budget configured");
+        sched.submit(request).expect("fits the page budget");
     }
     println!("requests queued              : {}", sched.queued());
 
     // Drive the batch step by step, watching slots fill, drain and refill.
     let t0 = Instant::now();
     let mut peak_kv = 0usize;
+    let mut peak_allocated = 0usize;
     while !sched.is_idle() {
         sched.step();
         peak_kv = peak_kv.max(sched.cache().fp16_bytes());
+        peak_allocated = peak_allocated.max(sched.cache().allocated_fp16_bytes());
     }
     let elapsed = t0.elapsed();
     let mut done = sched.take_finished();
@@ -73,16 +91,35 @@ fn main() {
         sched.stepped_tokens() as f64 / elapsed.as_secs_f64(),
     );
 
+    // Scheduler occupancy: where every request ended up and how the page
+    // pool was spent (shared pages held COW'd prompt prefixes).
+    let stats = sched.stats();
+    println!("\nscheduler stats              : {stats:?}");
+    println!(
+        "preemptions                  : {} (all resumed token-identically)",
+        stats.preemptions
+    );
+    println!(
+        "prefix sharing               : {} tokens admitted from shared pages, {} COW copies",
+        stats.shared_prefix_tokens, stats.cow_copies
+    );
+
     // Memory accounting: the live batch cache ties back to the Fig. 2b
-    // serving-memory model. BatchKvCache memory is the sum over slots of
-    // 2 (K+V) * n_layers * d_model * slot_len * 2 bytes (fp16).
+    // serving-memory model. Logical KV is the per-copy sum over slots of
+    // 2 (K+V) * n_layers * d_model * slot_len * 2 bytes (fp16); physical
+    // KV is whole allocated pages, shared pages charged once.
     let plan = ServingMemory::from_model(sched.model(), 64.0 * 1024.0 * 1024.0);
-    println!("\npeak batch KV cache          : {peak_kv} bytes at fp16");
+    println!("\npeak KV (logical, per-copy)  : {peak_kv} bytes at fp16");
+    println!("peak KV (physical pages)     : {peak_allocated} bytes at fp16");
     println!("weights (measured, packed)   : {:.0} bytes", plan.weight_bytes());
     println!(
-        "KV capacity on a 64 MiB device: {:.0} tokens ({:.0} sequences of 256)",
+        "KV capacity on a 64 MiB device: {:.0} tokens ({:.0} sequences of 256, \
+         {} pages of {}, {} paged sequences)",
         plan.max_concurrent_tokens(0.05),
         plan.max_concurrent_sequences(256, 0.05),
+        plan.max_pages(0.05, sched.cache().page_tokens()),
+        sched.cache().page_tokens(),
+        plan.max_concurrent_sequences_paged(256, 0.05, sched.cache().page_tokens()),
     );
 
     // Single-sequence decoding still works and costs the same bytes per

@@ -94,8 +94,11 @@ fn scheduler_drains_and_accepts_a_second_wave() {
     }
 }
 
-/// The live batch cache's fp16 bytes agree with the serving-memory plan of
-/// the packed model at every step of a run.
+/// The live batch cache's byte counters agree with the serving-memory plan
+/// of the packed model at every step of a run — logical (per-copy) bytes
+/// against `kv_cache_bytes_used`, physical (allocated whole pages) against
+/// `kv_cache_bytes_for`, and logical never exceeds physical without
+/// sharing.
 #[test]
 fn batch_cache_bytes_track_the_serving_plan() {
     let (model, corpus) = fitted_tiny();
@@ -112,9 +115,19 @@ fn batch_cache_bytes_track_the_serving_plan() {
         sched.step();
         assert_eq!(
             sched.cache().fp16_bytes() as f64,
-            plan.kv_cache_bytes_for(sched.cache()),
-            "cache accounting diverged at step {}",
+            plan.kv_cache_bytes_used(sched.cache()),
+            "logical accounting diverged at step {}",
             sched.steps()
+        );
+        assert_eq!(
+            sched.cache().allocated_fp16_bytes() as f64,
+            plan.kv_cache_bytes_for(sched.cache()),
+            "physical accounting diverged at step {}",
+            sched.steps()
+        );
+        assert!(
+            sched.cache().fp16_bytes() <= sched.cache().allocated_fp16_bytes(),
+            "without sharing, used bytes cannot exceed allocated pages"
         );
     }
 }

@@ -179,7 +179,7 @@ fn kv_budget_on_the_sharded_scheduler_preserves_outputs() {
     while !sched.is_idle() {
         sched.step();
         assert!(sched.active() <= 1, "budget admits one sequence at a time");
-        assert!(plan.kv_cache_bytes_for(sched.cache()) <= budget);
+        assert!(plan.kv_cache_bytes_used(sched.cache()) <= budget);
     }
     let mut done = sched.take_finished();
     done.sort_by_key(|f| f.id);
