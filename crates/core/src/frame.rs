@@ -1,0 +1,558 @@
+//! Length-prefixed, checksummed message frames over byte streams.
+//!
+//! The shard wire format of [`crate::serialize`] says what a worker's
+//! weight slice *is*; this module says how bytes move between a serving
+//! coordinator and its workers. A **frame** is the unit of exchange on a
+//! connection — one request or one response — and carries its own
+//! integrity check so a flipped bit anywhere (header or payload) is a
+//! typed error, never a silently wrong answer:
+//!
+//! ```text
+//! magic    : 4 bytes  "FNQF"
+//! kind     : u8       message kind (opaque to this module)
+//! length   : u32 LE   payload bytes that follow the header
+//! checksum : u32 LE   FNV-1a over kind, length and the payload
+//! payload  : `length` bytes
+//! ```
+//!
+//! The checksum covers the kind and length fields as well as the payload,
+//! so corrupt routing metadata is caught exactly like corrupt payload
+//! bytes — the same policy as the shard envelope. The length field is
+//! capped at [`MAX_FRAME_PAYLOAD`] before any allocation, so a corrupt
+//! length can never balloon memory or stall a reader waiting for bytes
+//! that will never come.
+//!
+//! [`read_frame`] / [`write_frame`] run over any [`Read`] / [`Write`],
+//! looping internally on short reads and short writes — a throttling
+//! socket that delivers one byte per call produces the identical result
+//! (asserted by tests). [`Stream`] and [`Listener`] are the std-only
+//! socket layer beneath them: one address syntax (`tcp:host:port`,
+//! `unix:/path`) covering both `std::net` TCP and Unix domain sockets.
+
+use crate::serialize::fnv1a32_chain;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: &[u8; 4] = b"FNQF";
+
+/// Fixed byte length of the frame header preceding the payload.
+pub const FRAME_HEADER_BYTES: usize = 13;
+
+/// Upper bound on a frame's payload length (1 GiB). A header declaring
+/// more is rejected with [`FrameError::TooLarge`] before any allocation.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 30;
+
+/// Errors from [`read_frame`] / [`write_frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly on a frame boundary — no bytes
+    /// of a new frame had arrived. Normal end of a connection.
+    Closed,
+    /// The stream ended mid-frame: a header or declared payload was cut
+    /// short.
+    Truncated,
+    /// The frame did not open with [`FRAME_MAGIC`].
+    BadMagic,
+    /// The header declared a payload longer than [`MAX_FRAME_PAYLOAD`].
+    TooLarge(u32),
+    /// Kind, length or payload bytes do not match the header checksum.
+    BadChecksum,
+    /// The underlying stream failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "stream closed on a frame boundary"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::BadMagic => write!(f, "missing FNQF frame magic"),
+            FrameError::TooLarge(len) => {
+                write!(f, "frame payload length {len} exceeds the {MAX_FRAME_PAYLOAD} cap")
+            }
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::Io(e) => write!(f, "stream I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// FNV-1a over the kind byte, the LE length field and the payload — the
+/// integrity check every frame carries.
+fn frame_checksum(kind: u8, payload: &[u8]) -> u32 {
+    let h = fnv1a32_chain(0x811c_9dc5, &[kind]);
+    let h = fnv1a32_chain(h, &(payload.len() as u32).to_le_bytes());
+    fnv1a32_chain(h, payload)
+}
+
+/// Serializes one frame to bytes (header followed by payload).
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_PAYLOAD`] — a caller bug, not
+/// a wire condition.
+pub fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD as usize,
+        "frame payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD} cap",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(FRAME_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_checksum(kind, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame and flushes the stream. Short writes are retried
+/// internally (`write_all`), so a throttling sink receives the identical
+/// byte sequence.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] when the stream fails.
+///
+/// # Panics
+///
+/// As [`frame_bytes`].
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
+    w.write_all(&frame_bytes(kind, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Fills `buf` completely, looping on short reads. `at_boundary`
+/// distinguishes a clean close (EOF before the first byte of a frame)
+/// from a mid-frame truncation.
+fn fill(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && at_boundary {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning its kind and payload.
+///
+/// Validates in order: magic, length cap (**before** allocating), then
+/// the checksum over kind + length + payload. Short reads are retried
+/// internally, so a throttling source that delivers one byte per call
+/// decodes identically.
+///
+/// # Errors
+///
+/// Every failure is a typed [`FrameError`]; corrupt input can never
+/// decode as a different valid frame (the checksum covers every
+/// non-magic byte) and never stalls on a declared length the peer will
+/// not send beyond the cap.
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), FrameError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    fill(r, &mut header, true)?;
+    if &header[0..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let kind = header[4];
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes"));
+    let checksum = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    fill(r, &mut payload, false)?;
+    if frame_checksum(kind, &payload) != checksum {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok((kind, payload))
+}
+
+/// A connected byte stream under one address syntax: `tcp:host:port`
+/// (with `TCP_NODELAY`, since frames are request/response sized) or
+/// `unix:/path` to a Unix domain socket.
+#[derive(Debug)]
+pub enum Stream {
+    /// A `std::net` TCP connection.
+    Tcp(TcpStream),
+    /// A Unix domain socket connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+fn bad_addr(addr: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("address {addr:?} must be tcp:host:port or unix:/path"),
+    )
+}
+
+impl Stream {
+    /// Connects to `addr` (`tcp:host:port` or `unix:/path`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect error, or `InvalidInput` for an
+    /// unrecognized address scheme (including `unix:` on non-Unix hosts).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        if let Some(hostport) = addr.strip_prefix("tcp:") {
+            let s = TcpStream::connect(hostport)?;
+            s.set_nodelay(true)?;
+            return Ok(Stream::Tcp(s));
+        }
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            return UnixStream::connect(path).map(Stream::Unix);
+            #[cfg(not(unix))]
+            let _ = path;
+        }
+        Err(bad_addr(addr))
+    }
+
+    /// Shuts down both directions of the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying shutdown error.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener under the same address syntax as [`Stream`].
+#[derive(Debug)]
+pub enum Listener {
+    /// A `std::net` TCP listener.
+    Tcp(TcpListener),
+    /// A Unix domain socket listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `addr` (`tcp:host:port` — port 0 picks a free port — or
+    /// `unix:/path`; a stale socket file at the path is removed first).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying bind error, or `InvalidInput` for an
+    /// unrecognized address scheme.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        if let Some(hostport) = addr.strip_prefix("tcp:") {
+            return TcpListener::bind(hostport).map(Listener::Tcp);
+        }
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                // A previous worker killed hard leaves its socket file
+                // behind; binding over it is the restart path.
+                let _ = std::fs::remove_file(path);
+                return UnixListener::bind(path).map(Listener::Unix);
+            }
+            #[cfg(not(unix))]
+            let _ = path;
+        }
+        Err(bad_addr(addr))
+    }
+
+    /// The bound address in connectable `tcp:`/`unix:` syntax — for TCP
+    /// port 0 this is where the assigned port surfaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `local_addr` error, or `InvalidInput` for
+    /// an unnamed Unix socket.
+    pub fn local_addr(&self) -> io::Result<String> {
+        match self {
+            Listener::Tcp(l) => Ok(format!("tcp:{}", l.local_addr()?)),
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unnamed socket"))?;
+                Ok(format!("unix:{}", path.display()))
+            }
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying accept error.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_frame() -> (u8, Vec<u8>, Vec<u8>) {
+        let payload: Vec<u8> = (0u8..37).collect();
+        let bytes = frame_bytes(9, &payload);
+        (9, payload, bytes)
+    }
+
+    #[test]
+    fn round_trip_preserves_kind_and_payload() {
+        for payload in [vec![], vec![0xAB], (0u8..=255).collect::<Vec<u8>>()] {
+            for kind in [0u8, 1, 0x7F, 0xFF] {
+                let mut buf = Vec::new();
+                write_frame(&mut buf, kind, &payload).expect("vec write");
+                let (k, p) = read_frame(&mut Cursor::new(&buf)).expect("round trip");
+                assert_eq!((k, p), (kind, payload.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"first").expect("write");
+        write_frame(&mut buf, 2, b"second").expect("write");
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur).expect("frame 1"), (1, b"first".to_vec()));
+        assert_eq!(read_frame(&mut cur).expect("frame 2"), (2, b"second".to_vec()));
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_on_a_boundary_is_closed_not_truncated() {
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
+    }
+
+    /// The PR 5 envelope-fuzz pattern lifted to the frame layer: cutting
+    /// the stream after every possible byte count must yield a typed
+    /// error — `Closed` exactly on the boundary, `Truncated` mid-frame —
+    /// never a hang, a panic, or a silently decoded frame.
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let (_, _, bytes) = sample_frame();
+        for cut in 0..bytes.len() {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut]))
+                .expect_err("truncated frame must not decode");
+            match err {
+                FrameError::Closed => assert_eq!(cut, 0, "Closed only on the exact boundary"),
+                FrameError::Truncated => assert!(cut > 0, "cut {cut}"),
+                other => panic!("cut {cut}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    /// Per-field mutation sweep (mirroring the shard-envelope fuzz):
+    /// flipping any single byte of a frame — magic, kind, length,
+    /// checksum or payload — must surface as a typed error appropriate to
+    /// the field. No single-byte corruption may decode successfully.
+    #[test]
+    fn every_single_byte_mutation_is_rejected_never_silent() {
+        let (_, _, bytes) = sample_frame();
+        for idx in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = bytes.clone();
+                bad[idx] ^= flip;
+                // Append a second valid frame so a shrunken length field
+                // finds trailing bytes available — the checksum must
+                // still catch it rather than resynchronize silently.
+                bad.extend_from_slice(&frame_bytes(3, b"tail"));
+                let err = read_frame(&mut Cursor::new(&bad))
+                    .expect_err("single-byte corruption must not decode");
+                match (idx, err) {
+                    (0..=3, FrameError::BadMagic) => {}
+                    (0..=3, other) => panic!("magic byte {idx}: unexpected error {other:?}"),
+                    (4, FrameError::BadChecksum) => {} // kind is checksummed
+                    (4, other) => panic!("kind byte: unexpected error {other:?}"),
+                    // Length bytes: a larger value truncates or trips the
+                    // cap, a smaller value mis-frames and fails the
+                    // checksum. All typed, none silent.
+                    (
+                        5..=8,
+                        FrameError::Truncated | FrameError::TooLarge(_) | FrameError::BadChecksum,
+                    ) => {}
+                    (5..=8, other) => panic!("length byte {idx}: unexpected error {other:?}"),
+                    (_, FrameError::BadChecksum) => {} // checksum or payload bytes
+                    (_, other) => panic!("byte {idx}: unexpected error {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let (_, payload, bytes) = sample_frame();
+        let mut bad = bytes.clone();
+        bad[5..9].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        // Fix up the checksum so only the cap (not the checksum) rejects:
+        // the cap must fire first, before any buffer is sized.
+        let h = fnv1a32_chain(0x811c_9dc5, &[bytes[4]]);
+        let h = fnv1a32_chain(h, &(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        bad[9..13].copy_from_slice(&fnv1a32_chain(h, &payload).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad)),
+            Err(FrameError::TooLarge(len)) if len == MAX_FRAME_PAYLOAD + 1
+        ));
+    }
+
+    /// A reader that delivers at most one byte per call — the pathological
+    /// partial-read socket.
+    struct OneByteRead<R>(R);
+
+    impl<R: Read> Read for OneByteRead<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    /// A writer that accepts at most one byte per call — the pathological
+    /// short-write socket.
+    struct OneByteWrite<W>(W);
+
+    impl<W: Write> Write for OneByteWrite<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.write(&buf[..n])
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.0.flush()
+        }
+    }
+
+    #[test]
+    fn throttled_one_byte_reads_and_writes_round_trip_identically() {
+        let payload: Vec<u8> = (0u8..=200).rev().collect();
+        let mut sink = OneByteWrite(Vec::new());
+        write_frame(&mut sink, 42, &payload).expect("short writes are retried");
+        assert_eq!(sink.0, frame_bytes(42, &payload), "byte-identical wire image");
+        let mut throttled = OneByteRead(Cursor::new(&sink.0));
+        let (k, p) = read_frame(&mut throttled).expect("partial reads are retried");
+        assert_eq!((k, p), (42, payload));
+        // Truncation through the throttle is still the typed error.
+        let cut = sink.0.len() - 1;
+        let mut throttled = OneByteRead(Cursor::new(&sink.0[..cut]));
+        assert!(matches!(read_frame(&mut throttled), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn tcp_stream_round_trips_frames() {
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        assert!(addr.starts_with("tcp:"), "{addr}");
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            let (kind, payload) = read_frame(&mut conn).expect("server read");
+            write_frame(&mut conn, kind + 1, &payload).expect("server write");
+        });
+        let mut client = Stream::connect(&addr).expect("connect");
+        write_frame(&mut client, 7, b"over tcp").expect("client write");
+        assert_eq!(read_frame(&mut client).expect("client read"), (8, b"over tcp".to_vec()));
+        server.join().expect("server thread");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_stream_round_trips_frames_and_rebinds_over_stale_sockets() {
+        let path =
+            std::env::temp_dir().join(format!("fineq-frame-test-{}.sock", std::process::id()));
+        let addr = format!("unix:{}", path.display());
+        for _ in 0..2 {
+            // Second iteration binds over the previous socket file.
+            let listener = Listener::bind(&addr).expect("bind unix socket");
+            assert_eq!(listener.local_addr().expect("bound address"), addr);
+            let server = std::thread::spawn(move || {
+                let mut conn = listener.accept().expect("accept");
+                let (kind, payload) = read_frame(&mut conn).expect("server read");
+                write_frame(&mut conn, kind, &payload).expect("server write");
+            });
+            let mut client = Stream::connect(&addr).expect("connect");
+            write_frame(&mut client, 5, b"over unix").expect("client write");
+            assert_eq!(read_frame(&mut client).expect("client read"), (5, b"over unix".to_vec()));
+            server.join().expect("server thread");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unrecognized_address_schemes_are_invalid_input() {
+        for addr in ["127.0.0.1:80", "udp:1.2.3.4:5", "unix"] {
+            let e = Stream::connect(addr).expect_err("bad scheme must not connect");
+            assert_eq!(e.kind(), io::ErrorKind::InvalidInput, "{addr}");
+            let e = Listener::bind(addr).expect_err("bad scheme must not bind");
+            assert_eq!(e.kind(), io::ErrorKind::InvalidInput, "{addr}");
+        }
+    }
+}

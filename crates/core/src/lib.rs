@@ -41,6 +41,7 @@
 
 pub mod cluster;
 pub mod encoding;
+pub mod frame;
 pub mod kernels;
 pub mod pack;
 pub mod pool;
@@ -50,6 +51,7 @@ pub mod stats;
 
 pub use cluster::{split_channel, Cluster};
 pub use encoding::ClusterCode;
+pub use frame::{read_frame, write_frame, FrameError, Listener, Stream};
 pub use kernels::{decode_block_swar, matmul_t_sharded_into, matvec_sharded_into, KernelScratch};
 pub use pack::{block_data_word, block_index_byte, PackedChannel, PackedMatrix};
 pub use pool::ThreadPool;

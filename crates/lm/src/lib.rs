@@ -35,6 +35,12 @@
 //!   round-tripped through the versioned shard wire format), and
 //!   [`ShardedScheduler`] serves batches shard-parallel, bit-identical to
 //!   the unsharded scheduler at any shard count.
+//! * [`remote`] — multi-process sharded serving: workers over
+//!   `std::net` (TCP or Unix sockets) load FNQS shard envelopes and serve
+//!   batched gather requests; the [`RemoteShardedModel`] coordinator
+//!   broadcasts/gathers with replica failover and deterministic replay,
+//!   so the distributed token stream is bit-identical to the in-process
+//!   engines even across worker crashes.
 //!
 //! ## Example
 //!
@@ -58,6 +64,7 @@ pub mod eval;
 pub mod generate;
 pub mod memory;
 pub mod model;
+pub mod remote;
 pub mod serving;
 pub mod shard;
 
@@ -69,8 +76,11 @@ pub use fineq_core::{KernelScratch, ThreadPool};
 pub use generate::{BatchKvCache, KvCache, PAGE_TOKENS};
 pub use memory::ServingMemory;
 pub use model::{LinearWeight, Transformer, WeightSite};
+pub use remote::{
+    run_worker, HealthReport, RemoteShardedModel, TransportError, Worker, WorkerEvent,
+};
 pub use serving::{
-    AdmissionError, BatchScheduler, FinishReason, FinishedSequence, PreemptionEvent, Scheduler,
-    SchedulerStats, ServeModel, ServeRequest, ShardedScheduler,
+    AdmissionError, BatchScheduler, DistributedScheduler, FinishReason, FinishedSequence,
+    PreemptionEvent, Scheduler, SchedulerStats, ServeModel, ServeRequest, ShardedScheduler,
 };
 pub use shard::{ShardPlan, ShardedModel, SitePlan};

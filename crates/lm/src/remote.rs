@@ -1,0 +1,1011 @@
+//! Multi-process sharded serving: remote workers over `std::net`.
+//!
+//! [`crate::shard`] proved the topology in one process: row-shard every
+//! packed weight site, broadcast activations, gather partial outputs, and
+//! the result is bit-identical to the unsharded engine. This module puts a
+//! wire in the seam. A **worker** ([`run_worker`], shipped as the
+//! `fineq-worker` binary) loads its FNQS shard envelopes — the exact
+//! bytes [`fineq_core::serialize::shard_to_bytes`] produces — and serves
+//! batched gather requests over the checksummed frame protocol of
+//! [`fineq_core::frame`]. The **coordinator** ([`RemoteShardedModel`])
+//! keeps the embedding, readout head and every sequence's KV cache, and
+//! implements the same gather interface the in-process engine consumes:
+//! each linear site broadcasts the batch's activations to every involved
+//! shard's primary replica first, then gathers their partial outputs —
+//! one in-flight request per connection, so the workers compute in
+//! parallel while the coordinator waits on the slowest.
+//!
+//! ## Protocol
+//!
+//! Every message is one frame (`kind`, payload). Integers are u32 LE,
+//! activations/partials are f32 LE, row-major:
+//!
+//! ```text
+//! LOAD     -> payload = FNQS shard envelope        | reply LOADED(site_id)
+//! GATHER   -> site_id, t_len, cols, t_len*cols f32 | reply PARTIAL
+//! PARTIAL  <- site_id, row_start, rows, t_len, t_len*rows f32
+//! PING     -> echo payload                         | reply PONG(payload)
+//! SHUTDOWN -> worker exits cleanly                 | no reply
+//! ERROR    <- utf-8 message (malformed but well-framed request)
+//! ```
+//!
+//! A corrupt frame (checksum/magic/length failure) is not answerable — a
+//! length-prefixed stream cannot resynchronize after corruption — so the
+//! worker drops that connection and accepts the next one.
+//!
+//! ## Replicas, failover and replay
+//!
+//! Each shard is a **replica group**: N worker processes loaded with the
+//! identical slice bytes. Requests go to the group's primary; the other
+//! replicas idle as hot spares, health-checked by
+//! [`RemoteShardedModel::heartbeat`]. When any send or receive fails, the
+//! coordinator marks that replica dead (a [`WorkerEvent::WorkerDied`]
+//! event), promotes the next live replica
+//! ([`WorkerEvent::FailedOver`]), and **replays the in-flight gather
+//! request** there. Replay is deterministic because workers are
+//! stateless: a partial output is a pure function of the shipped slice
+//! bytes and the broadcast activations, both byte-identical across
+//! replicas, and the kernels are bit-exact at any execution shape. All
+//! sequence state (the KV cache) lives on the coordinator and is only
+//! advanced by `commit_step` *after* every gather of a batch step has
+//! completed, so a worker crash mid-step is **output-invisible**: the
+//! step simply finishes on the spare, and the token stream equals the
+//! in-process unsharded [`crate::serving::BatchScheduler`] run exactly —
+//! the oracle `tests/distributed_serving.rs` and the `distributed-gate`
+//! CI job enforce, kill included.
+
+use crate::config::ModelConfig;
+use crate::generate::{batched_step_body, BatchKvCache};
+use crate::model::{Transformer, WeightSite};
+use crate::serving::ServeModel;
+use crate::shard::{site_id, ShardPlan};
+use fineq_core::frame::{read_frame, write_frame, FrameError, Listener, Stream};
+use fineq_core::serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};
+use fineq_core::{matmul_t_sharded_into, KernelScratch, PackedMatrix};
+use fineq_tensor::Matrix;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::Mutex;
+
+/// Frame kind: ship one FNQS shard envelope to a worker.
+pub const KIND_LOAD: u8 = 1;
+/// Frame kind: worker acknowledges a loaded slice (payload echoes the
+/// site id).
+pub const KIND_LOADED: u8 = 2;
+/// Frame kind: batched gather request for one weight site.
+pub const KIND_GATHER: u8 = 3;
+/// Frame kind: a worker's partial output for one gather request.
+pub const KIND_PARTIAL: u8 = 4;
+/// Frame kind: heartbeat request (payload is echoed back).
+pub const KIND_PING: u8 = 5;
+/// Frame kind: heartbeat reply.
+pub const KIND_PONG: u8 = 6;
+/// Frame kind: ask the worker process to exit cleanly.
+pub const KIND_SHUTDOWN: u8 = 7;
+/// Frame kind: worker-side rejection of a well-framed but malformed
+/// request (payload is a utf-8 message).
+pub const KIND_ERROR: u8 = 0xEE;
+
+/// Errors crossing the coordinator/worker transport.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The stream failed or a frame was corrupt.
+    Frame(FrameError),
+    /// A shard envelope failed to decode.
+    Decode(DecodeError),
+    /// A peer sent a well-formed frame that violates the protocol
+    /// (unexpected kind, malformed payload, or a worker `ERROR` reply).
+    Protocol(String),
+    /// Every replica of a shard group is dead — the condition serving
+    /// cannot mask.
+    NoLiveReplica {
+        /// The shard whose replica group is exhausted.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Frame(e) => write!(f, "frame transport failed: {e}"),
+            TransportError::Decode(e) => write!(f, "shard envelope rejected: {e}"),
+            TransportError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            TransportError::NoLiveReplica { shard } => {
+                write!(f, "shard {shard} has no live replica left")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Frame(e) => Some(e),
+            TransportError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for TransportError {
+    fn from(e: DecodeError) -> Self {
+        TransportError::Decode(e)
+    }
+}
+
+fn get_u32(payload: &[u8], off: usize) -> Result<u32, TransportError> {
+    payload
+        .get(off..off + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .ok_or_else(|| TransportError::Protocol(format!("payload truncated at offset {off}")))
+}
+
+fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_f32s(payload: &[u8], off: usize, n: usize) -> Result<Vec<f32>, TransportError> {
+    let bytes = payload.get(off..off + n * 4).ok_or_else(|| {
+        TransportError::Protocol(format!("payload carries fewer than {n} f32 values"))
+    })?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
+}
+
+/// One gather request's wire payload: site id, activation shape, then the
+/// activations row-major f32 LE. f32 round-trips `to_le_bytes` exactly,
+/// so the broadcast is bit-faithful.
+fn encode_gather(sid: u32, a: &Matrix) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(12 + a.as_slice().len() * 4);
+    payload.extend_from_slice(&sid.to_le_bytes());
+    payload.extend_from_slice(&(a.rows() as u32).to_le_bytes());
+    payload.extend_from_slice(&(a.cols() as u32).to_le_bytes());
+    put_f32s(&mut payload, a.as_slice());
+    payload
+}
+
+/// One loaded weight-site slice on a worker.
+struct SiteSlice {
+    row_start: usize,
+    /// Single-entry gather list at offset 0 — the form
+    /// [`matmul_t_sharded_into`] consumes without a per-request clone.
+    gather: Vec<(usize, PackedMatrix)>,
+}
+
+/// What a worker does with one handled frame.
+pub enum WorkerReply {
+    /// Send this frame back on the connection.
+    Frame(u8, Vec<u8>),
+    /// The coordinator asked the worker process to exit.
+    Shutdown,
+}
+
+/// Worker-side protocol state: the loaded slices plus reused kernel
+/// scratch. [`Worker::handle`] is the pure request → reply step, exposed
+/// so tests and examples can drive a worker in-process (including
+/// injecting failures between frames); [`run_worker`] is the process
+/// entry that wires it to a socket.
+#[derive(Default)]
+pub struct Worker {
+    sites: HashMap<u32, SiteSlice>,
+    scratch: KernelScratch,
+}
+
+impl Worker {
+    /// An empty worker (no slices loaded).
+    pub fn new() -> Self {
+        Self { sites: HashMap::new(), scratch: KernelScratch::new() }
+    }
+
+    /// Number of weight-site slices loaded so far.
+    pub fn loaded_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Handles one well-framed request.
+    ///
+    /// Transport-intact but malformed requests (unknown site, shape
+    /// mismatch, undecodable envelope, unknown kind) produce an
+    /// [`KIND_ERROR`] reply and keep the connection serving; only I/O
+    /// belongs to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Never errs today; the `Result` reserves the signature for
+    /// worker-side failures that cannot be answered in-band.
+    pub fn handle(&mut self, kind: u8, payload: &[u8]) -> Result<WorkerReply, TransportError> {
+        match kind {
+            KIND_LOAD => Ok(self.load(payload)),
+            KIND_GATHER => Ok(self.gather(payload)),
+            KIND_PING => Ok(WorkerReply::Frame(KIND_PONG, payload.to_vec())),
+            KIND_SHUTDOWN => Ok(WorkerReply::Shutdown),
+            other => Ok(error_reply(format!("unknown frame kind {other:#04x}"))),
+        }
+    }
+
+    fn load(&mut self, payload: &[u8]) -> WorkerReply {
+        // The envelope's own checksum and range validation run here — a
+        // slice that was corrupted in transit or misframed never loads.
+        let (header, slice) = match shard_from_bytes(payload) {
+            Ok(decoded) => decoded,
+            Err(e) => return error_reply(format!("shard envelope rejected: {e}")),
+        };
+        let sid = header.site_id;
+        self.sites.insert(
+            sid,
+            SiteSlice { row_start: header.row_start as usize, gather: vec![(0, slice)] },
+        );
+        WorkerReply::Frame(KIND_LOADED, sid.to_le_bytes().to_vec())
+    }
+
+    fn gather(&mut self, payload: &[u8]) -> WorkerReply {
+        let parsed = (|| {
+            let sid = get_u32(payload, 0)?;
+            let t_len = get_u32(payload, 4)? as usize;
+            let cols = get_u32(payload, 8)? as usize;
+            if t_len == 0 || cols == 0 {
+                return Err(TransportError::Protocol("empty gather batch".into()));
+            }
+            let data = get_f32s(payload, 12, t_len * cols)?;
+            Ok((sid, Matrix::from_vec(t_len, cols, data)))
+        })();
+        let (sid, a) = match parsed {
+            Ok(p) => p,
+            Err(e) => return error_reply(format!("malformed gather: {e}")),
+        };
+        let Some(site) = self.sites.get(&sid) else {
+            return error_reply(format!("gather for unloaded site {sid}"));
+        };
+        let slice = &site.gather[0].1;
+        if slice.cols() != a.cols() {
+            return error_reply(format!(
+                "gather activations have {} columns, site {sid} expects {}",
+                a.cols(),
+                slice.cols()
+            ));
+        }
+        // The partial product this shard owes the step: `a @ sliceᵀ`,
+        // per-channel arithmetic identical to the in-process gather (and
+        // therefore to the unsharded engine) at any execution shape.
+        let rows = slice.rows();
+        let mut out = Matrix::zeros(a.rows(), rows);
+        matmul_t_sharded_into(&site.gather, &a, &mut out, &mut self.scratch, None);
+        let mut reply = Vec::with_capacity(16 + out.as_slice().len() * 4);
+        reply.extend_from_slice(&sid.to_le_bytes());
+        reply.extend_from_slice(&(site.row_start as u32).to_le_bytes());
+        reply.extend_from_slice(&(rows as u32).to_le_bytes());
+        reply.extend_from_slice(&(a.rows() as u32).to_le_bytes());
+        put_f32s(&mut reply, out.as_slice());
+        WorkerReply::Frame(KIND_PARTIAL, reply)
+    }
+}
+
+fn error_reply(msg: String) -> WorkerReply {
+    WorkerReply::Frame(KIND_ERROR, msg.into_bytes())
+}
+
+/// Serves one coordinator connection until it closes, the stream
+/// corrupts, or a `SHUTDOWN` frame arrives. Returns `true` when the
+/// worker process should exit.
+///
+/// # Errors
+///
+/// Returns the frame error that broke the stream; a clean close is
+/// `Ok(false)`.
+pub fn serve_connection(conn: &mut Stream, worker: &mut Worker) -> Result<bool, TransportError> {
+    loop {
+        match read_frame(conn) {
+            Ok((kind, payload)) => match worker.handle(kind, &payload)? {
+                WorkerReply::Frame(k, p) => write_frame(conn, k, &p)?,
+                WorkerReply::Shutdown => return Ok(true),
+            },
+            Err(FrameError::Closed) => return Ok(false),
+            // Corruption mid-stream: a length-prefixed protocol cannot
+            // resynchronize, so the only safe answer is dropping the
+            // connection (typed, loud — never a silently wrong reply).
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// The `fineq-worker` process body: binds `addr` (`tcp:host:port` or
+/// `unix:/path`), announces the bound address on stdout, and serves
+/// coordinator connections one at a time until a `SHUTDOWN` frame.
+/// Loaded slices survive a dropped connection, so a coordinator may
+/// reconnect without re-shipping weights.
+///
+/// # Errors
+///
+/// Returns bind/accept failures; per-connection stream errors are logged
+/// to stderr and the worker accepts the next connection.
+pub fn run_worker(addr: &str) -> Result<(), TransportError> {
+    let listener = Listener::bind(addr).map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
+    let bound = listener.local_addr().unwrap_or_else(|_| addr.to_string());
+    // The parent process parses this line to learn an OS-assigned port.
+    println!("fineq-worker listening on {bound}");
+    let _ = std::io::stdout().flush();
+    let mut worker = Worker::new();
+    loop {
+        let mut conn = listener.accept().map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
+        match serve_connection(&mut conn, &mut worker) {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            Err(e) => eprintln!("fineq-worker: dropping connection: {e}"),
+        }
+    }
+}
+
+/// Coordinator-side record of a replica-group state change, drained with
+/// [`RemoteShardedModel::take_events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// A replica's connection failed and it was marked dead.
+    WorkerDied {
+        /// Shard whose group lost the replica.
+        shard: usize,
+        /// Index of the dead replica within the group.
+        replica: usize,
+        /// The replica's address.
+        addr: String,
+        /// Human-readable cause.
+        error: String,
+    },
+    /// The group's primary moved to a live spare.
+    FailedOver {
+        /// Shard whose primary changed.
+        shard: usize,
+        /// Previous primary replica index.
+        from_replica: usize,
+        /// New primary replica index.
+        to_replica: usize,
+    },
+}
+
+/// Liveness snapshot returned by [`RemoteShardedModel::heartbeat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Replicas that answered the ping, per shard.
+    pub live_per_shard: Vec<usize>,
+    /// Total replicas marked dead (cumulative, all shards).
+    pub dead: usize,
+}
+
+impl HealthReport {
+    /// Total live replicas across all shards.
+    pub fn live(&self) -> usize {
+        self.live_per_shard.iter().sum()
+    }
+
+    /// True when every shard still has at least one live replica.
+    pub fn serviceable(&self) -> bool {
+        self.live_per_shard.iter().all(|&n| n > 0)
+    }
+}
+
+struct Replica {
+    addr: String,
+    /// `None` once the replica is marked dead.
+    conn: Option<Stream>,
+}
+
+struct Group {
+    replicas: Vec<Replica>,
+    primary: usize,
+}
+
+struct RemoteState {
+    groups: Vec<Group>,
+    events: Vec<WorkerEvent>,
+}
+
+impl RemoteState {
+    fn mark_dead(&mut self, shard: usize, replica: usize, error: &TransportError) {
+        let r = &mut self.groups[shard].replicas[replica];
+        if let Some(conn) = r.conn.take() {
+            let _ = conn.shutdown();
+            self.events.push(WorkerEvent::WorkerDied {
+                shard,
+                replica,
+                addr: r.addr.clone(),
+                error: error.to_string(),
+            });
+        }
+    }
+
+    /// The replica the next request for `shard` should use: the current
+    /// primary when live, else the first live spare — promoting it (and
+    /// recording the failover) so later requests go there directly.
+    fn elect_primary(&mut self, shard: usize) -> Result<usize, TransportError> {
+        let group = &mut self.groups[shard];
+        if group.replicas[group.primary].conn.is_some() {
+            return Ok(group.primary);
+        }
+        let Some(next) = group.replicas.iter().position(|r| r.conn.is_some()) else {
+            return Err(TransportError::NoLiveReplica { shard });
+        };
+        self.events.push(WorkerEvent::FailedOver {
+            shard,
+            from_replica: group.primary,
+            to_replica: next,
+        });
+        group.primary = next;
+        Ok(next)
+    }
+
+    /// Sends `req` to `shard`'s primary, failing over across spares until
+    /// a send succeeds. Returns the replica the request landed on.
+    fn send_gather(&mut self, shard: usize, req: &[u8]) -> Result<usize, TransportError> {
+        loop {
+            let replica = self.elect_primary(shard)?;
+            let conn = self.groups[shard].replicas[replica].conn.as_mut().expect("elected live");
+            match write_frame(conn, KIND_GATHER, req) {
+                Ok(()) => return Ok(replica),
+                Err(e) => self.mark_dead(shard, replica, &TransportError::Frame(e)),
+            }
+        }
+    }
+
+    /// Reads `shard`'s partial from `replica`, validating the reply
+    /// against the plan's range. Any failure — stream, corrupt frame,
+    /// worker `ERROR`, misrouted reply — kills the replica and **replays
+    /// the in-flight request** on the next live spare: workers are
+    /// stateless, so the replayed partial is bit-identical.
+    fn recv_partial(
+        &mut self,
+        shard: usize,
+        mut replica: usize,
+        req: &[u8],
+        sid: u32,
+        range: (usize, usize),
+        out: &mut Matrix,
+    ) -> Result<(), TransportError> {
+        loop {
+            let conn = self.groups[shard].replicas[replica].conn.as_mut().expect("sender live");
+            match read_partial(conn, sid, range, out) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    self.mark_dead(shard, replica, &e);
+                    replica = self.send_gather(shard, req)?;
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one `PARTIAL` reply into `out`'s columns `range`.
+fn read_partial(
+    conn: &mut Stream,
+    sid: u32,
+    range: (usize, usize),
+    out: &mut Matrix,
+) -> Result<(), TransportError> {
+    let (kind, payload) = read_frame(conn)?;
+    match kind {
+        KIND_PARTIAL => {}
+        KIND_ERROR => {
+            return Err(TransportError::Protocol(format!(
+                "worker rejected gather: {}",
+                String::from_utf8_lossy(&payload)
+            )))
+        }
+        other => {
+            return Err(TransportError::Protocol(format!(
+                "expected PARTIAL, got frame kind {other:#04x}"
+            )))
+        }
+    }
+    let (start, end) = range;
+    let got_sid = get_u32(&payload, 0)?;
+    let row_start = get_u32(&payload, 4)? as usize;
+    let rows = get_u32(&payload, 8)? as usize;
+    let t_len = get_u32(&payload, 12)? as usize;
+    if got_sid != sid || row_start != start || rows != end - start || t_len != out.rows() {
+        return Err(TransportError::Protocol(format!(
+            "misrouted partial: site {got_sid} rows {row_start}..{} x{t_len}, \
+             expected site {sid} rows {start}..{end} x{}",
+            row_start + rows,
+            out.rows()
+        )));
+    }
+    let data = get_f32s(&payload, 16, t_len * rows)?;
+    for t in 0..t_len {
+        out.row_mut(t)[start..end].copy_from_slice(&data[t * rows..(t + 1) * rows]);
+    }
+    Ok(())
+}
+
+/// The coordinator of a multi-process sharded deployment: embedding,
+/// readout head and every sequence's KV cache stay here; every linear
+/// site executes as a broadcast to remote workers and a gather of their
+/// partial outputs. Implements [`ServeModel`], so the generic
+/// [`crate::serving::Scheduler`] drives it exactly like the in-process
+/// engines — and its output is **bit-identical** to both, at any shard
+/// count, any replica count, and across worker crashes that leave at
+/// least one live replica per shard.
+///
+/// Connection state lives behind a mutex because [`ServeModel`] steps
+/// take `&self`; the serving path is single-stepper, so the lock is
+/// uncontended.
+pub struct RemoteShardedModel {
+    cfg: ModelConfig,
+    embedding: Matrix,
+    head: Matrix,
+    plan: ShardPlan,
+    state: Mutex<RemoteState>,
+}
+
+impl RemoteShardedModel {
+    /// Connects to `replica_addrs[shard]`'s workers (every shard needs at
+    /// least one replica; `replica_addrs.len()` is the shard count),
+    /// plans the row shard of `model`, and ships every replica of shard
+    /// `s` the identical FNQS envelopes of `s`'s slices.
+    ///
+    /// # Errors
+    ///
+    /// Connection or load failures during setup are hard errors — a
+    /// deployment that cannot load is reported, not served around.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardPlan::new`] (unpacked model, zero or oversized shard
+    /// count), or if a shard has no replica addresses.
+    pub fn connect(
+        model: &Transformer,
+        replica_addrs: &[Vec<String>],
+    ) -> Result<Self, TransportError> {
+        let n_shards = replica_addrs.len();
+        let plan = ShardPlan::new(model, n_shards);
+        let mut groups = Vec::with_capacity(n_shards);
+        for (shard, addrs) in replica_addrs.iter().enumerate() {
+            assert!(!addrs.is_empty(), "shard {shard} needs at least one replica address");
+            // Slice once per shard; every replica receives the identical
+            // envelope bytes (what makes replay bit-identical).
+            let envelopes: Vec<Vec<u8>> = plan
+                .sites()
+                .iter()
+                .filter(|sp| {
+                    let (start, end) = sp.range(shard);
+                    start < end
+                })
+                .map(|sp| {
+                    let (start, end) = sp.range(shard);
+                    let p = model.weight(sp.layer, sp.site).as_packed().expect("packed model");
+                    let header = ShardHeader {
+                        shard_index: shard as u16,
+                        n_shards: n_shards as u16,
+                        site_id: site_id(sp.layer, sp.site),
+                        row_start: start as u32,
+                        total_rows: sp.rows as u32,
+                    };
+                    shard_to_bytes(&p.slice_rows(start, end), &header)
+                })
+                .collect();
+            let mut replicas = Vec::with_capacity(addrs.len());
+            for addr in addrs {
+                let mut conn = Stream::connect(addr).map_err(FrameError::Io)?;
+                for envelope in &envelopes {
+                    write_frame(&mut conn, KIND_LOAD, envelope)?;
+                    let (kind, payload) = read_frame(&mut conn)?;
+                    // site_id sits after the envelope's magic, version,
+                    // shard_index and n_shards fields.
+                    let expect = get_u32(envelope, 10)?;
+                    match kind {
+                        KIND_LOADED if get_u32(&payload, 0)? == expect => {}
+                        KIND_ERROR => {
+                            return Err(TransportError::Protocol(format!(
+                                "worker {addr} rejected slice: {}",
+                                String::from_utf8_lossy(&payload)
+                            )))
+                        }
+                        other => {
+                            return Err(TransportError::Protocol(format!(
+                                "worker {addr}: expected LOADED({expect}), got kind {other:#04x}"
+                            )))
+                        }
+                    }
+                }
+                replicas.push(Replica { addr: addr.clone(), conn: Some(conn) });
+            }
+            groups.push(Group { replicas, primary: 0 });
+        }
+        Ok(Self {
+            cfg: model.config().clone(),
+            embedding: model.embedding().clone(),
+            head: model.head().clone(),
+            plan,
+            state: Mutex::new(RemoteState { groups, events: Vec::new() }),
+        })
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Number of worker shards.
+    pub fn n_shards(&self) -> usize {
+        self.plan.n_shards()
+    }
+
+    /// The row partition the deployment was built from.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Pings every live replica (dead ones stay dead), marking
+    /// non-responders dead and re-pointing each group's primary at a live
+    /// spare, so the next step pays no failover latency. Returns the
+    /// liveness snapshot.
+    pub fn heartbeat(&self) -> HealthReport {
+        let mut st = self.state.lock().expect("remote state");
+        let token: &[u8] = b"fineq-heartbeat";
+        for shard in 0..st.groups.len() {
+            for replica in 0..st.groups[shard].replicas.len() {
+                let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
+                    continue;
+                };
+                let outcome = write_frame(conn, KIND_PING, token)
+                    .map_err(TransportError::from)
+                    .and_then(|()| Ok(read_frame(conn)?))
+                    .and_then(|(kind, payload)| {
+                        if kind == KIND_PONG && payload == token {
+                            Ok(())
+                        } else {
+                            Err(TransportError::Protocol(format!(
+                                "expected PONG echo, got kind {kind:#04x}"
+                            )))
+                        }
+                    });
+                if let Err(e) = outcome {
+                    st.mark_dead(shard, replica, &e);
+                }
+            }
+            let _ = st.elect_primary(shard);
+        }
+        let live_per_shard = st
+            .groups
+            .iter()
+            .map(|g| g.replicas.iter().filter(|r| r.conn.is_some()).count())
+            .collect::<Vec<_>>();
+        let dead = st.groups.iter().map(|g| g.replicas.len()).sum::<usize>()
+            - live_per_shard.iter().sum::<usize>();
+        HealthReport { live_per_shard, dead }
+    }
+
+    /// Drains the failover/death events recorded since the last call.
+    pub fn take_events(&self) -> Vec<WorkerEvent> {
+        std::mem::take(&mut self.state.lock().expect("remote state").events)
+    }
+
+    /// Sends `SHUTDOWN` to every live worker and drops the connections
+    /// (best-effort: unreachable workers are ignored).
+    pub fn shutdown_workers(&self) {
+        let mut st = self.state.lock().expect("remote state");
+        for group in &mut st.groups {
+            for replica in &mut group.replicas {
+                if let Some(mut conn) = replica.conn.take() {
+                    let _ = write_frame(&mut conn, KIND_SHUTDOWN, &[]);
+                    let _ = conn.shutdown();
+                }
+            }
+        }
+    }
+
+    /// One linear site, distributed: broadcast the activations to every
+    /// involved shard's primary first (one in-flight request per
+    /// connection — the workers overlap), then gather the partials in
+    /// shard order, failing over and replaying on any error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shard group runs out of live replicas mid-step —
+    /// the one failure replication cannot mask. ([`ServeModel`] steps are
+    /// infallible by contract; everything short of total group loss is
+    /// handled internally.)
+    fn site_gather(&self, layer: usize, site: WeightSite, a: &Matrix) -> Matrix {
+        let sp = self.plan.site(layer, site);
+        let sid = site_id(layer, site);
+        let mut out = Matrix::zeros(a.rows(), sp.rows);
+        let req = encode_gather(sid, a);
+        let mut st = self.state.lock().expect("remote state");
+        let involved: Vec<(usize, (usize, usize))> = (0..self.plan.n_shards())
+            .map(|s| (s, sp.range(s)))
+            .filter(|&(_, (start, end))| start < end)
+            .collect();
+        let no_replica = |e: TransportError| -> ! {
+            panic!(
+                "distributed serving cannot continue: {e} while gathering site {sid} \
+                 (layer {layer} {site:?})"
+            )
+        };
+        // Broadcast half: all sends before any receive.
+        let mut senders = Vec::with_capacity(involved.len());
+        for &(shard, _) in &involved {
+            match st.send_gather(shard, &req) {
+                Ok(replica) => senders.push(replica),
+                Err(e) => no_replica(e),
+            }
+        }
+        // Gather half: collect partials; errors replay on spares.
+        for (&(shard, range), &replica) in involved.iter().zip(&senders) {
+            if let Err(e) = st.recv_partial(shard, replica, &req, sid, range, &mut out) {
+                no_replica(e);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for RemoteShardedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShardedModel")
+            .field("n_shards", &self.plan.n_shards())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeModel for RemoteShardedModel {
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward_step_batch_with(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+        _scratch: &mut KernelScratch,
+    ) -> Matrix {
+        // The same shared step body as the in-process engines; the only
+        // difference is where a linear site executes. Local scratch is
+        // unused — restaging happens on the workers.
+        batched_step_body(
+            &self.cfg,
+            &self.embedding,
+            &self.head,
+            tokens,
+            slots,
+            cache,
+            None,
+            |l, site, a| self.site_gather(l, site, a),
+        )
+    }
+
+    fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardedModel;
+    use fineq_core::FineQuantizer;
+    use fineq_tensor::Rng;
+
+    fn packed_tiny(seed: u64) -> Transformer {
+        let cfg = ModelConfig::new(16, 8, 2, 2, 16);
+        let mut m = Transformer::zeros(cfg.clone());
+        let mut rng = Rng::seed_from(seed);
+        *m.embedding_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 0.5));
+        *m.head_mut() = Matrix::from_fn(cfg.vocab, cfg.d_model, |_, _| rng.normal(0.0, 0.5));
+        let q = FineQuantizer::paper();
+        for l in 0..m.n_layers() {
+            for site in WeightSite::ALL {
+                let (r, c) = {
+                    let w = m.weight(l, site);
+                    (w.rows(), w.cols())
+                };
+                let dense = Matrix::from_fn(r, c, |_, _| rng.laplace(0.0, 0.05));
+                *m.weight_mut(l, site) = q.quantize_packed(&dense).into();
+            }
+        }
+        m
+    }
+
+    /// In-process worker threads: each binds a loopback TCP listener and
+    /// serves [`serve_connection`] loops — the subprocess path without
+    /// process management (tests/distributed_serving.rs covers the real
+    /// subprocess + Unix-socket path).
+    fn spawn_worker_threads(n: usize) -> (Vec<Vec<String>>, Vec<std::thread::JoinHandle<()>>) {
+        let mut addrs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+            addrs.push(vec![listener.local_addr().expect("bound address")]);
+            handles.push(std::thread::spawn(move || {
+                let mut worker = Worker::new();
+                loop {
+                    let Ok(mut conn) = listener.accept() else { return };
+                    match serve_connection(&mut conn, &mut worker) {
+                        Ok(true) => return,
+                        Ok(false) => continue,
+                        Err(_) => continue,
+                    }
+                }
+            }));
+        }
+        (addrs, handles)
+    }
+
+    #[test]
+    fn remote_steps_are_bit_identical_to_local_engines() {
+        let model = packed_tiny(11);
+        let cfg = model.config().clone();
+        let (addrs, handles) = spawn_worker_threads(3);
+        let remote = RemoteShardedModel::connect(&model, &addrs).expect("connect");
+        assert_eq!(remote.n_shards(), 3);
+        let local = ShardedModel::new(&model, 3);
+        let steps: [(Vec<usize>, Vec<usize>); 3] =
+            [(vec![1, 2, 3], vec![0, 1, 2]), (vec![4, 5], vec![0, 2]), (vec![6], vec![1])];
+        let mut cache_r = BatchKvCache::new(cfg.n_layers, cfg.d_model, 3);
+        let mut cache_l = BatchKvCache::new(cfg.n_layers, cfg.d_model, 3);
+        let mut cache_u = BatchKvCache::new(cfg.n_layers, cfg.d_model, 3);
+        let mut scratch = KernelScratch::new();
+        for (t, s) in &steps {
+            let remote_logits = remote.forward_step_batch_with(t, s, &mut cache_r, &mut scratch);
+            let local_logits = local.forward_step_batch(t, s, &mut cache_l);
+            let unsharded_logits = model.forward_step_batch(t, s, &mut cache_u);
+            assert_eq!(remote_logits, local_logits, "remote vs in-process sharded");
+            assert_eq!(remote_logits, unsharded_logits, "remote vs unsharded");
+        }
+        assert_eq!(cache_r, cache_u, "KV histories must match bit for bit");
+        let health = remote.heartbeat();
+        assert_eq!(health.live_per_shard, vec![1, 1, 1]);
+        assert!(health.serviceable());
+        assert!(remote.take_events().is_empty(), "no failures, no events");
+        remote.shutdown_workers();
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+    }
+
+    #[test]
+    fn dead_replica_fails_over_and_replays_invisibly() {
+        let model = packed_tiny(12);
+        let cfg = model.config().clone();
+        // 2 shards x 2 replicas: four workers, two per group.
+        let (flat, handles) = spawn_worker_threads(4);
+        let addrs = vec![
+            vec![flat[0][0].clone(), flat[1][0].clone()],
+            vec![flat[2][0].clone(), flat[3][0].clone()],
+        ];
+        let remote = RemoteShardedModel::connect(&model, &addrs).expect("connect");
+        let mut cache_r = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let mut cache_u = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let mut scratch = KernelScratch::new();
+        let step1 = remote.forward_step_batch_with(&[1, 2], &[0, 1], &mut cache_r, &mut scratch);
+        assert_eq!(step1, model.forward_step_batch(&[1, 2], &[0, 1], &mut cache_u));
+        // Kill shard 0's primary out from under the coordinator: drop its
+        // connection by shutting down the socket worker-side via a bogus
+        // frame (the worker drops corrupted connections).
+        {
+            let mut st = remote.state.lock().expect("state");
+            let conn = st.groups[0].replicas[0].conn.as_mut().expect("live");
+            conn.shutdown().expect("shutdown primary connection");
+        }
+        let step2 = remote.forward_step_batch_with(&[3, 4], &[0, 1], &mut cache_r, &mut scratch);
+        assert_eq!(
+            step2,
+            model.forward_step_batch(&[3, 4], &[0, 1], &mut cache_u),
+            "failover mid-step must be output-invisible"
+        );
+        assert_eq!(cache_r, cache_u, "KV history unaffected by the replay");
+        let events = remote.take_events();
+        assert!(
+            events.iter().any(|e| matches!(e, WorkerEvent::WorkerDied { shard: 0, .. })),
+            "death must be recorded: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, WorkerEvent::FailedOver { shard: 0, to_replica: 1, .. })),
+            "failover must be recorded: {events:?}"
+        );
+        let health = remote.heartbeat();
+        assert_eq!(health.live_per_shard, vec![1, 2]);
+        assert_eq!(health.dead, 1);
+        remote.shutdown_workers();
+        // The "dead" replica's worker is healthy and back in accept();
+        // stop it directly so its thread can be joined.
+        let mut conn = Stream::connect(&flat[0][0]).expect("reconnect to abandoned worker");
+        write_frame(&mut conn, KIND_SHUTDOWN, &[]).expect("stop abandoned worker");
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+    }
+
+    #[test]
+    fn worker_rejects_malformed_requests_with_typed_errors() {
+        let mut worker = Worker::new();
+        // Unknown kind.
+        let WorkerReply::Frame(kind, msg) = worker.handle(0x99, &[]).expect("handled") else {
+            panic!("expected a frame reply");
+        };
+        assert_eq!(kind, KIND_ERROR);
+        assert!(String::from_utf8_lossy(&msg).contains("unknown frame kind"));
+        // Gather before load.
+        let req = encode_gather(7, &Matrix::zeros(1, 4));
+        let WorkerReply::Frame(kind, msg) = worker.handle(KIND_GATHER, &req).expect("handled")
+        else {
+            panic!("expected a frame reply");
+        };
+        assert_eq!(kind, KIND_ERROR);
+        assert!(String::from_utf8_lossy(&msg).contains("unloaded site"));
+        // Corrupt envelope.
+        let WorkerReply::Frame(kind, msg) =
+            worker.handle(KIND_LOAD, b"not an envelope").expect("handled")
+        else {
+            panic!("expected a frame reply");
+        };
+        assert_eq!(kind, KIND_ERROR);
+        assert!(String::from_utf8_lossy(&msg).contains("rejected"));
+        // Truncated gather payload.
+        let WorkerReply::Frame(kind, _) = worker.handle(KIND_GATHER, &req[..6]).expect("handled")
+        else {
+            panic!("expected a frame reply");
+        };
+        assert_eq!(kind, KIND_ERROR);
+        assert_eq!(worker.loaded_sites(), 0);
+    }
+
+    #[test]
+    fn worker_partial_matches_local_slice_product() {
+        let model = packed_tiny(13);
+        let plan = ShardPlan::new(&model, 2);
+        let sp = plan.site(0, WeightSite::FfnUp);
+        let (start, end) = sp.range(1);
+        let p = model.weight(0, WeightSite::FfnUp).as_packed().expect("packed");
+        let header = ShardHeader {
+            shard_index: 1,
+            n_shards: 2,
+            site_id: site_id(0, WeightSite::FfnUp),
+            row_start: start as u32,
+            total_rows: sp.rows as u32,
+        };
+        let envelope = shard_to_bytes(&p.slice_rows(start, end), &header);
+        let mut worker = Worker::new();
+        let WorkerReply::Frame(kind, ack) = worker.handle(KIND_LOAD, &envelope).expect("load")
+        else {
+            panic!("expected LOADED");
+        };
+        assert_eq!((kind, get_u32(&ack, 0).expect("ack")), (KIND_LOADED, header.site_id));
+        let mut rng = Rng::seed_from(5);
+        let a = Matrix::from_fn(3, sp.cols, |_, _| rng.normal(0.0, 1.0));
+        let WorkerReply::Frame(kind, reply) =
+            worker.handle(KIND_GATHER, &encode_gather(header.site_id, &a)).expect("gather")
+        else {
+            panic!("expected PARTIAL");
+        };
+        assert_eq!(kind, KIND_PARTIAL);
+        // The partial equals the matching columns of the local gather.
+        let local = ShardedModel::new(&model, 2);
+        let mut full = Matrix::zeros(3, sp.rows);
+        let mut scratch = KernelScratch::new();
+        matmul_t_sharded_into(
+            local.site_slices(0, WeightSite::FfnUp),
+            &a,
+            &mut full,
+            &mut scratch,
+            None,
+        );
+        let rows = end - start;
+        let data = get_f32s(&reply, 16, 3 * rows).expect("payload");
+        for t in 0..3 {
+            assert_eq!(
+                &data[t * rows..(t + 1) * rows],
+                &full.row(t)[start..end],
+                "row {t} partial must be bit-identical to the in-process gather"
+            );
+        }
+    }
+}

@@ -734,6 +734,16 @@ pub type BatchScheduler = Scheduler<Transformer>;
 /// any shard count (asserted by tests and gated in CI).
 pub type ShardedScheduler = Scheduler<ShardedModel>;
 
+/// The multi-process scheduler: a [`Scheduler`] over a
+/// [`RemoteShardedModel`](crate::remote::RemoteShardedModel) — each step's
+/// linear sites broadcast activations to remote worker processes over the
+/// checksummed frame protocol and gather their partial outputs, with
+/// replica failover replaying any in-flight request. Output is
+/// **bit-identical** to [`BatchScheduler`] for the same requests at any
+/// shard and replica count, worker crashes included (the `distributed-gate`
+/// CI job enforces this with real subprocesses).
+pub type DistributedScheduler = Scheduler<crate::remote::RemoteShardedModel>;
+
 impl<M: ServeModel> Scheduler<M> {
     /// A scheduler owning `model` with `max_batch` concurrent sequence
     /// slots.
@@ -990,6 +1000,13 @@ impl<M: ServeModel> Scheduler<M> {
 
 impl Scheduler<ShardedModel> {
     /// Worker shards serving each weight site.
+    pub fn n_shards(&self) -> usize {
+        self.model.n_shards()
+    }
+}
+
+impl Scheduler<crate::remote::RemoteShardedModel> {
+    /// Worker shard groups serving each weight site.
     pub fn n_shards(&self) -> usize {
         self.model.n_shards()
     }

@@ -1,0 +1,183 @@
+//! Bench-trend diff: compare a fresh `BENCH_packed.json` against the
+//! committed one and flag throughput drift **before** a gate trips.
+//!
+//! ```sh
+//! cargo run --release --example bench_trend -- <fresh.json> <committed.json>
+//! ```
+//!
+//! Every numeric `*_per_sec` row present in both reports is compared.
+//! A regression deeper than 10% on a row whose gate is *enforced* in the
+//! fresh report (`gate_*_enforced: true` — gates self-disable on hosts
+//! that cannot support them, e.g. thread scaling on 1 CPU) emits a GitHub
+//! `::warning` annotation; regressions on unenforced rows emit `::notice`.
+//! Always exits 0 — the trend step is an early-warning light, not a gate;
+//! the hard gates live in the bench itself.
+
+use std::collections::BTreeMap;
+
+/// The throughput rows guarded by a self-disabling gate flag in the
+/// report; rows not listed here are always treated as enforced.
+const GATED_ROWS: &[(&str, &str)] = &[
+    ("swar_gemv_weights_per_sec", "gate_swar_gemv_enforced"),
+    ("threads_tokens_per_sec.4", "gate_thread_scaling_enforced"),
+    ("paged_burst_tokens_per_sec", "gate_paged_burst_enforced"),
+];
+
+/// Regression depth that triggers an annotation.
+const THRESHOLD: f64 = 0.10;
+
+/// A minimal JSON reader for the bench report's shape: objects, strings,
+/// numbers, booleans. Numeric leaves are flattened to dotted keys
+/// (`"batched_tokens_per_sec.16"`), booleans kept by flat name.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug, Default)]
+struct Report {
+    nums: BTreeMap<String, f64>,
+    bools: BTreeMap<String, bool>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(
+            self.bytes.get(self.pos),
+            Some(&b),
+            "expected {:?} at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.pos).expect("unexpected end of report")
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let start = self.pos;
+        while self.bytes[self.pos] != b'"' {
+            assert_ne!(self.bytes[self.pos], b'\\', "escapes do not occur in bench reports");
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf-8").to_string();
+        self.pos += 1;
+        s
+    }
+
+    /// Parses any value, recording numeric/bool leaves under `prefix`.
+    fn value(&mut self, prefix: &str, out: &mut Report) {
+        match self.peek() {
+            b'{' => {
+                self.expect(b'{');
+                if self.peek() == b'}' {
+                    self.expect(b'}');
+                    return;
+                }
+                loop {
+                    let key = self.string();
+                    self.expect(b':');
+                    let path = if prefix.is_empty() { key } else { format!("{prefix}.{key}") };
+                    self.value(&path, out);
+                    if self.peek() == b',' {
+                        self.expect(b',');
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(b'}');
+            }
+            b'"' => {
+                self.string();
+            }
+            b't' => {
+                self.pos += 4;
+                out.bools.insert(prefix.to_string(), true);
+            }
+            b'f' => {
+                self.pos += 5;
+                out.bools.insert(prefix.to_string(), false);
+            }
+            _ => {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| !matches!(b, b',' | b'}' | b']') && !b.is_ascii_whitespace())
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf-8");
+                let n: f64 = text.parse().unwrap_or_else(|_| panic!("bad number {text:?}"));
+                out.nums.insert(prefix.to_string(), n);
+            }
+        }
+    }
+}
+
+fn read_report(path: &str) -> Report {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+    let mut report = Report::default();
+    Parser::new(&text).value("", &mut report);
+    report
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(fresh_path), Some(committed_path), None) = (args.next(), args.next(), args.next())
+    else {
+        eprintln!("usage: bench_trend <fresh.json> <committed.json>");
+        std::process::exit(2);
+    };
+    let fresh = read_report(&fresh_path);
+    let committed = read_report(&committed_path);
+
+    println!("bench trend vs committed ({} rows):", committed.nums.len());
+    let mut regressions = 0usize;
+    for (key, &before) in &committed.nums {
+        if !key.contains("_per_sec") || before <= 0.0 {
+            continue;
+        }
+        let Some(&after) = fresh.nums.get(key) else {
+            println!("::notice title=bench row vanished::{key} is in the committed report only");
+            continue;
+        };
+        let change = after / before - 1.0;
+        let enforced = GATED_ROWS
+            .iter()
+            .find(|(row, _)| row == key)
+            .is_none_or(|(_, flag)| fresh.bools.get(*flag).copied().unwrap_or(false));
+        let marker = if change <= -THRESHOLD { " <-- regression" } else { "" };
+        println!("  {key:<38} {before:>14.0} -> {after:>14.0}  ({:+.1}%){marker}", change * 100.0);
+        if change <= -THRESHOLD {
+            regressions += 1;
+            let level = if enforced { "warning" } else { "notice" };
+            println!(
+                "::{level} title=bench trend: {key} regressed {:.1}%::\
+                 {key} fell from {before:.0} to {after:.0} vs the committed BENCH_packed.json \
+                 ({}). Investigate before the gate trips.",
+                -change * 100.0,
+                if enforced { "enforced row" } else { "gate self-disabled on this host" },
+            );
+        }
+    }
+    if regressions == 0 {
+        println!("no throughput row regressed more than {:.0}%", THRESHOLD * 100.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Multi-process sharded serving: workers → coordinator → failover.
+//!
+//! Boots worker serving loops (in-process threads over loopback TCP —
+//! the same `serve_connection` loop the `fineq-worker` binary runs),
+//! ships each one its FNQS weight-slice envelopes, and serves a batched
+//! workload through the [`fineq::lm::RemoteShardedModel`] coordinator
+//! with 2 shards × 2 replicas. One replica is **flaky**: it drops its
+//! connection mid-run, and the demo shows the coordinator failing over
+//! to the hot spare and replaying the in-flight gather — with the final
+//! token stream still bit-identical to the in-process unsharded
+//! scheduler.
+//!
+//! ```sh
+//! cargo run --release --example distributed_serving
+//! ```
+//!
+//! For real multi-machine processes, run `fineq-worker <addr>` per
+//! replica and hand the addresses to `fineq::pipeline::serve_distributed`.
+
+use fineq::core::frame::Listener;
+use fineq::core::FineQuantizer;
+use fineq::lm::builder::{build_fitted_model, BuilderSpec};
+use fineq::lm::corpus::Corpus;
+use fineq::lm::remote::{serve_connection, Worker};
+use fineq::lm::{DistributedScheduler, RemoteShardedModel, ServeRequest};
+use fineq::pipeline::{quantize_model_packed, serve_packed_with_threads, PipelineConfig};
+use std::time::Instant;
+
+/// A worker thread serving connections forever; `drop_after` caps the
+/// frames one connection answers before the worker hangs up mid-protocol
+/// (the flaky replica).
+fn spawn_worker(drop_after: Option<u64>) -> (String, std::thread::JoinHandle<()>) {
+    let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || {
+        let mut worker = Worker::new();
+        loop {
+            let Ok(mut conn) = listener.accept() else { return };
+            let done = match drop_after {
+                None => serve_connection(&mut conn, &mut worker),
+                Some(n) => {
+                    // Answer `n` frames, then vanish without a goodbye.
+                    let mut budget = n;
+                    loop {
+                        if budget == 0 {
+                            break Ok(false);
+                        }
+                        budget -= 1;
+                        let Ok((kind, payload)) = fineq::core::read_frame(&mut conn) else {
+                            break Ok(false);
+                        };
+                        match worker.handle(kind, &payload) {
+                            Ok(fineq::lm::remote::WorkerReply::Frame(k, p)) => {
+                                if fineq::core::write_frame(&mut conn, k, &p).is_err() {
+                                    break Ok(false);
+                                }
+                            }
+                            Ok(fineq::lm::remote::WorkerReply::Shutdown) => break Ok(true),
+                            Err(_) => break Ok(false),
+                        }
+                    }
+                }
+            };
+            if matches!(done, Ok(true)) {
+                return;
+            }
+        }
+    });
+    (addr, handle)
+}
+
+fn main() {
+    let corpus = Corpus::wiki_like(64, 5);
+    eprintln!("fitting a small model ...");
+    let (model, _) = build_fitted_model(&BuilderSpec::tiny(), &corpus, 6_000, 2);
+    let q = FineQuantizer::paper();
+    let cfg = PipelineConfig::default();
+    let (packed, report) = quantize_model_packed(&model, &q, &cfg);
+
+    // 2 shards x 2 replicas. Shard 0's primary answers 40 frames, then
+    // drops the connection mid-run.
+    let (flaky_addr, _h0) = spawn_worker(Some(40));
+    let (spare_addr, _h1) = spawn_worker(None);
+    let (s1a_addr, _h2) = spawn_worker(None);
+    let (s1b_addr, _h3) = spawn_worker(None);
+    let groups = vec![vec![flaky_addr.clone(), spare_addr], vec![s1a_addr, s1b_addr]];
+    println!("serving a distributed packed model : {:.2} bits/weight", report.avg_bits);
+    println!("shard groups                       : 2 shards x 2 replicas");
+    println!("flaky replica                      : shard 0 primary ({flaky_addr})");
+
+    let remote = RemoteShardedModel::connect(&packed, &groups).expect("ship shards to workers");
+    let mut sched = DistributedScheduler::new(remote, 4);
+    let requests: Vec<ServeRequest> = (0..10u64)
+        .map(|id| {
+            let prompt = corpus.generate(4 + id as usize % 5, 40 + id).tokens().to_vec();
+            ServeRequest {
+                temperature: 0.8,
+                eos: Some(0),
+                ..ServeRequest::new(id, prompt, 8 + (id as usize % 4) * 4)
+            }
+        })
+        .collect();
+    for r in &requests {
+        sched.submit(r.clone()).expect("no KV budget configured");
+    }
+    let t0 = Instant::now();
+    let mut done = sched.run();
+    let elapsed = t0.elapsed();
+    done.sort_by_key(|f| f.id);
+
+    println!("\nfailover events during the run:");
+    let events = sched.model().take_events();
+    for e in &events {
+        println!("  {e:?}");
+    }
+    assert!(!events.is_empty(), "the flaky replica must have died mid-run");
+    let health = sched.model().heartbeat();
+    println!(
+        "health check: {} live replicas ({} dead), serviceable: {}",
+        health.live(),
+        health.dead,
+        health.serviceable()
+    );
+
+    // The oracle: the unsharded in-process scheduler, token for token.
+    let (mut reference_sched, _) = serve_packed_with_threads(&model, &q, &cfg, 4, 1);
+    for r in &requests {
+        reference_sched.submit(r.clone()).expect("no KV budget configured");
+    }
+    let mut reference = reference_sched.run();
+    reference.sort_by_key(|f| f.id);
+    assert_eq!(done, reference, "failover must be output-invisible");
+
+    println!("\nid  prompt  generated  reason");
+    for fin in &done {
+        println!(
+            "{:<3} {:<7} {:<10} {:?}",
+            fin.id,
+            fin.prompt_len,
+            fin.generated.len(),
+            fin.reason
+        );
+    }
+    println!(
+        "\n{} sequences in {:.1} ms across worker replicas; a replica died mid-run \
+         and the output still equals the in-process run token for token",
+        done.len(),
+        elapsed.as_secs_f64() * 1e3,
+    );
+    sched.model().shutdown_workers();
+}

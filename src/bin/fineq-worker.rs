@@ -1,0 +1,26 @@
+//! The `fineq-worker` process: one row-shard replica of a distributed
+//! serving deployment.
+//!
+//! Binds the address given as the single argument (`tcp:host:port` —
+//! port `0` picks a free one — or `unix:/path`), announces the bound
+//! address on stdout, then serves coordinator connections: `LOAD` frames
+//! ship FNQS weight-slice envelopes, `GATHER` frames request batched
+//! partial matmuls, `PING` health-checks, `SHUTDOWN` exits. See
+//! `fineq_lm::remote` for the protocol and the failover/replay contract.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(addr), None) = (args.next(), args.next()) else {
+        eprintln!("usage: fineq-worker <tcp:host:port | unix:/path>");
+        return ExitCode::from(2);
+    };
+    match fineq_lm::run_worker(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fineq-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,7 +9,8 @@
 
 use fineq_core::{pool::default_threads, FineQuantizer, ThreadPool};
 use fineq_lm::{
-    BatchScheduler, LinearWeight, ShardedModel, ShardedScheduler, Transformer, WeightSite,
+    BatchScheduler, DistributedScheduler, LinearWeight, RemoteShardedModel, ShardedModel,
+    ShardedScheduler, Transformer, TransportError, WeightSite,
 };
 use fineq_quant::{Calibration, QuantMetrics, QuantResult, WeightQuantizer};
 use fineq_tensor::Matrix;
@@ -347,6 +348,42 @@ pub fn serve_sharded_with_threads(
         sharded.set_thread_pool(None);
     }
     (ShardedScheduler::new(sharded, max_batch), report)
+}
+
+/// Quantizes `model` to the packed serving format, row-shards every weight
+/// site across `replica_addrs.len()` **worker processes** (shipping each
+/// replica of a shard the identical FNQS slice envelopes over the frame
+/// protocol), and wraps the coordinator in a [`DistributedScheduler`] —
+/// the one-call **multi-process** serving entry point.
+///
+/// `replica_addrs[shard]` lists the worker addresses (`tcp:host:port` or
+/// `unix:/path`, each running [`fineq_lm::run_worker`] — the
+/// `fineq-worker` binary) that replicate shard `shard`; the first is the
+/// initial primary, the rest are hot spares for failover. The scheduler's
+/// output is bit-identical to [`serve_packed`]'s for the same requests at
+/// any shard/replica count, worker crashes included, as long as every
+/// shard keeps one live replica.
+///
+/// # Errors
+///
+/// Returns the transport error if connecting to a worker or shipping its
+/// slices fails.
+///
+/// # Panics
+///
+/// Panics if the quantizer configuration is not packable, the source model
+/// is not dense, `max_batch` is zero, `replica_addrs` is empty, or any
+/// shard has no replica addresses.
+pub fn serve_distributed(
+    model: &Transformer,
+    quantizer: &FineQuantizer,
+    config: &PipelineConfig,
+    max_batch: usize,
+    replica_addrs: &[Vec<String>],
+) -> Result<(DistributedScheduler, QuantizeReport), TransportError> {
+    let (packed, report) = quantize_model_packed(model, quantizer, config);
+    let remote = RemoteShardedModel::connect(&packed, replica_addrs)?;
+    Ok((DistributedScheduler::new(remote, max_batch), report))
 }
 
 #[cfg(test)]
