@@ -42,13 +42,19 @@
 //!   sit measurably below per-copy accounting, and all three scheduling
 //!   policies must produce the identical token stream (enforced on every
 //!   host — preemption and sharing are execution configuration, never
-//!   semantics).
+//!   semantics);
+//! * chaos failover: the gate workload served through a replicated
+//!   coordinator whose primary connection is cut mid-run by a scripted
+//!   fault proxy must reproduce the unsharded output hash exactly, and
+//!   the death/failover/rejoin/retry counters (recorded as rows) must
+//!   each show the recovery actually happened (enforced on every host —
+//!   robustness is semantics, not throughput).
 
-use fineq::core::{FineQuantizer, ThreadPool};
+use fineq::core::{FaultPlan, FaultProxy, FaultScript, FineQuantizer, ThreadPool};
 use fineq::lm::builder::{llm_like_matrix, BuilderSpec};
 use fineq::lm::{
-    BatchKvCache, BatchScheduler, KvCache, ModelConfig, ServeRequest, ShardedModel,
-    ShardedScheduler, Transformer, WeightSite,
+    run_worker_with, BatchKvCache, BatchScheduler, DistributedScheduler, KvCache, ModelConfig,
+    RemoteShardedModel, ServeRequest, ShardedModel, ShardedScheduler, Transformer, WeightSite,
 };
 use fineq::tensor::{Matrix, Rng};
 use fineq_bench::report::{JsonValue, Report};
@@ -228,6 +234,24 @@ fn submit_gate_workload(vocab: usize, mut submit: impl FnMut(ServeRequest)) {
             ..ServeRequest::new(id, prompt, 6 + id as usize % 3)
         });
     }
+}
+
+/// One in-process worker serving a Unix socket in the temp dir — the
+/// chaos section's replica substrate (same protocol code paths as the
+/// `fineq-worker` binary, without subprocess spawn cost).
+fn spawn_unix_worker(tag: &str) -> (String, std::thread::JoinHandle<()>) {
+    let path = std::env::temp_dir().join(format!("fineq-bench-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let addr = format!("unix:{}", path.display());
+    let worker_addr = addr.clone();
+    let handle = std::thread::spawn(move || {
+        run_worker_with(&worker_addr, Some(std::time::Duration::from_secs(10)))
+            .expect("chaos bench worker");
+    });
+    while !path.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    (addr, handle)
 }
 
 /// A copy of `model` executing with `threads` kernel threads (no pool at
@@ -424,6 +448,60 @@ fn main() {
         );
     }
 
+    section("chaos failover gate (scripted fault proxy, runs on any host)");
+    // One shard, two replicas, primary fronted by a proxy that cuts the
+    // connection once the LOAD envelopes plus a step or two of gather
+    // traffic have passed — the fault deterministically lands mid-run.
+    // The coordinator must fail over, replay, rejoin the cut replica
+    // through the proxy's clean second connection, and reproduce the
+    // unsharded output hash bit for bit.
+    let shard_bytes = ShardedModel::new(&packed, 1).shard_weight_bytes(0);
+    let cut_after = shard_bytes + 60_000;
+    let (primary_addr, primary_handle) = spawn_unix_worker("chaos-0");
+    let (spare_addr, spare_handle) = spawn_unix_worker("chaos-1");
+    let proxy = FaultProxy::spawn(
+        &primary_addr,
+        FaultPlan::first_connection(FaultScript::cut_after(cut_after)),
+    )
+    .expect("spawn chaos proxy");
+    let chaos_health = {
+        let remote = RemoteShardedModel::connect(
+            &packed,
+            &[vec![proxy.addr().to_string(), spare_addr.clone()]],
+        )
+        .expect("connect through the chaos proxy");
+        let mut sched = DistributedScheduler::new(remote, 4);
+        submit_gate_workload(packed.config().vocab, |r| {
+            sched.submit(r).expect("no KV budget configured");
+        });
+        let h = finished_hash(sched.run());
+        assert!(sched.take_failed().is_empty(), "a surviving replica must mask the fault");
+        let th = sched.stats().transport.expect("distributed scheduler exposes transport");
+        println!(
+            "   cut primary at byte {cut_after}: hash {h:016x}  {}",
+            if h == unsharded_hash { "== unsharded" } else { "MISMATCH" }
+        );
+        println!(
+            "   deaths {}, failovers {}, rejoins {}, retry attempts {}, timeouts {}",
+            th.deaths, th.failovers, th.rejoins, th.retry_attempts, th.timeouts
+        );
+        sched.model().shutdown_workers();
+        (h, th)
+    };
+    proxy.stop();
+    // Belt and braces: if a replica was dead at shutdown time, stop its
+    // worker directly so the joins below cannot wedge the bench.
+    for addr in [&primary_addr, &spare_addr] {
+        if let Ok(mut conn) = fineq::core::frame::Stream::connect(addr) {
+            const KIND_SHUTDOWN: u8 = 7;
+            let _ = fineq::core::frame::write_frame(&mut conn, KIND_SHUTDOWN, &[]);
+        }
+    }
+    primary_handle.join().expect("chaos primary worker");
+    spare_handle.join().expect("chaos spare worker");
+    let (chaos_hash, chaos_th) = chaos_health;
+    let chaos_matches_unsharded = chaos_hash == unsharded_hash;
+
     section("paged-KV burst (shared-prefix prompts through a tight page pool)");
     let plan = fineq::lm::ServingMemory::from_model(&packed, 1e12);
     let burst = burst_requests(packed.config().vocab);
@@ -528,6 +606,12 @@ fn main() {
         .push_obj("sharded_batch16_tokens_per_sec", sharded_entries)
         .push("sharded_output_hash", format!("{unsharded_hash:016x}").as_str())
         .push("gate_sharded_matches_unsharded", sharded_hashes_equal)
+        .push("chaos_deaths", chaos_th.deaths as usize)
+        .push("chaos_failovers", chaos_th.failovers as usize)
+        .push("chaos_rejoins", chaos_th.rejoins as usize)
+        .push("chaos_retry_attempts", chaos_th.retry_attempts as usize)
+        .push("chaos_timeouts", chaos_th.timeouts as usize)
+        .push("gate_chaos_matches_unsharded", chaos_matches_unsharded)
         .push("paged_burst_tokens_per_sec", paged_burst_tps)
         .push("fifo_burst_tokens_per_sec", fifo_burst_tps)
         .push("kv_bytes_saved_by_sharing", kv_bytes_saved.max(0) as usize)
@@ -594,6 +678,22 @@ fn main() {
         "sharded serving output diverged from the unsharded scheduler \
          (reference hash {unsharded_hash:016x})"
     );
+    // Chaos gates: a cut primary must be output-invisible with a spare
+    // alive, and the recovery machinery must demonstrably have run.
+    // Deterministic — enforced on every host.
+    assert!(
+        chaos_matches_unsharded,
+        "chaos failover output diverged from the unsharded scheduler \
+         ({chaos_hash:016x} vs {unsharded_hash:016x})"
+    );
+    assert!(
+        chaos_th.deaths >= 1 && chaos_th.failovers >= 1,
+        "the scripted cut must have caused a death and a failover: {chaos_th:?}"
+    );
+    assert!(
+        chaos_th.rejoins >= 1 && chaos_th.retry_attempts >= 1,
+        "the cut replica must have rejoined through the healed proxy: {chaos_th:?}"
+    );
     // Paged-KV determinism and accounting gates: scheduling policy is
     // execution configuration, never semantics, and the shared-prefix
     // bytes saved must be real. All deterministic — enforced on any host.
@@ -623,6 +723,7 @@ fn main() {
     println!(
         "packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16, \
          {thread_scaling:.2}x at 4 threads, {swar_gemv_speedup:.2}x SWAR GEMV, \
-         {paged_burst_speedup:.2}x paged burst, sharded output bit-identical)"
+         {paged_burst_speedup:.2}x paged burst, sharded and chaos-failover output \
+         bit-identical)"
     );
 }

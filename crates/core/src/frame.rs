@@ -60,6 +60,10 @@ pub enum FrameError {
     TooLarge(u32),
     /// Kind, length or payload bytes do not match the header checksum.
     BadChecksum,
+    /// A read or write deadline armed via [`Stream::set_read_timeout`] /
+    /// [`Stream::set_write_timeout`] expired before the frame completed.
+    /// A hung peer surfaces here instead of blocking forever.
+    TimedOut,
     /// The underlying stream failed.
     Io(io::Error),
 }
@@ -74,6 +78,7 @@ impl std::fmt::Display for FrameError {
                 write!(f, "frame payload length {len} exceeds the {MAX_FRAME_PAYLOAD} cap")
             }
             FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::TimedOut => write!(f, "frame deadline expired"),
             FrameError::Io(e) => write!(f, "stream I/O error: {e}"),
         }
     }
@@ -90,7 +95,13 @@ impl std::error::Error for FrameError {
 
 impl From<io::Error> for FrameError {
     fn from(e: io::Error) -> Self {
-        FrameError::Io(e)
+        // Socket deadlines surface as `WouldBlock` (Unix `SO_RCVTIMEO`)
+        // or `TimedOut` depending on platform; both mean the armed
+        // deadline expired, which callers must be able to match on.
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+            _ => FrameError::Io(e),
+        }
     }
 }
 
@@ -129,12 +140,14 @@ pub fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`FrameError::Io`] when the stream fails.
-///
-/// # Panics
-///
-/// As [`frame_bytes`].
+/// Returns [`FrameError::TooLarge`] — before emitting a single byte —
+/// for a payload over [`MAX_FRAME_PAYLOAD`], which no peer would accept;
+/// [`FrameError::TimedOut`] when an armed write deadline expires; and
+/// [`FrameError::Io`] when the stream fails.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err(FrameError::TooLarge(u32::try_from(payload.len()).unwrap_or(u32::MAX)));
+    }
     w.write_all(&frame_bytes(kind, payload))?;
     w.flush()?;
     Ok(())
@@ -156,7 +169,7 @@ fn fill(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), Fram
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
+            Err(e) => return Err(e.into()),
         }
     }
     Ok(())
@@ -234,6 +247,75 @@ impl Stream {
             let _ = path;
         }
         Err(bad_addr(addr))
+    }
+
+    /// Connects to `addr` like [`Stream::connect`], but gives up after
+    /// `timeout` instead of waiting on the platform's (much longer)
+    /// connect timeout. For `unix:` paths connect is local and
+    /// effectively instant, so the plain connect is used.
+    ///
+    /// # Errors
+    ///
+    /// As [`Stream::connect`], plus `TimedOut` when the deadline expires
+    /// and `InvalidInput` when the host resolves to no address.
+    pub fn connect_timeout(addr: &str, timeout: std::time::Duration) -> io::Result<Self> {
+        if let Some(hostport) = addr.strip_prefix("tcp:") {
+            use std::net::ToSocketAddrs;
+            let sock = hostport
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+            let s = TcpStream::connect_timeout(&sock, timeout)?;
+            s.set_nodelay(true)?;
+            return Ok(Stream::Tcp(s));
+        }
+        Self::connect(addr)
+    }
+
+    /// Arms a deadline on every subsequent read: a blocked read returns
+    /// after `timeout` and [`read_frame`] surfaces it as
+    /// [`FrameError::TimedOut`]. `None` disarms. A zero duration is
+    /// rejected by std — pass `None` to block forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `set_read_timeout` error.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Arms a deadline on every subsequent write, the mirror of
+    /// [`Stream::set_read_timeout`]: a peer that stops draining its
+    /// socket surfaces as [`FrameError::TimedOut`] instead of blocking
+    /// [`write_frame`] forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `set_write_timeout` error.
+    pub fn set_write_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+
+    /// Clones the handle: both values refer to the same connection (the
+    /// fault-injection proxy uses one per relay direction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `try_clone` error.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
     }
 
     /// Shuts down both directions of the connection.
@@ -544,6 +626,54 @@ mod tests {
             server.join().expect("server thread");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_on_the_write_side_before_any_bytes() {
+        // Zero-filled and never touched: the cap check fires before the
+        // frame is materialized, so this does not commit 1 GiB of pages.
+        let payload = vec![0u8; MAX_FRAME_PAYLOAD as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, 1, &payload).expect_err("over-cap payload must not frame");
+        assert!(matches!(err, FrameError::TooLarge(len) if len == MAX_FRAME_PAYLOAD + 1));
+        assert!(sink.is_empty(), "no bytes may reach the wire");
+    }
+
+    #[test]
+    fn read_deadline_surfaces_as_timed_out_and_disarms() {
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            // Answer only after the client has observed one timeout.
+            let (kind, payload) = read_frame(&mut conn).expect("server read");
+            write_frame(&mut conn, kind, &payload).expect("server write");
+        });
+        let mut client = Stream::connect(&addr).expect("connect");
+        client.set_read_timeout(Some(std::time::Duration::from_millis(30))).expect("arm deadline");
+        // Nothing sent yet: the read must come back TimedOut, not hang.
+        assert!(matches!(read_frame(&mut client), Err(FrameError::TimedOut)));
+        client.set_read_timeout(None).expect("disarm deadline");
+        write_frame(&mut client, 3, b"late").expect("client write");
+        assert_eq!(read_frame(&mut client).expect("client read"), (3, b"late".to_vec()));
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn cloned_stream_handles_share_one_connection() {
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            let (kind, payload) = read_frame(&mut conn).expect("server read");
+            write_frame(&mut conn, kind, &payload).expect("server write");
+        });
+        let client = Stream::connect(&addr).expect("connect");
+        let mut writer = client.try_clone().expect("clone handle");
+        let mut reader = client;
+        write_frame(&mut writer, 6, b"via clone").expect("write on clone");
+        assert_eq!(read_frame(&mut reader).expect("read on original"), (6, b"via clone".to_vec()));
+        server.join().expect("server thread");
     }
 
     #[test]

@@ -41,20 +41,24 @@
 
 pub mod cluster;
 pub mod encoding;
+pub mod fault;
 pub mod frame;
 pub mod kernels;
 pub mod pack;
 pub mod pool;
 pub mod quantizer;
+pub mod retry;
 pub mod serialize;
 pub mod stats;
 
 pub use cluster::{split_channel, Cluster};
 pub use encoding::ClusterCode;
+pub use fault::{FaultAction, FaultPlan, FaultProxy, FaultScript, FaultStream};
 pub use frame::{read_frame, write_frame, FrameError, Listener, Stream};
 pub use kernels::{decode_block_swar, matmul_t_sharded_into, matvec_sharded_into, KernelScratch};
 pub use pack::{block_data_word, block_index_byte, PackedChannel, PackedMatrix};
 pub use pool::ThreadPool;
 pub use quantizer::{FineQConfig, FineQuantizer};
+pub use retry::RetryPolicy;
 pub use serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};
 pub use stats::ClusterStats;

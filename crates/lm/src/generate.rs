@@ -729,8 +729,15 @@ pub(crate) fn attend_batch(
 /// engines arithmetically identical **by construction** — the only thing
 /// an engine chooses is how a linear site executes (fused in-place
 /// kernels vs broadcast + shard-parallel gather).
+///
+/// `site_forward` is fallible so a distributed engine can abort the step
+/// when a shard group dies; an `Err` propagates out **before**
+/// `commit_step` runs, so the cache never holds a half-stepped state —
+/// callers recover with `reset_slot` alone. In-process engines use an
+/// infallible closure (`E = Infallible`-like: any error type, never
+/// constructed) and unwrap.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn batched_step_body(
+pub(crate) fn batched_step_body<E>(
     cfg: &ModelConfig,
     embedding: &Matrix,
     head: &Matrix,
@@ -738,8 +745,8 @@ pub(crate) fn batched_step_body(
     slots: &[usize],
     cache: &mut BatchKvCache,
     pool: Option<&fineq_core::ThreadPool>,
-    mut site_forward: impl FnMut(usize, WeightSite, &Matrix) -> Matrix,
-) -> Matrix {
+    mut site_forward: impl FnMut(usize, WeightSite, &Matrix) -> Result<Matrix, E>,
+) -> Result<Matrix, E> {
     validate_batch_step(cfg, tokens, slots, cache);
     // Reserve every slot's write target up front (fresh pages, CoW tail
     // copies): all pool mutation is serial and done before any layer's
@@ -756,17 +763,17 @@ pub(crate) fn batched_step_body(
     for l in 0..cfg.n_layers {
         // ---- attention ----
         let x = rmsnorm_rows(&h);
-        let q = site_forward(l, WeightSite::AttnQ, &x);
-        let k = site_forward(l, WeightSite::AttnK, &x);
-        let v = site_forward(l, WeightSite::AttnV, &x);
+        let q = site_forward(l, WeightSite::AttnQ, &x)?;
+        let k = site_forward(l, WeightSite::AttnK, &x)?;
+        let v = site_forward(l, WeightSite::AttnV, &x)?;
         let mut ctx = Matrix::zeros(b, d);
         attend_batch(cfg, l, &q, &k, &v, slots, cache, &mut ctx, pool);
-        let attn_out = site_forward(l, WeightSite::AttnO, &ctx);
+        let attn_out = site_forward(l, WeightSite::AttnO, &ctx)?;
         h.add_in_place(&attn_out);
 
         // ---- FFN ----
         let x2 = rmsnorm_rows(&h);
-        let mut mid = site_forward(l, WeightSite::FfnUp, &x2);
+        let mut mid = site_forward(l, WeightSite::FfnUp, &x2)?;
         match cfg.activation {
             Activation::Relu => {
                 mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::relu(*m))
@@ -775,11 +782,11 @@ pub(crate) fn batched_step_body(
                 mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::silu(*m))
             }
         }
-        let ffn_out = site_forward(l, WeightSite::FfnDown, &mid);
+        let ffn_out = site_forward(l, WeightSite::FfnDown, &mid)?;
         h.add_in_place(&ffn_out);
     }
     cache.commit_step(slots, tokens);
-    rmsnorm_rows(&h).matmul_transpose(head)
+    Ok(rmsnorm_rows(&h).matmul_transpose(head))
 }
 
 /// Row-vector * transposed-matrix helper: `y = x @ Wᵀ` for one position.
@@ -932,7 +939,7 @@ impl Transformer {
         // loops — and the per-slot attention loop — across workers without
         // touching per-sequence arithmetic.
         let pool = self.pool_ref();
-        batched_step_body(
+        batched_step_body::<std::convert::Infallible>(
             self.config(),
             self.embedding(),
             self.head(),
@@ -940,8 +947,9 @@ impl Transformer {
             slots,
             cache,
             pool,
-            |l, site, a| self.weight(l, site).matmul_t_with(a, scratch, pool),
+            |l, site, a| Ok(self.weight(l, site).matmul_t_with(a, scratch, pool)),
         )
+        .unwrap_or_else(|e| match e {})
     }
 
     /// Autoregressive generation: feeds `prompt`, then samples

@@ -77,10 +77,12 @@ pub use generate::{BatchKvCache, KvCache, PAGE_TOKENS};
 pub use memory::ServingMemory;
 pub use model::{LinearWeight, Transformer, WeightSite};
 pub use remote::{
-    run_worker, HealthReport, RemoteShardedModel, TransportError, Worker, WorkerEvent,
+    run_worker, run_worker_with, HealthReport, RemoteShardedModel, TransportConfig, TransportError,
+    TransportHealth, Worker, WorkerEvent,
 };
 pub use serving::{
-    AdmissionError, BatchScheduler, DistributedScheduler, FinishReason, FinishedSequence,
-    PreemptionEvent, Scheduler, SchedulerStats, ServeModel, ServeRequest, ShardedScheduler,
+    AdmissionError, BatchScheduler, DistributedScheduler, FailedSequence, FinishReason,
+    FinishedSequence, PreemptionEvent, Scheduler, SchedulerStats, ServeModel, ServeRequest,
+    ShardedScheduler, StepError,
 };
 pub use shard::{ShardPlan, ShardedModel, SitePlan};

@@ -53,19 +53,43 @@
 //! in-process unsharded [`crate::serving::BatchScheduler`] run exactly —
 //! the oracle `tests/distributed_serving.rs` and the `distributed-gate`
 //! CI job enforce, kill included.
+//!
+//! ## Deadlines, retry and rejoin
+//!
+//! Every coordinator operation — connect, LOAD, gather, heartbeat —
+//! carries a per-operation deadline from [`TransportConfig`], armed on
+//! the socket via [`Stream::set_read_timeout`] / `set_write_timeout`, so
+//! a replica that *hangs* surfaces as [`FrameError::TimedOut`] and takes
+//! the identical failover path as one that dies. Dead replicas are not
+//! gone for good: a [`RetryPolicy`] (capped exponential backoff with
+//! deterministic seeded jitter — no `SystemTime` in any decision) gates
+//! background reconnect probes, ticked once per gather or heartbeat.
+//! On success the coordinator re-ships the **identical FNQS envelope
+//! bytes** it kept from setup and the replica returns to the group as a
+//! hot spare ([`WorkerEvent::Rejoined`]); the primary does not move, so
+//! a healed partition restores capacity without perturbing routing.
+//! When a gather finds a whole group dead it makes a bounded number of
+//! *blocking* recovery attempts (the policy's `max_attempts`), then
+//! returns [`TransportError::NoLiveReplica`] instead of panicking — the
+//! scheduler above fails only the affected in-flight requests and keeps
+//! serving. [`RemoteShardedModel::transport_health`] exposes the
+//! counters (deaths, failovers, rejoins, retries, timeouts) that
+//! `SchedulerStats` republishes.
 
 use crate::config::ModelConfig;
 use crate::generate::{batched_step_body, BatchKvCache};
 use crate::model::{Transformer, WeightSite};
-use crate::serving::ServeModel;
+use crate::serving::{ServeModel, StepError};
 use crate::shard::{site_id, ShardPlan};
 use fineq_core::frame::{read_frame, write_frame, FrameError, Listener, Stream};
+use fineq_core::retry::RetryPolicy;
 use fineq_core::serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};
 use fineq_core::{matmul_t_sharded_into, KernelScratch, PackedMatrix};
 use fineq_tensor::Matrix;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Frame kind: ship one FNQS shard envelope to a worker.
 pub const KIND_LOAD: u8 = 1;
@@ -85,6 +109,67 @@ pub const KIND_SHUTDOWN: u8 = 7;
 /// Frame kind: worker-side rejection of a well-framed but malformed
 /// request (payload is a utf-8 message).
 pub const KIND_ERROR: u8 = 0xEE;
+
+/// Per-operation deadlines and the retry policy of a coordinator.
+///
+/// Each field bounds one protocol operation end to end; a deadline of
+/// zero disarms that bound (block forever — useful under a debugger,
+/// never in production). The defaults are generous enough that a
+/// healthy LAN deployment never trips them, while a hung worker is
+/// detected within one gather deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Deadline for establishing one TCP connection to a replica.
+    pub connect_timeout: Duration,
+    /// Read/write deadline while shipping LOAD envelopes and awaiting
+    /// each LOADED ack (envelopes are large; gathers are not).
+    pub load_timeout: Duration,
+    /// Read/write deadline for one gather send or one partial reply.
+    pub gather_timeout: Duration,
+    /// Read/write deadline for one PING/PONG round trip.
+    pub heartbeat_timeout: Duration,
+    /// Backoff schedule for reconnecting dead replicas: background
+    /// rejoin probes are tick-gated by it, and `max_attempts` bounds the
+    /// blocking recovery a single gather may attempt when a whole group
+    /// is dead before surfacing [`TransportError::NoLiveReplica`].
+    pub retry: RetryPolicy,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            connect_timeout: Duration::from_secs(5),
+            load_timeout: Duration::from_secs(60),
+            gather_timeout: Duration::from_secs(30),
+            heartbeat_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Cumulative transport robustness counters of a coordinator, snapshot
+/// by [`RemoteShardedModel::transport_health`] and republished through
+/// `SchedulerStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportHealth {
+    /// Replicas currently connected.
+    pub live_replicas: usize,
+    /// Replicas currently dead (awaiting rejoin).
+    pub dead_replicas: usize,
+    /// Times any replica was marked dead.
+    pub deaths: u64,
+    /// Times a group's primary moved to a spare.
+    pub failovers: u64,
+    /// Times a dead replica reconnected and was re-shipped its slices.
+    pub rejoins: u64,
+    /// Reconnect attempts made (successful or not).
+    pub retry_attempts: u64,
+    /// Deaths caused specifically by an expired deadline.
+    pub timeouts: u64,
+    /// The gather deadline currently armed on live connections, in
+    /// milliseconds (0 = unbounded).
+    pub deadline_ms: u64,
+}
 
 /// Errors crossing the coordinator/worker transport.
 #[derive(Debug)]
@@ -320,13 +405,28 @@ pub fn serve_connection(conn: &mut Stream, worker: &mut Worker) -> Result<bool, 
 /// `unix:/path`), announces the bound address on stdout, and serves
 /// coordinator connections one at a time until a `SHUTDOWN` frame.
 /// Loaded slices survive a dropped connection, so a coordinator may
-/// reconnect without re-shipping weights.
+/// reconnect without re-shipping weights. On a clean SHUTDOWN exit a
+/// Unix socket file is removed rather than left for the next bind.
 ///
 /// # Errors
 ///
 /// Returns bind/accept failures; per-connection stream errors are logged
 /// to stderr and the worker accepts the next connection.
 pub fn run_worker(addr: &str) -> Result<(), TransportError> {
+    run_worker_with(addr, None)
+}
+
+/// [`run_worker`] with an optional per-connection idle deadline: a
+/// connection that sends nothing for `idle_timeout` is dropped and the
+/// worker returns to `accept`. Because a worker serves one connection at
+/// a time, this is what lets a *rejoining* coordinator get through when
+/// the previous coordinator vanished without closing its socket —
+/// without it, one hung peer wedges the worker forever.
+///
+/// # Errors
+///
+/// As [`run_worker`].
+pub fn run_worker_with(addr: &str, idle_timeout: Option<Duration>) -> Result<(), TransportError> {
     let listener = Listener::bind(addr).map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
     let bound = listener.local_addr().unwrap_or_else(|_| addr.to_string());
     // The parent process parses this line to learn an OS-assigned port.
@@ -335,8 +435,18 @@ pub fn run_worker(addr: &str) -> Result<(), TransportError> {
     let mut worker = Worker::new();
     loop {
         let mut conn = listener.accept().map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
+        if let Some(t) = idle_timeout {
+            let _ = conn.set_read_timeout(Some(t));
+            let _ = conn.set_write_timeout(Some(t));
+        }
         match serve_connection(&mut conn, &mut worker) {
-            Ok(true) => return Ok(()),
+            Ok(true) => {
+                // Clean exit: do not leave a stale socket file behind.
+                if let Some(path) = bound.strip_prefix("unix:") {
+                    let _ = std::fs::remove_file(path);
+                }
+                return Ok(());
+            }
             Ok(false) => {}
             Err(e) => eprintln!("fineq-worker: dropping connection: {e}"),
         }
@@ -367,6 +477,17 @@ pub enum WorkerEvent {
         /// New primary replica index.
         to_replica: usize,
     },
+    /// A dead replica reconnected, was re-shipped its slice envelopes,
+    /// and is back in the group as a hot spare (the primary is
+    /// unchanged).
+    Rejoined {
+        /// Shard whose group regained the replica.
+        shard: usize,
+        /// Index of the rejoined replica within the group.
+        replica: usize,
+        /// The replica's address.
+        addr: String,
+    },
 }
 
 /// Liveness snapshot returned by [`RemoteShardedModel::heartbeat`].
@@ -374,8 +495,13 @@ pub enum WorkerEvent {
 pub struct HealthReport {
     /// Replicas that answered the ping, per shard.
     pub live_per_shard: Vec<usize>,
-    /// Total replicas marked dead (cumulative, all shards).
+    /// Replicas currently dead across all shards (rejoined replicas no
+    /// longer count).
     pub dead: usize,
+    /// Each group's current primary replica index — after a failover
+    /// this points at the promoted spare, and a rejoined ex-primary
+    /// shows up as live *without* moving it back.
+    pub primary_per_shard: Vec<usize>,
 }
 
 impl HealthReport {
@@ -394,16 +520,79 @@ struct Replica {
     addr: String,
     /// `None` once the replica is marked dead.
     conn: Option<Stream>,
+    /// Failed reconnect attempts since the replica died.
+    attempts: u32,
+    /// Earliest tick at which the next background rejoin probe may run.
+    next_attempt_tick: u64,
 }
 
 struct Group {
     replicas: Vec<Replica>,
     primary: usize,
+    /// The shard's FNQS slice envelopes, byte-identical to what setup
+    /// shipped — re-shipped verbatim on rejoin so a returning replica is
+    /// indistinguishable from one that never left.
+    envelopes: Vec<Vec<u8>>,
 }
 
 struct RemoteState {
     groups: Vec<Group>,
     events: Vec<WorkerEvent>,
+    /// Retry clock: one tick per gather or heartbeat — rejoin pacing
+    /// without a wall clock.
+    tick: u64,
+    deaths: u64,
+    failovers: u64,
+    rejoins: u64,
+    retry_attempts: u64,
+    timeouts: u64,
+}
+
+/// Arms both stream deadlines (zero disarms — block forever).
+fn arm_deadline(conn: &Stream, t: Duration) -> Result<(), TransportError> {
+    let t = if t.is_zero() { None } else { Some(t) };
+    conn.set_read_timeout(t).map_err(FrameError::Io)?;
+    conn.set_write_timeout(t).map_err(FrameError::Io)?;
+    Ok(())
+}
+
+/// Connects to one replica and ships it the shard's envelopes: the whole
+/// setup (and rejoin) handshake under its deadlines. On success the
+/// connection is armed with the steady-state gather deadline.
+fn connect_replica(
+    addr: &str,
+    envelopes: &[Vec<u8>],
+    tc: &TransportConfig,
+) -> Result<Stream, TransportError> {
+    let mut conn = if tc.connect_timeout.is_zero() {
+        Stream::connect(addr).map_err(FrameError::from)?
+    } else {
+        Stream::connect_timeout(addr, tc.connect_timeout).map_err(FrameError::from)?
+    };
+    arm_deadline(&conn, tc.load_timeout)?;
+    for envelope in envelopes {
+        write_frame(&mut conn, KIND_LOAD, envelope)?;
+        let (kind, payload) = read_frame(&mut conn)?;
+        // site_id sits after the envelope's magic, version, shard_index
+        // and n_shards fields.
+        let expect = get_u32(envelope, 10)?;
+        match kind {
+            KIND_LOADED if get_u32(&payload, 0)? == expect => {}
+            KIND_ERROR => {
+                return Err(TransportError::Protocol(format!(
+                    "worker {addr} rejected slice: {}",
+                    String::from_utf8_lossy(&payload)
+                )))
+            }
+            other => {
+                return Err(TransportError::Protocol(format!(
+                    "worker {addr}: expected LOADED({expect}), got kind {other:#04x}"
+                )))
+            }
+        }
+    }
+    arm_deadline(&conn, tc.gather_timeout)?;
+    Ok(conn)
 }
 
 impl RemoteState {
@@ -411,6 +600,12 @@ impl RemoteState {
         let r = &mut self.groups[shard].replicas[replica];
         if let Some(conn) = r.conn.take() {
             let _ = conn.shutdown();
+            r.attempts = 0;
+            r.next_attempt_tick = 0;
+            self.deaths += 1;
+            if matches!(error, TransportError::Frame(FrameError::TimedOut)) {
+                self.timeouts += 1;
+            }
             self.events.push(WorkerEvent::WorkerDied {
                 shard,
                 replica,
@@ -431,6 +626,7 @@ impl RemoteState {
         let Some(next) = group.replicas.iter().position(|r| r.conn.is_some()) else {
             return Err(TransportError::NoLiveReplica { shard });
         };
+        self.failovers += 1;
         self.events.push(WorkerEvent::FailedOver {
             shard,
             from_replica: group.primary,
@@ -440,24 +636,109 @@ impl RemoteState {
         Ok(next)
     }
 
+    /// One reconnect probe for a dead replica: connect under deadlines,
+    /// re-ship the group's envelopes, and on success return it to the
+    /// fleet as a spare. Failure advances its backoff schedule.
+    fn try_revive(&mut self, shard: usize, replica: usize, tc: &TransportConfig) -> bool {
+        self.retry_attempts += 1;
+        let addr = self.groups[shard].replicas[replica].addr.clone();
+        let outcome = connect_replica(&addr, &self.groups[shard].envelopes, tc);
+        let tick = self.tick;
+        let r = &mut self.groups[shard].replicas[replica];
+        match outcome {
+            Ok(conn) => {
+                r.conn = Some(conn);
+                r.attempts = 0;
+                r.next_attempt_tick = 0;
+                self.rejoins += 1;
+                self.events.push(WorkerEvent::Rejoined { shard, replica, addr });
+                true
+            }
+            Err(_) => {
+                r.attempts = r.attempts.saturating_add(1);
+                let salt = ((shard as u64) << 32) | replica as u64;
+                r.next_attempt_tick = tick + tc.retry.backoff_ticks(r.attempts, salt);
+                false
+            }
+        }
+    }
+
+    /// Advances the retry clock and probes whichever dead replicas are
+    /// due. Called once per gather and per heartbeat; pacing is pure
+    /// tick arithmetic (no wall clock), so a seeded run replays exactly.
+    fn maybe_rejoin(&mut self, tc: &TransportConfig) {
+        self.tick += 1;
+        for shard in 0..self.groups.len() {
+            for replica in 0..self.groups[shard].replicas.len() {
+                let r = &self.groups[shard].replicas[replica];
+                if r.conn.is_some() || self.tick < r.next_attempt_tick {
+                    continue;
+                }
+                self.try_revive(shard, replica, tc);
+            }
+        }
+    }
+
+    /// Last-ditch *blocking* recovery for a group with no live replica:
+    /// up to `budget` rounds of backoff-sleep-then-probe across the
+    /// group's dead replicas. The budget is shared across one logical
+    /// operation (one site gather), so a gather can never stall longer
+    /// than the policy's full schedule.
+    fn blocking_recover(
+        &mut self,
+        shard: usize,
+        tc: &TransportConfig,
+        budget: &mut u32,
+    ) -> Result<(), TransportError> {
+        while *budget > 0 {
+            let attempt = tc.retry.max_attempts.saturating_sub(*budget) + 1;
+            *budget -= 1;
+            std::thread::sleep(tc.retry.backoff(attempt, shard as u64));
+            self.tick += 1;
+            for replica in 0..self.groups[shard].replicas.len() {
+                if self.groups[shard].replicas[replica].conn.is_none()
+                    && self.try_revive(shard, replica, tc)
+                {
+                    return Ok(());
+                }
+            }
+        }
+        Err(TransportError::NoLiveReplica { shard })
+    }
+
     /// Sends `req` to `shard`'s primary, failing over across spares until
-    /// a send succeeds. Returns the replica the request landed on.
-    fn send_gather(&mut self, shard: usize, req: &[u8]) -> Result<usize, TransportError> {
+    /// a send succeeds. Returns the replica the request landed on. An
+    /// exhausted group triggers bounded blocking recovery before the
+    /// typed [`TransportError::NoLiveReplica`] gives up.
+    fn send_gather(
+        &mut self,
+        shard: usize,
+        req: &[u8],
+        tc: &TransportConfig,
+        budget: &mut u32,
+    ) -> Result<usize, TransportError> {
         loop {
-            let replica = self.elect_primary(shard)?;
-            let conn = self.groups[shard].replicas[replica].conn.as_mut().expect("elected live");
-            match write_frame(conn, KIND_GATHER, req) {
-                Ok(()) => return Ok(replica),
-                Err(e) => self.mark_dead(shard, replica, &TransportError::Frame(e)),
+            match self.elect_primary(shard) {
+                Ok(replica) => {
+                    let conn =
+                        self.groups[shard].replicas[replica].conn.as_mut().expect("elected live");
+                    match write_frame(conn, KIND_GATHER, req) {
+                        Ok(()) => return Ok(replica),
+                        Err(e) => self.mark_dead(shard, replica, &TransportError::Frame(e)),
+                    }
+                }
+                Err(_) => self.blocking_recover(shard, tc, budget)?,
             }
         }
     }
 
     /// Reads `shard`'s partial from `replica`, validating the reply
     /// against the plan's range. Any failure — stream, corrupt frame,
-    /// worker `ERROR`, misrouted reply — kills the replica and **replays
-    /// the in-flight request** on the next live spare: workers are
-    /// stateless, so the replayed partial is bit-identical.
+    /// expired deadline, worker `ERROR`, misrouted reply — kills the
+    /// replica and **replays the in-flight request** on the next live
+    /// spare: workers are stateless, so the replayed partial is
+    /// bit-identical.
+    #[allow(clippy::too_many_arguments)]
     fn recv_partial(
         &mut self,
         shard: usize,
@@ -466,6 +747,8 @@ impl RemoteState {
         sid: u32,
         range: (usize, usize),
         out: &mut Matrix,
+        tc: &TransportConfig,
+        budget: &mut u32,
     ) -> Result<(), TransportError> {
         loop {
             let conn = self.groups[shard].replicas[replica].conn.as_mut().expect("sender live");
@@ -473,9 +756,28 @@ impl RemoteState {
                 Ok(()) => return Ok(()),
                 Err(e) => {
                     self.mark_dead(shard, replica, &e);
-                    replica = self.send_gather(shard, req)?;
+                    replica = self.send_gather(shard, req, tc, budget)?;
                 }
             }
+        }
+    }
+
+    fn health(&self, gather_timeout: Duration) -> TransportHealth {
+        let live_replicas = self
+            .groups
+            .iter()
+            .map(|g| g.replicas.iter().filter(|r| r.conn.is_some()).count())
+            .sum::<usize>();
+        let total = self.groups.iter().map(|g| g.replicas.len()).sum::<usize>();
+        TransportHealth {
+            live_replicas,
+            dead_replicas: total - live_replicas,
+            deaths: self.deaths,
+            failovers: self.failovers,
+            rejoins: self.rejoins,
+            retry_attempts: self.retry_attempts,
+            timeouts: self.timeouts,
+            deadline_ms: gather_timeout.as_millis().min(u128::from(u64::MAX)) as u64,
         }
     }
 }
@@ -539,6 +841,7 @@ pub struct RemoteShardedModel {
     embedding: Matrix,
     head: Matrix,
     plan: ShardPlan,
+    transport: TransportConfig,
     state: Mutex<RemoteState>,
 }
 
@@ -546,7 +849,8 @@ impl RemoteShardedModel {
     /// Connects to `replica_addrs[shard]`'s workers (every shard needs at
     /// least one replica; `replica_addrs.len()` is the shard count),
     /// plans the row shard of `model`, and ships every replica of shard
-    /// `s` the identical FNQS envelopes of `s`'s slices.
+    /// `s` the identical FNQS envelopes of `s`'s slices — all under the
+    /// default [`TransportConfig`] deadlines.
     ///
     /// # Errors
     ///
@@ -561,13 +865,30 @@ impl RemoteShardedModel {
         model: &Transformer,
         replica_addrs: &[Vec<String>],
     ) -> Result<Self, TransportError> {
+        Self::connect_with(model, replica_addrs, TransportConfig::default())
+    }
+
+    /// [`RemoteShardedModel::connect`] with explicit deadlines and retry
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// # Panics
+    ///
+    /// As [`RemoteShardedModel::connect`].
+    pub fn connect_with(
+        model: &Transformer,
+        replica_addrs: &[Vec<String>],
+        transport: TransportConfig,
+    ) -> Result<Self, TransportError> {
         let n_shards = replica_addrs.len();
         let plan = ShardPlan::new(model, n_shards);
         let mut groups = Vec::with_capacity(n_shards);
         for (shard, addrs) in replica_addrs.iter().enumerate() {
             assert!(!addrs.is_empty(), "shard {shard} needs at least one replica address");
             // Slice once per shard; every replica receives the identical
-            // envelope bytes (what makes replay bit-identical).
+            // envelope bytes (what makes replay — and rejoin — bit-
+            // identical). Kept for the life of the deployment.
             let envelopes: Vec<Vec<u8>> = plan
                 .sites()
                 .iter()
@@ -590,38 +911,32 @@ impl RemoteShardedModel {
                 .collect();
             let mut replicas = Vec::with_capacity(addrs.len());
             for addr in addrs {
-                let mut conn = Stream::connect(addr).map_err(FrameError::Io)?;
-                for envelope in &envelopes {
-                    write_frame(&mut conn, KIND_LOAD, envelope)?;
-                    let (kind, payload) = read_frame(&mut conn)?;
-                    // site_id sits after the envelope's magic, version,
-                    // shard_index and n_shards fields.
-                    let expect = get_u32(envelope, 10)?;
-                    match kind {
-                        KIND_LOADED if get_u32(&payload, 0)? == expect => {}
-                        KIND_ERROR => {
-                            return Err(TransportError::Protocol(format!(
-                                "worker {addr} rejected slice: {}",
-                                String::from_utf8_lossy(&payload)
-                            )))
-                        }
-                        other => {
-                            return Err(TransportError::Protocol(format!(
-                                "worker {addr}: expected LOADED({expect}), got kind {other:#04x}"
-                            )))
-                        }
-                    }
-                }
-                replicas.push(Replica { addr: addr.clone(), conn: Some(conn) });
+                let conn = connect_replica(addr, &envelopes, &transport)?;
+                replicas.push(Replica {
+                    addr: addr.clone(),
+                    conn: Some(conn),
+                    attempts: 0,
+                    next_attempt_tick: 0,
+                });
             }
-            groups.push(Group { replicas, primary: 0 });
+            groups.push(Group { replicas, primary: 0, envelopes });
         }
         Ok(Self {
             cfg: model.config().clone(),
             embedding: model.embedding().clone(),
             head: model.head().clone(),
             plan,
-            state: Mutex::new(RemoteState { groups, events: Vec::new() }),
+            transport,
+            state: Mutex::new(RemoteState {
+                groups,
+                events: Vec::new(),
+                tick: 0,
+                deaths: 0,
+                failovers: 0,
+                rejoins: 0,
+                retry_attempts: 0,
+                timeouts: 0,
+            }),
         })
     }
 
@@ -640,20 +955,23 @@ impl RemoteShardedModel {
         &self.plan
     }
 
-    /// Pings every live replica (dead ones stay dead), marking
-    /// non-responders dead and re-pointing each group's primary at a live
-    /// spare, so the next step pays no failover latency. Returns the
+    /// Pings every live replica under the heartbeat deadline, marking
+    /// non-responders (including *hung* ones) dead and re-pointing each
+    /// group's primary at a live spare, so the next step pays no
+    /// failover latency. Also probes dead replicas whose backoff is due
+    /// — heartbeats drive rejoin even when no traffic flows. Returns the
     /// liveness snapshot.
     pub fn heartbeat(&self) -> HealthReport {
         let mut st = self.state.lock().expect("remote state");
+        st.maybe_rejoin(&self.transport);
         let token: &[u8] = b"fineq-heartbeat";
         for shard in 0..st.groups.len() {
             for replica in 0..st.groups[shard].replicas.len() {
                 let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
                     continue;
                 };
-                let outcome = write_frame(conn, KIND_PING, token)
-                    .map_err(TransportError::from)
+                let outcome = arm_deadline(conn, self.transport.heartbeat_timeout)
+                    .and_then(|()| Ok(write_frame(conn, KIND_PING, token)?))
                     .and_then(|()| Ok(read_frame(conn)?))
                     .and_then(|(kind, payload)| {
                         if kind == KIND_PONG && payload == token {
@@ -663,7 +981,8 @@ impl RemoteShardedModel {
                                 "expected PONG echo, got kind {kind:#04x}"
                             )))
                         }
-                    });
+                    })
+                    .and_then(|()| arm_deadline(conn, self.transport.gather_timeout));
                 if let Err(e) = outcome {
                     st.mark_dead(shard, replica, &e);
                 }
@@ -677,7 +996,20 @@ impl RemoteShardedModel {
             .collect::<Vec<_>>();
         let dead = st.groups.iter().map(|g| g.replicas.len()).sum::<usize>()
             - live_per_shard.iter().sum::<usize>();
-        HealthReport { live_per_shard, dead }
+        let primary_per_shard = st.groups.iter().map(|g| g.primary).collect();
+        HealthReport { live_per_shard, dead, primary_per_shard }
+    }
+
+    /// The transport robustness counters: deaths, failovers, rejoins,
+    /// retry attempts, deadline expiries, and current live/dead replica
+    /// counts. Cumulative since connect; cheap to call.
+    pub fn transport_health(&self) -> TransportHealth {
+        self.state.lock().expect("remote state").health(self.transport.gather_timeout)
+    }
+
+    /// The deadlines and retry policy this coordinator runs under.
+    pub fn transport_config(&self) -> &TransportConfig {
+        &self.transport
     }
 
     /// Drains the failover/death events recorded since the last call.
@@ -702,45 +1034,54 @@ impl RemoteShardedModel {
     /// One linear site, distributed: broadcast the activations to every
     /// involved shard's primary first (one in-flight request per
     /// connection — the workers overlap), then gather the partials in
-    /// shard order, failing over and replaying on any error.
+    /// shard order, failing over and replaying on any error. Each call
+    /// ticks the rejoin clock, so dead replicas whose backoff is due get
+    /// probed on the way in.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when a shard group runs out of live replicas mid-step —
-    /// the one failure replication cannot mask. ([`ServeModel`] steps are
-    /// infallible by contract; everything short of total group loss is
-    /// handled internally.)
-    fn site_gather(&self, layer: usize, site: WeightSite, a: &Matrix) -> Matrix {
+    /// [`TransportError::NoLiveReplica`] when a shard group is exhausted
+    /// and bounded blocking recovery could not revive any member — the
+    /// one failure replication cannot mask. Everything short of that is
+    /// handled internally (failover, replay, rejoin).
+    fn try_site_gather(
+        &self,
+        layer: usize,
+        site: WeightSite,
+        a: &Matrix,
+    ) -> Result<Matrix, TransportError> {
         let sp = self.plan.site(layer, site);
         let sid = site_id(layer, site);
         let mut out = Matrix::zeros(a.rows(), sp.rows);
         let req = encode_gather(sid, a);
         let mut st = self.state.lock().expect("remote state");
+        st.maybe_rejoin(&self.transport);
         let involved: Vec<(usize, (usize, usize))> = (0..self.plan.n_shards())
             .map(|s| (s, sp.range(s)))
             .filter(|&(_, (start, end))| start < end)
             .collect();
-        let no_replica = |e: TransportError| -> ! {
-            panic!(
-                "distributed serving cannot continue: {e} while gathering site {sid} \
-                 (layer {layer} {site:?})"
-            )
-        };
+        // One blocking-recovery budget for the whole site gather: a
+        // repeatedly-failing group cannot stall a step forever.
+        let mut budget = self.transport.retry.max_attempts;
         // Broadcast half: all sends before any receive.
         let mut senders = Vec::with_capacity(involved.len());
         for &(shard, _) in &involved {
-            match st.send_gather(shard, &req) {
-                Ok(replica) => senders.push(replica),
-                Err(e) => no_replica(e),
-            }
+            senders.push(st.send_gather(shard, &req, &self.transport, &mut budget)?);
         }
         // Gather half: collect partials; errors replay on spares.
         for (&(shard, range), &replica) in involved.iter().zip(&senders) {
-            if let Err(e) = st.recv_partial(shard, replica, &req, sid, range, &mut out) {
-                no_replica(e);
-            }
+            st.recv_partial(
+                shard,
+                replica,
+                &req,
+                sid,
+                range,
+                &mut out,
+                &self.transport,
+                &mut budget,
+            )?;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -763,11 +1104,26 @@ impl ServeModel for RemoteShardedModel {
         tokens: &[usize],
         slots: &[usize],
         cache: &mut BatchKvCache,
-        _scratch: &mut KernelScratch,
+        scratch: &mut KernelScratch,
     ) -> Matrix {
+        // The infallible legacy entry: callers that cannot handle a
+        // failed step (direct engine comparisons) get the old contract —
+        // total group loss panics. The scheduler drives the `try_` path.
+        self.try_forward_step_batch_with(tokens, slots, cache, scratch)
+            .unwrap_or_else(|e| panic!("distributed serving cannot continue: {e}"))
+    }
+
+    fn try_forward_step_batch_with(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+        _scratch: &mut KernelScratch,
+    ) -> Result<Matrix, StepError> {
         // The same shared step body as the in-process engines; the only
         // difference is where a linear site executes. Local scratch is
-        // unused — restaging happens on the workers.
+        // unused — restaging happens on the workers. On error the KV
+        // commit never runs, so failed slots are reset, not rolled back.
         batched_step_body(
             &self.cfg,
             &self.embedding,
@@ -776,12 +1132,25 @@ impl ServeModel for RemoteShardedModel {
             slots,
             cache,
             None,
-            |l, site, a| self.site_gather(l, site, a),
+            |l, site, a| self.try_site_gather(l, site, a).map_err(StepError::from),
         )
+    }
+
+    fn transport_health(&self) -> Option<TransportHealth> {
+        Some(RemoteShardedModel::transport_health(self))
     }
 
     fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {
         None
+    }
+}
+
+impl From<TransportError> for StepError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::NoLiveReplica { shard } => StepError::NoLiveReplica { shard },
+            other => StepError::Transport { detail: other.to_string() },
+        }
     }
 }
 
@@ -900,6 +1269,14 @@ mod tests {
             "failover mid-step must be output-invisible"
         );
         assert_eq!(cache_r, cache_u, "KV history unaffected by the replay");
+        // The dead replica's worker thread is still alive in accept():
+        // the rejoin probe (fired opportunistically between gathers and
+        // by heartbeats) reconnects it, re-ships the envelopes, and it
+        // returns as a spare — the fleet heals.
+        let health = remote.heartbeat();
+        assert_eq!(health.live_per_shard, vec![2, 2], "the dead replica must have rejoined");
+        assert_eq!(health.dead, 0);
+        assert_eq!(health.primary_per_shard, vec![1, 0], "rejoin must not move the primary");
         let events = remote.take_events();
         assert!(
             events.iter().any(|e| matches!(e, WorkerEvent::WorkerDied { shard: 0, .. })),
@@ -911,14 +1288,104 @@ mod tests {
                 .any(|e| matches!(e, WorkerEvent::FailedOver { shard: 0, to_replica: 1, .. })),
             "failover must be recorded: {events:?}"
         );
-        let health = remote.heartbeat();
-        assert_eq!(health.live_per_shard, vec![1, 2]);
-        assert_eq!(health.dead, 1);
+        assert!(
+            events.iter().any(|e| matches!(e, WorkerEvent::Rejoined { shard: 0, replica: 0, .. })),
+            "rejoin must be recorded: {events:?}"
+        );
+        let th = remote.transport_health();
+        assert_eq!((th.deaths, th.failovers, th.rejoins), (1, 1, 1), "{th:?}");
+        assert!(th.retry_attempts >= 1);
+        // Rejoined means SHUTDOWN now reaches all four workers.
         remote.shutdown_workers();
-        // The "dead" replica's worker is healthy and back in accept();
-        // stop it directly so its thread can be joined.
-        let mut conn = Stream::connect(&flat[0][0]).expect("reconnect to abandoned worker");
-        write_frame(&mut conn, KIND_SHUTDOWN, &[]).expect("stop abandoned worker");
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+    }
+
+    /// The ISSUE 8 re-promotion contract: primary dies → spare promoted
+    /// → old primary rejoins *as a spare* → when the new primary dies in
+    /// turn, the group fails back to the rejoined replica. The full event
+    /// sequence is asserted in order, and every step's output stays
+    /// bit-identical to the unsharded engine.
+    #[test]
+    fn heartbeat_repromotes_rejoined_primary_as_spare() {
+        let model = packed_tiny(14);
+        let cfg = model.config().clone();
+        let (flat, handles) = spawn_worker_threads(2);
+        let addrs = vec![vec![flat[0][0].clone(), flat[1][0].clone()]];
+        let remote = RemoteShardedModel::connect(&model, &addrs).expect("connect");
+        let mut cache_r = BatchKvCache::new(cfg.n_layers, cfg.d_model, 1);
+        let mut cache_u = BatchKvCache::new(cfg.n_layers, cfg.d_model, 1);
+        let mut scratch = KernelScratch::new();
+        let kill = |replica: usize| {
+            let mut st = remote.state.lock().expect("state");
+            let conn = st.groups[0].replicas[replica].conn.as_mut().expect("live");
+            conn.shutdown().expect("sever connection");
+        };
+        let step = |tok: usize,
+                    cache_r: &mut BatchKvCache,
+                    cache_u: &mut BatchKvCache,
+                    scratch: &mut KernelScratch| {
+            let r = remote.forward_step_batch_with(&[tok], &[0], cache_r, scratch);
+            let u = model.forward_step_batch(&[tok], &[0], cache_u);
+            assert_eq!(r, u, "every step must stay bit-identical through the churn");
+        };
+        step(1, &mut cache_r, &mut cache_u, &mut scratch);
+        // Phase 1: primary 0 dies mid-service; the step fails over to 1.
+        kill(0);
+        step(2, &mut cache_r, &mut cache_u, &mut scratch);
+        // Phase 2: the heartbeat rejoins 0 — as a spare, primary stays 1.
+        let health = remote.heartbeat();
+        assert_eq!(health.live_per_shard, vec![2]);
+        assert_eq!(health.primary_per_shard, vec![1], "rejoined ex-primary must be a spare");
+        // Phase 3: the new primary dies; the group fails back to 0.
+        kill(1);
+        step(3, &mut cache_r, &mut cache_u, &mut scratch);
+        let health = remote.heartbeat();
+        assert_eq!(health.primary_per_shard, vec![0], "failback to the rejoined replica");
+        // The event log tells the whole story, in order.
+        let events = remote.take_events();
+        let ordered: Vec<&WorkerEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    WorkerEvent::WorkerDied { .. }
+                        | WorkerEvent::FailedOver { .. }
+                        | WorkerEvent::Rejoined { .. }
+                )
+            })
+            .collect();
+        let expect_prefix = [
+            "WorkerDied(replica 0)",
+            "FailedOver(0 -> 1)",
+            "Rejoined(replica 0)",
+            "WorkerDied(replica 1)",
+            "FailedOver(1 -> 0)",
+        ];
+        let got: Vec<String> = ordered
+            .iter()
+            .map(|e| match e {
+                WorkerEvent::WorkerDied { replica, .. } => format!("WorkerDied(replica {replica})"),
+                WorkerEvent::FailedOver { from_replica, to_replica, .. } => {
+                    format!("FailedOver({from_replica} -> {to_replica})")
+                }
+                WorkerEvent::Rejoined { replica, .. } => format!("Rejoined(replica {replica})"),
+            })
+            .collect();
+        assert!(
+            got.len() >= expect_prefix.len() && got[..expect_prefix.len()] == expect_prefix,
+            "event sequence mismatch: got {got:?}, expected prefix {expect_prefix:?}"
+        );
+        remote.shutdown_workers();
+        // Replica 1 died from the coordinator's view but its worker
+        // thread lives; it may have rejoined via the later heartbeat (and
+        // then received SHUTDOWN). If not, stop it directly.
+        for addr in [&flat[0][0], &flat[1][0]] {
+            if let Ok(mut conn) = Stream::connect(addr) {
+                let _ = write_frame(&mut conn, KIND_SHUTDOWN, &[]);
+            }
+        }
         for h in handles {
             h.join().expect("worker thread");
         }

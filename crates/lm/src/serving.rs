@@ -208,6 +208,58 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Why a batched step failed mid-flight — the transport conditions
+/// replication cannot mask, surfaced per affected request as
+/// [`FailedSequence`] instead of unwinding the scheduler. In-process
+/// engines never produce one; only the distributed topology can.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepError {
+    /// Every replica of a shard group is dead and bounded blocking
+    /// recovery could not revive any of them. The group may still heal
+    /// later (rejoin probes keep running), at which point the scheduler
+    /// serves new submissions again.
+    NoLiveReplica {
+        /// The shard whose replica group is exhausted.
+        shard: usize,
+    },
+    /// Any other transport failure that escaped failover/replay.
+    Transport {
+        /// Human-readable cause.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::NoLiveReplica { shard } => {
+                write!(f, "shard {shard} has no live replica left")
+            }
+            StepError::Transport { detail } => write!(f, "transport failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// A request that died with the step it was riding when the transport
+/// gave out — the graceful-degradation counterpart of
+/// [`FinishedSequence`], drained with [`Scheduler::take_failed`]. Its KV
+/// pages are freed (the failed step never committed, so there is nothing
+/// to roll back) and the rest of the batch is failed alongside it; queued
+/// requests stay queued and are served once capacity allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedSequence {
+    /// The request's id.
+    pub id: u64,
+    /// Prompt length, for caller-side accounting.
+    pub prompt_len: usize,
+    /// Tokens generated before the failure (partial output).
+    pub generated: Vec<usize>,
+    /// The transport condition that killed the step.
+    pub error: StepError,
+}
+
 /// KV-limited admission configuration: a serving-memory plan supplying the
 /// KV byte arithmetic and a byte budget the live-plus-committed cache must
 /// never exceed.
@@ -295,6 +347,13 @@ pub struct SchedulerStats {
     /// Cumulative tokens admitted by mapping shared pages instead of
     /// recomputing and re-caching them.
     pub shared_prefix_tokens: u64,
+    /// Sequences killed by a transport failure, not yet drained with
+    /// `take_failed`.
+    pub failed: usize,
+    /// Transport robustness counters (deaths, failovers, rejoins, retry
+    /// attempts, open deadlines) when the served model is distributed;
+    /// `None` for in-process engines, which have no transport.
+    pub transport: Option<crate::remote::TransportHealth>,
 }
 
 /// The engine-independent half of a continuous-batching scheduler: the
@@ -310,6 +369,11 @@ struct SchedulerCore {
     /// take priority over the FIFO queue so preempted work cannot starve.
     preempted: VecDeque<ActiveSeq>,
     finished: Vec<FinishedSequence>,
+    /// Sequences killed by a transport failure, drained through
+    /// `take_failed` — the graceful-degradation ledger.
+    failed: Vec<FailedSequence>,
+    /// Batched steps that died in flight (each fails its whole batch).
+    failed_steps: u64,
     steps: u64,
     stepped_tokens: u64,
     kv_budget: Option<KvBudget>,
@@ -331,6 +395,8 @@ impl SchedulerCore {
             queue: VecDeque::new(),
             preempted: VecDeque::new(),
             finished: Vec::new(),
+            failed: Vec::new(),
+            failed_steps: 0,
             steps: 0,
             stepped_tokens: 0,
             kv_budget: None,
@@ -634,6 +700,27 @@ impl SchedulerCore {
         }
     }
 
+    /// Fails every sequence that was riding the step that just died:
+    /// each keeps its partial output and the typed error, its KV pages
+    /// are freed (the dead step never committed, so the cache holds no
+    /// half-written state to roll back), and queued requests stay queued
+    /// for when capacity returns. The step counter still advances so
+    /// audit timelines (preemption events) stay monotone.
+    fn fail_step(&mut self, slot_ids: &[usize], error: &StepError, cache: &mut BatchKvCache) {
+        self.steps += 1;
+        self.failed_steps += 1;
+        for &slot in slot_ids {
+            let seq = self.slots[slot].take().expect("stepped slot is occupied");
+            cache.reset_slot(slot);
+            self.failed.push(FailedSequence {
+                id: seq.id,
+                prompt_len: seq.prompt.len(),
+                generated: seq.generated,
+                error: error.clone(),
+            });
+        }
+    }
+
     fn active(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
@@ -663,6 +750,32 @@ pub trait ServeModel {
         cache: &mut BatchKvCache,
         scratch: &mut KernelScratch,
     ) -> Matrix;
+
+    /// Fallible variant of [`ServeModel::forward_step_batch_with`] — the
+    /// one the scheduler drives. In-process engines cannot fail a step,
+    /// so the default just wraps the infallible path; the distributed
+    /// model overrides it to surface transport exhaustion (every replica
+    /// of a shard dead) as a typed [`StepError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StepError`] that killed the step; on `Err` the
+    /// step's KV writes were never committed.
+    fn try_forward_step_batch_with(
+        &self,
+        tokens: &[usize],
+        slots: &[usize],
+        cache: &mut BatchKvCache,
+        scratch: &mut KernelScratch,
+    ) -> Result<Matrix, StepError> {
+        Ok(self.forward_step_batch_with(tokens, slots, cache, scratch))
+    }
+
+    /// Transport robustness counters, when the model serves over one.
+    /// `None` for in-process engines.
+    fn transport_health(&self) -> Option<crate::remote::TransportHealth> {
+        None
+    }
 
     /// The execution thread pool, if one is installed.
     fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>>;
@@ -932,6 +1045,8 @@ impl<M: ServeModel> Scheduler<M> {
             cow_copies: self.cache.cow_copies(),
             page_tokens: self.cache.page_tokens(),
             shared_prefix_tokens: self.cache.shared_prefix_tokens(),
+            failed: self.core.failed.len(),
+            transport: self.model.transport_health(),
         }
     }
 
@@ -973,19 +1088,32 @@ impl<M: ServeModel> Scheduler<M> {
         if tokens.is_empty() {
             return 0;
         }
-        let logits = self.model.forward_step_batch_with(
+        match self.model.try_forward_step_batch_with(
             &tokens,
             &slot_ids,
             &mut self.cache,
             &mut self.scratch,
-        );
-        self.core.finish_step(&logits, &slot_ids, &mut self.cache);
+        ) {
+            Ok(logits) => self.core.finish_step(&logits, &slot_ids, &mut self.cache),
+            Err(e) => self.core.fail_step(&slot_ids, &e, &mut self.cache),
+        }
         tokens.len()
     }
 
     /// Completed sequences accumulated so far, drained.
     pub fn take_finished(&mut self) -> Vec<FinishedSequence> {
         std::mem::take(&mut self.core.finished)
+    }
+
+    /// Sequences killed by a transport failure, not yet drained.
+    pub fn failed(&self) -> usize {
+        self.core.failed.len()
+    }
+
+    /// Drains the sequences killed by transport failures (oldest first),
+    /// each carrying its partial output and the typed [`StepError`].
+    pub fn take_failed(&mut self) -> Vec<FailedSequence> {
+        std::mem::take(&mut self.core.failed)
     }
 
     /// Steps until every queued and active request completes, returning

@@ -405,7 +405,7 @@ impl ShardedModel {
         scratch: &mut KernelScratch,
     ) -> Matrix {
         let pool = self.pool_ref();
-        batched_step_body(
+        batched_step_body::<std::convert::Infallible>(
             &self.cfg,
             &self.embedding,
             &self.head,
@@ -413,8 +413,9 @@ impl ShardedModel {
             slots,
             cache,
             pool,
-            |l, site, a| self.site_matmul_t(l, site, a, scratch),
+            |l, site, a| Ok(self.site_matmul_t(l, site, a, scratch)),
         )
+        .unwrap_or_else(|e| match e {})
     }
 }
 

@@ -1,22 +1,40 @@
 //! The `fineq-worker` process: one row-shard replica of a distributed
 //! serving deployment.
 //!
-//! Binds the address given as the single argument (`tcp:host:port` —
+//! Binds the address given as the first argument (`tcp:host:port` —
 //! port `0` picks a free one — or `unix:/path`), announces the bound
 //! address on stdout, then serves coordinator connections: `LOAD` frames
 //! ship FNQS weight-slice envelopes, `GATHER` frames request batched
-//! partial matmuls, `PING` health-checks, `SHUTDOWN` exits. See
-//! `fineq_lm::remote` for the protocol and the failover/replay contract.
+//! partial matmuls, `PING` health-checks, `SHUTDOWN` exits (removing a
+//! Unix socket file on the way out). An optional second argument sets a
+//! per-connection idle deadline in milliseconds — a coordinator that
+//! hangs mid-frame longer than that gets its connection dropped instead
+//! of wedging the worker forever (`0` disables the deadline, the
+//! default). See `fineq_lm::remote` for the protocol and the
+//! failover/replay contract.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let (Some(addr), None) = (args.next(), args.next()) else {
-        eprintln!("usage: fineq-worker <tcp:host:port | unix:/path>");
-        return ExitCode::from(2);
+    let usage = || {
+        eprintln!("usage: fineq-worker <tcp:host:port | unix:/path> [idle-timeout-ms]");
+        ExitCode::from(2)
     };
-    match fineq_lm::run_worker(&addr) {
+    let Some(addr) = args.next() else {
+        return usage();
+    };
+    let idle = match (args.next(), args.next()) {
+        (None, _) => None,
+        (Some(ms), None) => match ms.parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => return usage(),
+        },
+        (Some(_), Some(_)) => return usage(),
+    };
+    match fineq_lm::run_worker_with(&addr, idle) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("fineq-worker: {e}");

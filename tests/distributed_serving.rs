@@ -320,10 +320,16 @@ fn worker_survives_corrupt_frames_and_rejects_garbage() {
     write_frame(&mut conn, KIND_PING, b"still here?").expect("ping again");
     let (kind, _) = read_frame(&mut conn).expect("pong again");
     assert_eq!(kind, KIND_PONG);
-    // Clean shutdown: the process exits with success.
+    // Clean shutdown: the process exits with success and removes its
+    // socket file so a restart can rebind the same path.
     write_frame(&mut conn, KIND_SHUTDOWN, &[]).expect("shutdown");
     let status = workers[0].child.wait().expect("worker exit");
     assert!(status.success(), "worker must exit cleanly on SHUTDOWN: {status:?}");
+    let path = workers[0].addr.strip_prefix("unix:").expect("unix worker");
+    assert!(
+        !std::path::Path::new(path).exists(),
+        "clean SHUTDOWN must remove the Unix socket file {path}"
+    );
 }
 
 /// `serve_distributed` — the one-call pipeline entry — quantizes, ships
