@@ -25,15 +25,20 @@
 //! [`read_frame`] / [`write_frame`] run over any [`Read`] / [`Write`],
 //! looping internally on short reads and short writes — a throttling
 //! socket that delivers one byte per call produces the identical result
-//! (asserted by tests). [`Stream`] and [`Listener`] are the std-only
-//! socket layer beneath them: one address syntax (`tcp:host:port`,
-//! `unix:/path`) covering both `std::net` TCP and Unix domain sockets.
+//! (asserted by tests). [`read_frame_deadline`] / [`write_frame_deadline`]
+//! add an **absolute** per-frame deadline on top: the budget shrinks
+//! across those internal retries, so even a slow-drip peer cannot
+//! stretch one frame past the bound. [`Stream`] and [`Listener`] are
+//! the std-only socket layer beneath them: one address syntax
+//! (`tcp:host:port`, `unix:/path`) covering both `std::net` TCP and
+//! Unix domain sockets.
 
 use crate::serialize::fnv1a32_chain;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::{Duration, Instant};
 
 /// Magic bytes opening every frame.
 pub const FRAME_MAGIC: &[u8; 4] = b"FNQF";
@@ -60,9 +65,11 @@ pub enum FrameError {
     TooLarge(u32),
     /// Kind, length or payload bytes do not match the header checksum.
     BadChecksum,
-    /// A read or write deadline armed via [`Stream::set_read_timeout`] /
-    /// [`Stream::set_write_timeout`] expired before the frame completed.
-    /// A hung peer surfaces here instead of blocking forever.
+    /// A deadline expired before the frame completed: either a
+    /// per-syscall socket timeout armed via [`Stream::set_read_timeout`]
+    /// / [`Stream::set_write_timeout`], or the absolute end-to-end bound
+    /// of [`read_frame_deadline`] / [`write_frame_deadline`]. A hung
+    /// peer surfaces here instead of blocking forever.
     TimedOut,
     /// The underlying stream failed.
     Io(io::Error),
@@ -208,6 +215,97 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), FrameError> {
     Ok((kind, payload))
 }
 
+/// Draws every read of one frame from a single absolute deadline: the
+/// remaining budget is re-armed as the socket timeout before each
+/// syscall, so a peer trickling one byte per interval spends the budget
+/// down instead of resetting it (per-syscall `SO_RCVTIMEO` alone would
+/// restart on every byte).
+struct DeadlineRead<'a> {
+    stream: &'a mut Stream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let left = self.deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(io::ErrorKind::TimedOut.into());
+        }
+        self.stream.set_read_timeout(Some(left))?;
+        self.stream.read(buf)
+    }
+}
+
+/// The write-side mirror of [`DeadlineRead`].
+struct DeadlineWrite<'a> {
+    stream: &'a mut Stream,
+    deadline: Instant,
+}
+
+impl Write for DeadlineWrite<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let left = self.deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(io::ErrorKind::TimedOut.into());
+        }
+        self.stream.set_write_timeout(Some(left))?;
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// [`read_frame`] under an absolute end-to-end deadline: the whole frame
+/// must arrive within `timeout`, measured from this call, no matter how
+/// the bytes are paced. Unlike a socket timeout armed once with
+/// [`Stream::set_read_timeout`] — which bounds each *syscall* and so
+/// resets whenever a slow-drip peer delivers a single byte — the budget
+/// here only shrinks. A zero `timeout` disarms the socket deadline and
+/// blocks forever. The socket's read timeout is left at whatever the
+/// last re-arm set; callers using deadline-aware I/O throughout never
+/// observe it.
+///
+/// # Errors
+///
+/// As [`read_frame`], with [`FrameError::TimedOut`] when the budget runs
+/// out mid-frame.
+pub fn read_frame_deadline(
+    stream: &mut Stream,
+    timeout: Duration,
+) -> Result<(u8, Vec<u8>), FrameError> {
+    if timeout.is_zero() {
+        stream.set_read_timeout(None).map_err(FrameError::Io)?;
+        return read_frame(stream);
+    }
+    let deadline = Instant::now() + timeout;
+    read_frame(&mut DeadlineRead { stream, deadline })
+}
+
+/// [`write_frame`] under an absolute end-to-end deadline, the mirror of
+/// [`read_frame_deadline`]: a peer that drains its socket one byte per
+/// interval cannot stretch the write past `timeout`. A zero `timeout`
+/// disarms the socket deadline and blocks forever.
+///
+/// # Errors
+///
+/// As [`write_frame`], with [`FrameError::TimedOut`] when the budget
+/// runs out mid-frame.
+pub fn write_frame_deadline(
+    stream: &mut Stream,
+    kind: u8,
+    payload: &[u8],
+    timeout: Duration,
+) -> Result<(), FrameError> {
+    if timeout.is_zero() {
+        stream.set_write_timeout(None).map_err(FrameError::Io)?;
+        return write_frame(stream, kind, payload);
+    }
+    let deadline = Instant::now() + timeout;
+    write_frame(&mut DeadlineWrite { stream, deadline }, kind, payload)
+}
+
 /// A connected byte stream under one address syntax: `tcp:host:port`
 /// (with `TCP_NODELAY`, since frames are request/response sized) or
 /// `unix:/path` to a Unix domain socket.
@@ -251,31 +349,47 @@ impl Stream {
 
     /// Connects to `addr` like [`Stream::connect`], but gives up after
     /// `timeout` instead of waiting on the platform's (much longer)
-    /// connect timeout. For `unix:` paths connect is local and
-    /// effectively instant, so the plain connect is used.
+    /// connect timeout. Every resolved socket address is attempted in
+    /// resolution order with `timeout` each — the same coverage as the
+    /// plain connect path, which also walks the full list — so a
+    /// dual-stack hostname reachable only on its second address still
+    /// connects. For `unix:` paths connect is local and effectively
+    /// instant, so the plain connect is used.
     ///
     /// # Errors
     ///
-    /// As [`Stream::connect`], plus `TimedOut` when the deadline expires
-    /// and `InvalidInput` when the host resolves to no address.
+    /// As [`Stream::connect`], plus `TimedOut` when every attempt's
+    /// deadline expires and `InvalidInput` when the host resolves to no
+    /// address. The error reported is the last attempt's.
     pub fn connect_timeout(addr: &str, timeout: std::time::Duration) -> io::Result<Self> {
         if let Some(hostport) = addr.strip_prefix("tcp:") {
             use std::net::ToSocketAddrs;
-            let sock = hostport
-                .to_socket_addrs()?
-                .next()
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
-            let s = TcpStream::connect_timeout(&sock, timeout)?;
-            s.set_nodelay(true)?;
-            return Ok(Stream::Tcp(s));
+            let mut last_err = None;
+            for sock in hostport.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&sock, timeout) {
+                    Ok(s) => {
+                        s.set_nodelay(true)?;
+                        return Ok(Stream::Tcp(s));
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            return Err(last_err
+                .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address")));
         }
         Self::connect(addr)
     }
 
-    /// Arms a deadline on every subsequent read: a blocked read returns
-    /// after `timeout` and [`read_frame`] surfaces it as
-    /// [`FrameError::TimedOut`]. `None` disarms. A zero duration is
+    /// Arms a timeout on every subsequent read syscall: a read that makes
+    /// no progress for `timeout` returns and [`read_frame`] surfaces it
+    /// as [`FrameError::TimedOut`]. `None` disarms. A zero duration is
     /// rejected by std — pass `None` to block forever.
+    ///
+    /// This is a **per-syscall** bound (`SO_RCVTIMEO`): every byte that
+    /// arrives restarts the clock, so a slow-drip peer can stretch one
+    /// frame to `timeout × bytes` in the worst case. For an absolute
+    /// end-to-end bound on a whole frame use [`read_frame_deadline`],
+    /// which shrinks the armed timeout as the budget drains.
     ///
     /// # Errors
     ///
@@ -288,10 +402,11 @@ impl Stream {
         }
     }
 
-    /// Arms a deadline on every subsequent write, the mirror of
-    /// [`Stream::set_read_timeout`]: a peer that stops draining its
-    /// socket surfaces as [`FrameError::TimedOut`] instead of blocking
-    /// [`write_frame`] forever.
+    /// Arms a timeout on every subsequent write syscall, the mirror of
+    /// [`Stream::set_read_timeout`] (and per-syscall in the same way —
+    /// see [`write_frame_deadline`] for the absolute bound): a peer that
+    /// stops draining its socket surfaces as [`FrameError::TimedOut`]
+    /// instead of blocking [`write_frame`] forever.
     ///
     /// # Errors
     ///
@@ -657,6 +772,98 @@ mod tests {
         write_frame(&mut client, 3, b"late").expect("client write");
         assert_eq!(read_frame(&mut client).expect("client read"), (3, b"late".to_vec()));
         server.join().expect("server thread");
+    }
+
+    /// The review-driven slow-drip contract: a peer trickling one byte
+    /// per interval restarts a per-syscall socket timeout on every byte,
+    /// but must NOT be able to stretch [`read_frame_deadline`] past its
+    /// absolute budget.
+    #[test]
+    fn read_frame_deadline_bounds_slow_drip_peers_end_to_end() {
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            // ~77 bytes at 20 ms/byte = ~1.5 s of dripping: each gap is
+            // far under the 150 ms deadline, only the total exceeds it.
+            let bytes = frame_bytes(4, &[7u8; 64]);
+            for chunk in bytes.chunks(1) {
+                if conn.write_all(chunk).is_err() || conn.flush().is_err() {
+                    return; // client gave up, as expected
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let mut client = Stream::connect(&addr).expect("connect");
+        let start = Instant::now();
+        let err = read_frame_deadline(&mut client, Duration::from_millis(150))
+            .expect_err("the drip must not beat the absolute deadline");
+        assert!(matches!(err, FrameError::TimedOut), "{err:?}");
+        // The full drip takes ~1.5 s; giving up well before that proves
+        // the bound is absolute, not per-syscall.
+        assert!(start.elapsed() < Duration::from_secs(1), "took {:?}", start.elapsed());
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn read_frame_deadline_accepts_frames_that_arrive_in_time() {
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            // Still dripping byte by byte, but fast enough to fit the
+            // budget comfortably.
+            for chunk in frame_bytes(6, b"on time").chunks(1) {
+                conn.write_all(chunk).expect("drip");
+                conn.flush().expect("flush");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let mut client = Stream::connect(&addr).expect("connect");
+        let got = read_frame_deadline(&mut client, Duration::from_secs(10)).expect("in-budget");
+        assert_eq!(got, (6, b"on time".to_vec()));
+        // Zero disarms: a plain exchange still works afterwards.
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn write_frame_deadline_round_trips_and_zero_disarms() {
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            for _ in 0..2 {
+                let (kind, payload) = read_frame(&mut conn).expect("server read");
+                write_frame(&mut conn, kind, &payload).expect("server write");
+            }
+        });
+        let mut client = Stream::connect(&addr).expect("connect");
+        write_frame_deadline(&mut client, 9, b"bounded", Duration::from_secs(5)).expect("write");
+        assert_eq!(read_frame(&mut client).expect("echo"), (9, b"bounded".to_vec()));
+        // A zero deadline disarms any armed socket timeout and blocks
+        // like the plain path.
+        write_frame_deadline(&mut client, 9, b"unbounded", Duration::ZERO).expect("write");
+        assert_eq!(
+            read_frame_deadline(&mut client, Duration::ZERO).expect("echo"),
+            (9, b"unbounded".to_vec())
+        );
+        server.join().expect("server thread");
+    }
+
+    /// `connect_timeout` must walk every resolved address like the plain
+    /// connect does: `localhost` commonly resolves to `::1` first, and a
+    /// listener bound to `127.0.0.1` is only reachable on the *second*
+    /// address.
+    #[test]
+    fn connect_timeout_tries_every_resolved_address() {
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let port = addr.rsplit(':').next().expect("port");
+        let conn =
+            Stream::connect_timeout(&format!("tcp:localhost:{port}"), Duration::from_secs(5))
+                .expect("must fall through to the reachable resolved address");
+        drop(conn);
     }
 
     #[test]

@@ -57,38 +57,50 @@
 //! ## Deadlines, retry and rejoin
 //!
 //! Every coordinator operation — connect, LOAD, gather, heartbeat —
-//! carries a per-operation deadline from [`TransportConfig`], armed on
-//! the socket via [`Stream::set_read_timeout`] / `set_write_timeout`, so
-//! a replica that *hangs* surfaces as [`FrameError::TimedOut`] and takes
-//! the identical failover path as one that dies. Dead replicas are not
-//! gone for good: a [`RetryPolicy`] (capped exponential backoff with
-//! deterministic seeded jitter — no `SystemTime` in any decision) gates
-//! background reconnect probes, ticked once per gather or heartbeat.
-//! On success the coordinator re-ships the **identical FNQS envelope
-//! bytes** it kept from setup and the replica returns to the group as a
-//! hot spare ([`WorkerEvent::Rejoined`]); the primary does not move, so
-//! a healed partition restores capacity without perturbing routing.
-//! When a gather finds a whole group dead it makes a bounded number of
-//! *blocking* recovery attempts (the policy's `max_attempts`), then
-//! returns [`TransportError::NoLiveReplica`] instead of panicking — the
+//! carries a per-operation deadline from [`TransportConfig`], enforced
+//! end to end by [`read_frame_deadline`] / [`write_frame_deadline`] (the
+//! budget is absolute, so even a peer trickling one byte per interval
+//! cannot stretch a frame past it), so a replica that *hangs* surfaces
+//! as [`FrameError::TimedOut`] and takes the identical failover path as
+//! one that dies. Dead replicas are not gone for good: a [`RetryPolicy`]
+//! (capped exponential backoff with deterministic seeded jitter — no
+//! `SystemTime` in any decision) gates background reconnect probes,
+//! ticked once per gather or heartbeat. On success the coordinator
+//! re-ships the **identical FNQS envelope bytes** it kept from setup and
+//! the replica returns to the group as a hot spare
+//! ([`WorkerEvent::Rejoined`]); the primary does not move, so a healed
+//! partition restores capacity without perturbing routing. When a gather
+//! finds a whole group dead it makes a bounded number of *blocking*
+//! recovery attempts (the policy's `max_attempts`), then returns
+//! [`TransportError::NoLiveReplica`] instead of panicking — the
 //! scheduler above fails only the affected in-flight requests and keeps
-//! serving. [`RemoteShardedModel::transport_health`] exposes the
-//! counters (deaths, failovers, rejoins, retries, timeouts) that
-//! `SchedulerStats` republishes.
+//! serving, and any surviving shard that was already sent its half of
+//! the aborted broadcast has the reply it owes read out and discarded,
+//! so an abort can never leave a stale `PARTIAL` to be misread as the
+//! answer to a later request. Reconnect probes and recovery backoff
+//! sleeps run with **no state lock held**: a dead-but-slow replica never
+//! blocks [`RemoteShardedModel::transport_health`] or
+//! [`RemoteShardedModel::take_events`] readers.
+//! [`RemoteShardedModel::transport_health`] exposes the counters
+//! (deaths, failovers, rejoins, retries, timeouts) that `SchedulerStats`
+//! republishes.
 
 use crate::config::ModelConfig;
 use crate::generate::{batched_step_body, BatchKvCache};
 use crate::model::{Transformer, WeightSite};
 use crate::serving::{ServeModel, StepError};
 use crate::shard::{site_id, ShardPlan};
-use fineq_core::frame::{read_frame, write_frame, FrameError, Listener, Stream};
+use fineq_core::frame::{
+    read_frame, read_frame_deadline, write_frame, write_frame_deadline, FrameError, Listener,
+    Stream,
+};
 use fineq_core::retry::RetryPolicy;
 use fineq_core::serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};
 use fineq_core::{matmul_t_sharded_into, KernelScratch, PackedMatrix};
 use fineq_tensor::Matrix;
 use std::collections::HashMap;
 use std::io::Write as _;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Frame kind: ship one FNQS shard envelope to a worker.
@@ -112,11 +124,22 @@ pub const KIND_ERROR: u8 = 0xEE;
 
 /// Per-operation deadlines and the retry policy of a coordinator.
 ///
-/// Each field bounds one protocol operation end to end; a deadline of
-/// zero disarms that bound (block forever — useful under a debugger,
-/// never in production). The defaults are generous enough that a
-/// healthy LAN deployment never trips them, while a hung worker is
-/// detected within one gather deadline.
+/// Each field bounds one protocol operation end to end — the bound is
+/// absolute ([`read_frame_deadline`] / [`write_frame_deadline`]), not a
+/// per-syscall socket timeout, so slow-drip peers cannot stretch it. A
+/// deadline of zero disarms that bound (block forever — useful under a
+/// debugger, never in production). The defaults are generous enough
+/// that a healthy LAN deployment never trips them, while a hung worker
+/// is detected within one gather deadline.
+///
+/// When workers run with an idle deadline ([`run_worker_with`] /
+/// `fineq-worker <addr> [idle-timeout-ms]`), the operator must call
+/// [`RemoteShardedModel::heartbeat`] at a cadence **shorter than that
+/// idle deadline** during traffic gaps: each PING resets the worker's
+/// idle clock. A coordinator that goes silent longer has its connection
+/// dropped worker-side and pays a reconnect (spare failover, or blocking
+/// recovery with a single replica) on its next step — recovered and
+/// output-invisible, but avoidable latency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransportConfig {
     /// Deadline for establishing one TCP connection to a replica.
@@ -423,6 +446,15 @@ pub fn run_worker(addr: &str) -> Result<(), TransportError> {
 /// the previous coordinator vanished without closing its socket —
 /// without it, one hung peer wedges the worker forever.
 ///
+/// The worker cannot distinguish a vanished coordinator from a merely
+/// idle one — only traffic can. A coordinator that may go quiet must
+/// therefore call [`RemoteShardedModel::heartbeat`] at a cadence shorter
+/// than `idle_timeout` (each PING resets the idle clock); one that does
+/// not pays a reconnect-and-replay on its next step after a long gap.
+/// This coupling is asserted by the
+/// `heartbeats_within_the_worker_idle_window_keep_connections_alive`
+/// test and documented on [`TransportConfig`].
+///
 /// # Errors
 ///
 /// As [`run_worker`].
@@ -531,8 +563,19 @@ struct Group {
     primary: usize,
     /// The shard's FNQS slice envelopes, byte-identical to what setup
     /// shipped — re-shipped verbatim on rejoin so a returning replica is
-    /// indistinguishable from one that never left.
-    envelopes: Vec<Vec<u8>>,
+    /// indistinguishable from one that never left. Behind an `Arc` so
+    /// reconnect probes can ship them *without* holding the state lock.
+    envelopes: Arc<Vec<Vec<u8>>>,
+}
+
+/// One planned reconnect attempt for a dead replica, carried out of the
+/// state lock: the connect + envelope re-ship runs unlocked, then
+/// [`RemoteState::install_probe`] applies the outcome.
+struct RejoinProbe {
+    shard: usize,
+    replica: usize,
+    addr: String,
+    envelopes: Arc<Vec<Vec<u8>>>,
 }
 
 struct RemoteState {
@@ -548,17 +591,9 @@ struct RemoteState {
     timeouts: u64,
 }
 
-/// Arms both stream deadlines (zero disarms — block forever).
-fn arm_deadline(conn: &Stream, t: Duration) -> Result<(), TransportError> {
-    let t = if t.is_zero() { None } else { Some(t) };
-    conn.set_read_timeout(t).map_err(FrameError::Io)?;
-    conn.set_write_timeout(t).map_err(FrameError::Io)?;
-    Ok(())
-}
-
 /// Connects to one replica and ships it the shard's envelopes: the whole
-/// setup (and rejoin) handshake under its deadlines. On success the
-/// connection is armed with the steady-state gather deadline.
+/// setup (and rejoin) handshake, each frame bounded end to end by the
+/// load deadline.
 fn connect_replica(
     addr: &str,
     envelopes: &[Vec<u8>],
@@ -569,10 +604,9 @@ fn connect_replica(
     } else {
         Stream::connect_timeout(addr, tc.connect_timeout).map_err(FrameError::from)?
     };
-    arm_deadline(&conn, tc.load_timeout)?;
     for envelope in envelopes {
-        write_frame(&mut conn, KIND_LOAD, envelope)?;
-        let (kind, payload) = read_frame(&mut conn)?;
+        write_frame_deadline(&mut conn, KIND_LOAD, envelope, tc.load_timeout)?;
+        let (kind, payload) = read_frame_deadline(&mut conn, tc.load_timeout)?;
         // site_id sits after the envelope's magic, version, shard_index
         // and n_shards fields.
         let expect = get_u32(envelope, 10)?;
@@ -591,7 +625,6 @@ fn connect_replica(
             }
         }
     }
-    arm_deadline(&conn, tc.gather_timeout)?;
     Ok(conn)
 }
 
@@ -636,128 +669,87 @@ impl RemoteState {
         Ok(next)
     }
 
-    /// One reconnect probe for a dead replica: connect under deadlines,
-    /// re-ship the group's envelopes, and on success return it to the
-    /// fleet as a spare. Failure advances its backoff schedule.
-    fn try_revive(&mut self, shard: usize, replica: usize, tc: &TransportConfig) -> bool {
-        self.retry_attempts += 1;
-        let addr = self.groups[shard].replicas[replica].addr.clone();
-        let outcome = connect_replica(&addr, &self.groups[shard].envelopes, tc);
+    /// Advances the retry clock and collects the dead replicas whose
+    /// tick-gated backoff is due. Pacing is pure tick arithmetic (no
+    /// wall clock), so a seeded run replays exactly. The connects
+    /// themselves run *without* the state lock
+    /// ([`RemoteShardedModel::run_probes`]); [`RemoteState::install_probe`]
+    /// applies the outcomes.
+    fn plan_due_probes(&mut self) -> Vec<RejoinProbe> {
+        self.tick += 1;
+        let mut probes = Vec::new();
+        for (shard, group) in self.groups.iter().enumerate() {
+            for (replica, r) in group.replicas.iter().enumerate() {
+                if r.conn.is_none() && self.tick >= r.next_attempt_tick {
+                    probes.push(RejoinProbe {
+                        shard,
+                        replica,
+                        addr: r.addr.clone(),
+                        envelopes: Arc::clone(&group.envelopes),
+                    });
+                }
+            }
+        }
+        self.retry_attempts += probes.len() as u64;
+        probes
+    }
+
+    /// Every dead replica of one exhausted group, backoff gating
+    /// ignored: blocking recovery probes them all each round.
+    fn plan_group_probes(&mut self, shard: usize) -> Vec<RejoinProbe> {
+        self.tick += 1;
+        let group = &self.groups[shard];
+        let probes: Vec<RejoinProbe> = group
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.conn.is_none())
+            .map(|(replica, r)| RejoinProbe {
+                shard,
+                replica,
+                addr: r.addr.clone(),
+                envelopes: Arc::clone(&group.envelopes),
+            })
+            .collect();
+        self.retry_attempts += probes.len() as u64;
+        probes
+    }
+
+    /// Applies one probe outcome: success re-admits the replica as a
+    /// spare ([`WorkerEvent::Rejoined`]); failure advances its backoff
+    /// schedule. Returns whether the replica is live afterwards.
+    fn install_probe(
+        &mut self,
+        probe: RejoinProbe,
+        outcome: Result<Stream, TransportError>,
+        retry: &RetryPolicy,
+    ) -> bool {
         let tick = self.tick;
-        let r = &mut self.groups[shard].replicas[replica];
+        let r = &mut self.groups[probe.shard].replicas[probe.replica];
+        if r.conn.is_some() {
+            // Revived by someone else while the probe was in flight (the
+            // op lock makes this unreachable today; kept as a guard so a
+            // duplicate connection is dropped, never double-installed).
+            return true;
+        }
         match outcome {
             Ok(conn) => {
                 r.conn = Some(conn);
                 r.attempts = 0;
                 r.next_attempt_tick = 0;
                 self.rejoins += 1;
-                self.events.push(WorkerEvent::Rejoined { shard, replica, addr });
+                self.events.push(WorkerEvent::Rejoined {
+                    shard: probe.shard,
+                    replica: probe.replica,
+                    addr: probe.addr,
+                });
                 true
             }
             Err(_) => {
                 r.attempts = r.attempts.saturating_add(1);
-                let salt = ((shard as u64) << 32) | replica as u64;
-                r.next_attempt_tick = tick + tc.retry.backoff_ticks(r.attempts, salt);
+                let salt = ((probe.shard as u64) << 32) | probe.replica as u64;
+                r.next_attempt_tick = tick + retry.backoff_ticks(r.attempts, salt);
                 false
-            }
-        }
-    }
-
-    /// Advances the retry clock and probes whichever dead replicas are
-    /// due. Called once per gather and per heartbeat; pacing is pure
-    /// tick arithmetic (no wall clock), so a seeded run replays exactly.
-    fn maybe_rejoin(&mut self, tc: &TransportConfig) {
-        self.tick += 1;
-        for shard in 0..self.groups.len() {
-            for replica in 0..self.groups[shard].replicas.len() {
-                let r = &self.groups[shard].replicas[replica];
-                if r.conn.is_some() || self.tick < r.next_attempt_tick {
-                    continue;
-                }
-                self.try_revive(shard, replica, tc);
-            }
-        }
-    }
-
-    /// Last-ditch *blocking* recovery for a group with no live replica:
-    /// up to `budget` rounds of backoff-sleep-then-probe across the
-    /// group's dead replicas. The budget is shared across one logical
-    /// operation (one site gather), so a gather can never stall longer
-    /// than the policy's full schedule.
-    fn blocking_recover(
-        &mut self,
-        shard: usize,
-        tc: &TransportConfig,
-        budget: &mut u32,
-    ) -> Result<(), TransportError> {
-        while *budget > 0 {
-            let attempt = tc.retry.max_attempts.saturating_sub(*budget) + 1;
-            *budget -= 1;
-            std::thread::sleep(tc.retry.backoff(attempt, shard as u64));
-            self.tick += 1;
-            for replica in 0..self.groups[shard].replicas.len() {
-                if self.groups[shard].replicas[replica].conn.is_none()
-                    && self.try_revive(shard, replica, tc)
-                {
-                    return Ok(());
-                }
-            }
-        }
-        Err(TransportError::NoLiveReplica { shard })
-    }
-
-    /// Sends `req` to `shard`'s primary, failing over across spares until
-    /// a send succeeds. Returns the replica the request landed on. An
-    /// exhausted group triggers bounded blocking recovery before the
-    /// typed [`TransportError::NoLiveReplica`] gives up.
-    fn send_gather(
-        &mut self,
-        shard: usize,
-        req: &[u8],
-        tc: &TransportConfig,
-        budget: &mut u32,
-    ) -> Result<usize, TransportError> {
-        loop {
-            match self.elect_primary(shard) {
-                Ok(replica) => {
-                    let conn =
-                        self.groups[shard].replicas[replica].conn.as_mut().expect("elected live");
-                    match write_frame(conn, KIND_GATHER, req) {
-                        Ok(()) => return Ok(replica),
-                        Err(e) => self.mark_dead(shard, replica, &TransportError::Frame(e)),
-                    }
-                }
-                Err(_) => self.blocking_recover(shard, tc, budget)?,
-            }
-        }
-    }
-
-    /// Reads `shard`'s partial from `replica`, validating the reply
-    /// against the plan's range. Any failure — stream, corrupt frame,
-    /// expired deadline, worker `ERROR`, misrouted reply — kills the
-    /// replica and **replays the in-flight request** on the next live
-    /// spare: workers are stateless, so the replayed partial is
-    /// bit-identical.
-    #[allow(clippy::too_many_arguments)]
-    fn recv_partial(
-        &mut self,
-        shard: usize,
-        mut replica: usize,
-        req: &[u8],
-        sid: u32,
-        range: (usize, usize),
-        out: &mut Matrix,
-        tc: &TransportConfig,
-        budget: &mut u32,
-    ) -> Result<(), TransportError> {
-        loop {
-            let conn = self.groups[shard].replicas[replica].conn.as_mut().expect("sender live");
-            match read_partial(conn, sid, range, out) {
-                Ok(()) => return Ok(()),
-                Err(e) => {
-                    self.mark_dead(shard, replica, &e);
-                    replica = self.send_gather(shard, req, tc, budget)?;
-                }
             }
         }
     }
@@ -782,14 +774,16 @@ impl RemoteState {
     }
 }
 
-/// Decodes one `PARTIAL` reply into `out`'s columns `range`.
+/// Decodes one `PARTIAL` reply into `out`'s columns `range`, reading it
+/// under an absolute `timeout` (zero disarms).
 fn read_partial(
     conn: &mut Stream,
     sid: u32,
     range: (usize, usize),
     out: &mut Matrix,
+    timeout: Duration,
 ) -> Result<(), TransportError> {
-    let (kind, payload) = read_frame(conn)?;
+    let (kind, payload) = read_frame_deadline(conn, timeout)?;
     match kind {
         KIND_PARTIAL => {}
         KIND_ERROR => {
@@ -833,15 +827,21 @@ fn read_partial(
 /// count, any replica count, and across worker crashes that leave at
 /// least one live replica per shard.
 ///
-/// Connection state lives behind a mutex because [`ServeModel`] steps
-/// take `&self`; the serving path is single-stepper, so the lock is
-/// uncontended.
+/// Two locks, two jobs. `op` serializes whole *logical operations*
+/// (site gather, heartbeat, shutdown): connections carry one in-flight
+/// request, so two operations must never interleave frame I/O on the
+/// same fleet. `state` protects the connection table itself and is the
+/// only lock `transport_health`/`take_events` need — it is **released**
+/// during reconnect probes and backoff sleeps, so observability calls
+/// never stall behind a dead-but-slow replica. Lock order: `op` before
+/// `state`, always.
 pub struct RemoteShardedModel {
     cfg: ModelConfig,
     embedding: Matrix,
     head: Matrix,
     plan: ShardPlan,
     transport: TransportConfig,
+    op: Mutex<()>,
     state: Mutex<RemoteState>,
 }
 
@@ -919,7 +919,7 @@ impl RemoteShardedModel {
                     next_attempt_tick: 0,
                 });
             }
-            groups.push(Group { replicas, primary: 0, envelopes });
+            groups.push(Group { replicas, primary: 0, envelopes: Arc::new(envelopes) });
         }
         Ok(Self {
             cfg: model.config().clone(),
@@ -927,6 +927,7 @@ impl RemoteShardedModel {
             head: model.head().clone(),
             plan,
             transport,
+            op: Mutex::new(()),
             state: Mutex::new(RemoteState {
                 groups,
                 events: Vec::new(),
@@ -961,18 +962,24 @@ impl RemoteShardedModel {
     /// failover latency. Also probes dead replicas whose backoff is due
     /// — heartbeats drive rejoin even when no traffic flows. Returns the
     /// liveness snapshot.
+    ///
+    /// Heartbeats double as keep-alives: a cadence shorter than the
+    /// workers' idle deadline stops idle workers from hanging up between
+    /// requests (the coupling [`run_worker_with`] documents).
     pub fn heartbeat(&self) -> HealthReport {
-        let mut st = self.state.lock().expect("remote state");
-        st.maybe_rejoin(&self.transport);
+        let _op = self.op.lock().expect("transport op");
+        self.maybe_rejoin();
+        let mut st = self.lock_state();
         let token: &[u8] = b"fineq-heartbeat";
         for shard in 0..st.groups.len() {
             for replica in 0..st.groups[shard].replicas.len() {
                 let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
                     continue;
                 };
-                let outcome = arm_deadline(conn, self.transport.heartbeat_timeout)
-                    .and_then(|()| Ok(write_frame(conn, KIND_PING, token)?))
-                    .and_then(|()| Ok(read_frame(conn)?))
+                let timeout = self.transport.heartbeat_timeout;
+                let outcome = write_frame_deadline(conn, KIND_PING, token, timeout)
+                    .map_err(TransportError::from)
+                    .and_then(|()| Ok(read_frame_deadline(conn, timeout)?))
                     .and_then(|(kind, payload)| {
                         if kind == KIND_PONG && payload == token {
                             Ok(())
@@ -981,8 +988,7 @@ impl RemoteShardedModel {
                                 "expected PONG echo, got kind {kind:#04x}"
                             )))
                         }
-                    })
-                    .and_then(|()| arm_deadline(conn, self.transport.gather_timeout));
+                    });
                 if let Err(e) = outcome {
                     st.mark_dead(shard, replica, &e);
                 }
@@ -1020,7 +1026,8 @@ impl RemoteShardedModel {
     /// Sends `SHUTDOWN` to every live worker and drops the connections
     /// (best-effort: unreachable workers are ignored).
     pub fn shutdown_workers(&self) {
-        let mut st = self.state.lock().expect("remote state");
+        let _op = self.op.lock().expect("transport op");
+        let mut st = self.lock_state();
         for group in &mut st.groups {
             for replica in &mut group.replicas {
                 if let Some(mut conn) = replica.conn.take() {
@@ -1031,12 +1038,145 @@ impl RemoteShardedModel {
         }
     }
 
+    fn lock_state(&self) -> MutexGuard<'_, RemoteState> {
+        self.state.lock().expect("remote state")
+    }
+
+    /// Runs reconnect probes with **no lock held** during the connect +
+    /// envelope re-ship, reacquiring the state lock only to install each
+    /// outcome. Returns whether any probe revived its replica.
+    fn run_probes(&self, probes: Vec<RejoinProbe>) -> bool {
+        let mut any = false;
+        for probe in probes {
+            let outcome = connect_replica(&probe.addr, &probe.envelopes, &self.transport);
+            any |= self.lock_state().install_probe(probe, outcome, &self.transport.retry);
+        }
+        any
+    }
+
+    /// Advances the retry clock and probes whichever dead replicas are
+    /// due. Called once per gather and per heartbeat, under the op lock
+    /// but never the state lock while connecting.
+    fn maybe_rejoin(&self) {
+        let probes = self.lock_state().plan_due_probes();
+        self.run_probes(probes);
+    }
+
+    /// Last-ditch *blocking* recovery for a group with no live replica:
+    /// up to `budget` rounds of backoff-sleep-then-probe across the
+    /// group's dead replicas. The budget is shared across one logical
+    /// operation (one site gather), so a gather can never stall longer
+    /// than the policy's full schedule. Sleeps and connects hold no
+    /// lock but the op lock.
+    fn blocking_recover(&self, shard: usize, budget: &mut u32) -> Result<(), TransportError> {
+        while *budget > 0 {
+            let attempt = self.transport.retry.max_attempts.saturating_sub(*budget) + 1;
+            *budget -= 1;
+            std::thread::sleep(self.transport.retry.backoff(attempt, shard as u64));
+            let probes = self.lock_state().plan_group_probes(shard);
+            if self.run_probes(probes) {
+                return Ok(());
+            }
+        }
+        Err(TransportError::NoLiveReplica { shard })
+    }
+
+    /// Sends `req` to `shard`'s primary, failing over across spares until
+    /// a send succeeds. Returns the replica the request landed on. An
+    /// exhausted group triggers bounded blocking recovery before the
+    /// typed [`TransportError::NoLiveReplica`] gives up.
+    fn send_gather(
+        &self,
+        shard: usize,
+        req: &[u8],
+        budget: &mut u32,
+    ) -> Result<usize, TransportError> {
+        loop {
+            {
+                let mut st = self.lock_state();
+                if let Ok(replica) = st.elect_primary(shard) {
+                    let conn =
+                        st.groups[shard].replicas[replica].conn.as_mut().expect("elected live");
+                    match write_frame_deadline(
+                        conn,
+                        KIND_GATHER,
+                        req,
+                        self.transport.gather_timeout,
+                    ) {
+                        Ok(()) => return Ok(replica),
+                        Err(e) => st.mark_dead(shard, replica, &TransportError::Frame(e)),
+                    }
+                    continue;
+                }
+            }
+            self.blocking_recover(shard, budget)?;
+        }
+    }
+
+    /// Reads `shard`'s partial from `replica`, validating the reply
+    /// against the plan's range. Any failure — stream, corrupt frame,
+    /// expired deadline, worker `ERROR`, misrouted reply — kills the
+    /// replica and **replays the in-flight request** on the next live
+    /// spare: workers are stateless, so the replayed partial is
+    /// bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn recv_partial(
+        &self,
+        shard: usize,
+        mut replica: usize,
+        req: &[u8],
+        sid: u32,
+        range: (usize, usize),
+        out: &mut Matrix,
+        budget: &mut u32,
+    ) -> Result<(), TransportError> {
+        loop {
+            {
+                let mut st = self.lock_state();
+                let conn = st.groups[shard].replicas[replica].conn.as_mut().expect("sender live");
+                match read_partial(conn, sid, range, out, self.transport.gather_timeout) {
+                    Ok(()) => return Ok(()),
+                    Err(e) => st.mark_dead(shard, replica, &e),
+                }
+            }
+            replica = self.send_gather(shard, req, budget)?;
+        }
+    }
+
+    /// The abort half of the one-in-flight-request invariant: when a
+    /// site gather dies partway, every surviving shard that was already
+    /// sent its half of the broadcast still *owes* a reply — `PARTIAL`s
+    /// carry no request nonce, so leaving one unread would let the next
+    /// same-shaped step consume it as its own (silent corruption) or
+    /// kill a healthy replica as "misrouted" when shapes differ. Read
+    /// and discard the owed reply under the gather deadline; a
+    /// connection that cannot produce it is torn down instead.
+    fn drain_abandoned(
+        &self,
+        involved: &[(usize, (usize, usize))],
+        senders: &[usize],
+        consumed: usize,
+    ) {
+        for (&(shard, _), &replica) in involved.iter().zip(senders).skip(consumed) {
+            let mut st = self.lock_state();
+            let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
+                continue;
+            };
+            match read_frame_deadline(conn, self.transport.gather_timeout) {
+                Ok(_) => {} // owed reply consumed and discarded; connection clean
+                Err(e) => st.mark_dead(shard, replica, &TransportError::Frame(e)),
+            }
+        }
+    }
+
     /// One linear site, distributed: broadcast the activations to every
     /// involved shard's primary first (one in-flight request per
     /// connection — the workers overlap), then gather the partials in
     /// shard order, failing over and replaying on any error. Each call
     /// ticks the rejoin clock, so dead replicas whose backoff is due get
-    /// probed on the way in.
+    /// probed on the way in. On abort, surviving shards' in-flight
+    /// replies are drained ([`RemoteShardedModel::drain_abandoned`]) so
+    /// no stale `PARTIAL` can leak into a later step.
     ///
     /// # Errors
     ///
@@ -1050,12 +1190,12 @@ impl RemoteShardedModel {
         site: WeightSite,
         a: &Matrix,
     ) -> Result<Matrix, TransportError> {
+        let _op = self.op.lock().expect("transport op");
+        self.maybe_rejoin();
         let sp = self.plan.site(layer, site);
         let sid = site_id(layer, site);
         let mut out = Matrix::zeros(a.rows(), sp.rows);
         let req = encode_gather(sid, a);
-        let mut st = self.state.lock().expect("remote state");
-        st.maybe_rejoin(&self.transport);
         let involved: Vec<(usize, (usize, usize))> = (0..self.plan.n_shards())
             .map(|s| (s, sp.range(s)))
             .filter(|&(_, (start, end))| start < end)
@@ -1063,25 +1203,24 @@ impl RemoteShardedModel {
         // One blocking-recovery budget for the whole site gather: a
         // repeatedly-failing group cannot stall a step forever.
         let mut budget = self.transport.retry.max_attempts;
-        // Broadcast half: all sends before any receive.
         let mut senders = Vec::with_capacity(involved.len());
-        for &(shard, _) in &involved {
-            senders.push(st.send_gather(shard, &req, &self.transport, &mut budget)?);
+        let mut consumed = 0usize;
+        let result: Result<(), TransportError> = (|| {
+            // Broadcast half: all sends before any receive.
+            for &(shard, _) in &involved {
+                senders.push(self.send_gather(shard, &req, &mut budget)?);
+            }
+            // Gather half: collect partials; errors replay on spares.
+            for (&(shard, range), &replica) in involved.iter().zip(&senders) {
+                self.recv_partial(shard, replica, &req, sid, range, &mut out, &mut budget)?;
+                consumed += 1;
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            self.drain_abandoned(&involved, &senders, consumed);
         }
-        // Gather half: collect partials; errors replay on spares.
-        for (&(shard, range), &replica) in involved.iter().zip(&senders) {
-            st.recv_partial(
-                shard,
-                replica,
-                &req,
-                sid,
-                range,
-                &mut out,
-                &self.transport,
-                &mut budget,
-            )?;
-        }
-        Ok(out)
+        result.map(|()| out)
     }
 }
 
@@ -1474,5 +1613,183 @@ mod tests {
                 "row {t} partial must be bit-identical to the in-process gather"
             );
         }
+    }
+
+    /// One worker thread on a Unix socket whose listener can be torn
+    /// down (dropping the thread) and later re-bound at the same path —
+    /// the revivable-address property TCP ephemeral ports cannot give.
+    #[cfg(unix)]
+    fn spawn_unix_worker(path: &std::path::Path) -> std::thread::JoinHandle<()> {
+        let listener =
+            Listener::bind(&format!("unix:{}", path.display())).expect("bind unix socket");
+        std::thread::spawn(move || {
+            let mut worker = Worker::new();
+            loop {
+                let Ok(mut conn) = listener.accept() else { return };
+                match serve_connection(&mut conn, &mut worker) {
+                    Ok(true) => return,
+                    Ok(false) | Err(_) => continue,
+                }
+            }
+        })
+    }
+
+    /// The REVIEW drain-on-abort contract: when one shard's group is
+    /// exhausted mid-gather, surviving shards that were already sent the
+    /// broadcast owe a `PARTIAL` — the abort path must read it out, or a
+    /// later step consumes it as its own (`PARTIAL`s carry no nonce).
+    /// Shard 0 must survive the abort unharmed and the fleet must serve
+    /// bit-identically once shard 1 comes back.
+    #[cfg(unix)]
+    #[test]
+    fn aborted_site_gather_drains_owed_replies_from_surviving_shards() {
+        let model = packed_tiny(15);
+        let cfg = model.config().clone();
+        let dir = std::env::temp_dir().join(format!("fineq-drain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("socket dir");
+        let sock0 = dir.join("shard0.sock");
+        let sock1 = dir.join("shard1.sock");
+        let h0 = spawn_unix_worker(&sock0);
+        let h1 = spawn_unix_worker(&sock1);
+        let tc = TransportConfig {
+            connect_timeout: Duration::from_millis(500),
+            retry: RetryPolicy {
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+            ..TransportConfig::default()
+        };
+        let addrs = vec![
+            vec![format!("unix:{}", sock0.display())],
+            vec![format!("unix:{}", sock1.display())],
+        ];
+        let remote = RemoteShardedModel::connect_with(&model, &addrs, tc).expect("connect");
+        let mut cache_r = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let mut cache_u = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let mut scratch = KernelScratch::new();
+        let step1 = remote.forward_step_batch_with(&[1, 2], &[0, 1], &mut cache_r, &mut scratch);
+        assert_eq!(step1, model.forward_step_batch(&[1, 2], &[0, 1], &mut cache_u));
+        // Kill shard 1 terminally: SHUTDOWN stops its worker thread and
+        // drops the listener, so reconnects are refused — but the
+        // coordinator does not know yet, so the next step's broadcast
+        // reaches shard 0 before shard 1's failure aborts the gather.
+        {
+            let mut st = remote.state.lock().expect("state");
+            let mut conn = st.groups[1].replicas[0].conn.take().expect("live");
+            write_frame(&mut conn, KIND_SHUTDOWN, &[]).expect("shutdown shard 1");
+        }
+        h1.join().expect("shard 1 worker");
+        let err = remote
+            .try_forward_step_batch_with(&[3, 4], &[0, 1], &mut cache_r, &mut scratch)
+            .expect_err("an exhausted group must abort the step");
+        assert!(
+            matches!(err, StepError::NoLiveReplica { shard: 1 }),
+            "expected NoLiveReplica for shard 1, got {err}"
+        );
+        // The surviving shard must come through the abort clean: its
+        // owed PARTIAL was drained, so the PING reads a PONG — not the
+        // stale reply — and no shard-0 death is recorded.
+        let health = remote.heartbeat();
+        assert_eq!(health.live_per_shard, vec![1, 0], "shard 0 must survive the abort");
+        let events = remote.take_events();
+        assert!(
+            !events.iter().any(|e| matches!(
+                e,
+                WorkerEvent::WorkerDied { shard: 0, .. } | WorkerEvent::FailedOver { shard: 0, .. }
+            )),
+            "the abort must not harm the surviving shard: {events:?}"
+        );
+        // Shard 1 returns at the same address; fresh caches (the failed
+        // step never committed KV) must serve bit-identically — the
+        // drained connection carries no residue.
+        let h1 = spawn_unix_worker(&sock1);
+        // Rejoin probes are tick-gated by the backoff schedule; each
+        // heartbeat is one tick, so a few of them reach the due tick.
+        assert!((0..50).any(|_| remote.heartbeat().serviceable()), "rejoin must restore service");
+        let mut cache_r2 = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let mut cache_u2 = BatchKvCache::new(cfg.n_layers, cfg.d_model, 2);
+        let step3 = remote.forward_step_batch_with(&[5, 6], &[0, 1], &mut cache_r2, &mut scratch);
+        assert_eq!(
+            step3,
+            model.forward_step_batch(&[5, 6], &[0, 1], &mut cache_u2),
+            "post-recovery steps must be bit-identical"
+        );
+        remote.shutdown_workers();
+        h0.join().expect("shard 0 worker");
+        h1.join().expect("shard 1 worker");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The heartbeat-cadence / worker-idle-deadline coupling documented
+    /// on [`run_worker_with`]: heartbeats inside the idle window keep an
+    /// otherwise-silent connection alive (no deaths); going fully silent
+    /// past the window drops it worker-side, and the next step pays a
+    /// recovered-and-invisible reconnect.
+    #[test]
+    fn heartbeats_within_the_worker_idle_window_keep_connections_alive() {
+        let model = packed_tiny(16);
+        let cfg = model.config().clone();
+        let idle = Duration::from_millis(400);
+        let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let handle = std::thread::spawn(move || {
+            let mut worker = Worker::new();
+            loop {
+                let Ok(mut conn) = listener.accept() else { return };
+                // The run_worker_with idle deadline, inlined so the test
+                // controls the listener's lifetime.
+                let _ = conn.set_read_timeout(Some(idle));
+                let _ = conn.set_write_timeout(Some(idle));
+                match serve_connection(&mut conn, &mut worker) {
+                    Ok(true) => return,
+                    Ok(false) | Err(_) => continue,
+                }
+            }
+        });
+        let tc = TransportConfig {
+            retry: RetryPolicy {
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(20),
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            ..TransportConfig::default()
+        };
+        let remote = RemoteShardedModel::connect_with(&model, &[vec![addr]], tc).expect("connect");
+        let mut cache_r = BatchKvCache::new(cfg.n_layers, cfg.d_model, 1);
+        let mut cache_u = BatchKvCache::new(cfg.n_layers, cfg.d_model, 1);
+        let mut scratch = KernelScratch::new();
+        let step1 = remote.forward_step_batch_with(&[1], &[0], &mut cache_r, &mut scratch);
+        assert_eq!(step1, model.forward_step_batch(&[1], &[0], &mut cache_u));
+        // Six heartbeats at 100ms cadence: ~600ms of traffic-free time,
+        // well past the 400ms idle window, but each PING resets the
+        // worker's idle clock — the connection must stay up.
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(100));
+            assert!(remote.heartbeat().serviceable(), "heartbeats must keep the worker alive");
+        }
+        let step2 = remote.forward_step_batch_with(&[2], &[0], &mut cache_r, &mut scratch);
+        assert_eq!(
+            step2,
+            model.forward_step_batch(&[2], &[0], &mut cache_u),
+            "a heartbeat-kept connection must serve bit-identically"
+        );
+        assert_eq!(remote.transport_health().deaths, 0, "no spurious idle deaths");
+        // Full silence past the idle window: the worker hangs up, the
+        // next step pays one death + rejoin — and stays bit-identical.
+        std::thread::sleep(idle + Duration::from_millis(400));
+        let step3 = remote.forward_step_batch_with(&[3], &[0], &mut cache_r, &mut scratch);
+        assert_eq!(
+            step3,
+            model.forward_step_batch(&[3], &[0], &mut cache_u),
+            "the post-idle reconnect must be output-invisible"
+        );
+        let th = remote.transport_health();
+        assert!(th.deaths >= 1, "the idle hangup must be recorded: {th:?}");
+        assert!(th.rejoins >= 1, "the reconnect must be recorded: {th:?}");
+        remote.shutdown_workers();
+        handle.join().expect("worker thread");
     }
 }
