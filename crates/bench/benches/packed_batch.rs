@@ -582,6 +582,32 @@ fn main() {
         if paged_gate_enforced { "enforced" } else { "recorded only: host has < 4 CPUs" }
     );
 
+    section("serving latency telemetry (enabled registry, monotonic clock)");
+    // One instrumented serving run over the gate workload: the registry's
+    // request-lifecycle histograms yield TTFT and inter-token (decode)
+    // latency percentiles. Histogram buckets are powers of two in µs, so
+    // the reported percentile is the bucket's upper bound — coarse by
+    // design, but stable across runs of the same host class, which is
+    // what bench_trend diffs.
+    let (ttft_us, decode_p50_us, decode_p95_us, decode_p99_us) = {
+        let mut sched = BatchScheduler::new(packed.clone(), 4);
+        let registry = std::sync::Arc::new(fineq::core::MetricsRegistry::new());
+        sched.set_telemetry(Arc::clone(&registry));
+        submit_gate_workload(packed.config().vocab, |r| {
+            sched.submit(r).expect("no KV budget configured");
+        });
+        sched.run();
+        let ttft = registry.histogram("fineq_ttft_us");
+        let inter = registry.histogram("fineq_inter_token_us");
+        (ttft.p50(), inter.p50(), inter.p95(), inter.p99())
+    };
+    let latency_rows_enforced = ttft_us > 0 && decode_p99_us >= decode_p50_us;
+    println!("   ttft p50                      {ttft_us:>10} us (bucket upper bound)");
+    println!(
+        "   inter-token p50/p95/p99       {decode_p50_us:>10} / {decode_p95_us} / \
+         {decode_p99_us} us"
+    );
+
     section("dense reference (same shapes, fp32 weights)");
     let dense_solo16 = solo_loop_tps(&dense, 16);
     let dense_batch16 = batched_tps(&dense, 16);
@@ -621,6 +647,11 @@ fn main() {
         .push("gate_paged_burst_speedup_min", 1.5)
         .push("gate_paged_burst_enforced", paged_gate_enforced)
         .push("gate_paged_matches_unpressured", paged_matches_unpressured)
+        .push("ttft_us", ttft_us as usize)
+        .push("decode_p50_us", decode_p50_us as usize)
+        .push("decode_p95_us", decode_p95_us as usize)
+        .push("decode_p99_us", decode_p99_us as usize)
+        .push("gate_latency_rows_enforced", latency_rows_enforced)
         .push("dense_solo_loop_tokens_per_sec", dense_solo16)
         .push("dense_batch16_tokens_per_sec", dense_batch16)
         .push("batch16_speedup_vs_batch1", speedup16)
@@ -720,6 +751,13 @@ fn main() {
              ({paged_burst_tps:.0} vs {fifo_burst_tps:.0} tok/s) on {host_cpus} CPUs"
         );
     }
+    // Telemetry latency gate: an instrumented run must yield nonzero,
+    // ordered latency percentiles. Pure bookkeeping — enforced anywhere.
+    assert!(
+        latency_rows_enforced,
+        "telemetry latency rows must be nonzero and ordered: ttft {ttft_us}us, \
+         inter-token p50 {decode_p50_us}us p99 {decode_p99_us}us"
+    );
     println!(
         "packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16, \
          {thread_scaling:.2}x at 4 threads, {swar_gemv_speedup:.2}x SWAR GEMV, \

@@ -50,6 +50,7 @@ pub mod quantizer;
 pub mod retry;
 pub mod serialize;
 pub mod stats;
+pub mod telemetry;
 
 pub use cluster::{split_channel, Cluster};
 pub use encoding::ClusterCode;
@@ -62,3 +63,7 @@ pub use quantizer::{FineQConfig, FineQuantizer};
 pub use retry::RetryPolicy;
 pub use serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};
 pub use stats::ClusterStats;
+pub use telemetry::{
+    Clock, Counter, FakeClock, Gauge, Histogram, KernelProfiler, MetricsRegistry, MetricsServer,
+    MetricsSnapshot, MonotonicClock, Span,
+};

@@ -1,0 +1,1083 @@
+//! Dependency-free serving telemetry: sharded-atomic counters, gauges,
+//! fixed-bucket latency histograms, span timing guards, a Prometheus-style
+//! text exposition, and a tiny `std::net` scrape endpoint.
+//!
+//! Design contract (what every instrumented hot path may rely on):
+//!
+//! * **Disabled is one relaxed load.** Every handle embeds the registry's
+//!   shared `enabled` flag; `Counter::add`, `Histogram::record` and
+//!   `Histogram::span` check it first and touch nothing else when it is
+//!   off. Building with `--no-default-features` (the `telemetry` feature
+//!   off) constant-folds that check to `false`, compiling the recording
+//!   paths out entirely — the CI overhead gate compares the two builds.
+//! * **Deterministic under test.** Time comes from a pluggable [`Clock`]:
+//!   [`MonotonicClock`] in production, [`FakeClock`] (manually advanced)
+//!   in tests, so histogram bucket placement is exactly reproducible.
+//! * **Sharded counters.** [`Counter`] spreads increments over
+//!   cache-line-padded shards keyed by a per-thread index, so worker
+//!   threads never contend on one line; reads sum the shards.
+//! * **Fixed power-of-two buckets.** [`Histogram`] buckets are upper
+//!   bounds `1, 2, 4, … 2^25` µs plus an overflow bucket. Percentiles
+//!   report the upper bound of the bucket containing the rank — a
+//!   deterministic, slightly pessimistic figure that needs no samples
+//!   kept.
+//! * **One wire format.** [`MetricsSnapshot`] is the plain-data form of a
+//!   registry; it binary-encodes for the worker `STATS` frame and renders
+//!   the same Prometheus-style text everywhere, so coordinator and worker
+//!   registries aggregate into a single cluster view via
+//!   [`MetricsRegistry::ingest_remote`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read as _, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Monotonic microsecond time source for spans and histograms.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Microseconds since an arbitrary fixed origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// Production clock: microseconds since construction, via [`Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Test clock: time is a plain atomic the test advances by hand, so every
+/// span duration — and therefore every histogram bucket — is chosen by
+/// the test, not the host.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the absolute time in microseconds.
+    pub fn set(&self, micros: u64) {
+        self.now.store(micros, Ordering::SeqCst);
+    }
+
+    /// Advances time by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.now.fetch_add(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_micros(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// The one gate every recording path checks: a single relaxed load when
+/// the `telemetry` feature is compiled in, the constant `false` when not
+/// (letting the optimizer erase the recording branch entirely).
+#[inline(always)]
+fn armed(enabled: &AtomicBool) -> bool {
+    if cfg!(feature = "telemetry") {
+        enabled.load(Ordering::Relaxed)
+    } else {
+        let _ = enabled;
+        false
+    }
+}
+
+/// Increment shards per counter. Eight 64-byte lines bound worst-case
+/// contention without bloating registries that hold dozens of counters.
+const COUNTER_SHARDS: usize = 8;
+
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// The calling thread's counter shard: assigned round-robin on first use,
+/// cached in a thread-local.
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// Monotonically increasing event count, sharded across cache lines.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    fn with_flag(enabled: Arc<AtomicBool>) -> Self {
+        Self { enabled, shards: Default::default() }
+    }
+
+    /// A counter not tied to any registry, always enabled — for tests and
+    /// ad-hoc accounting.
+    pub fn standalone() -> Arc<Self> {
+        Arc::new(Self::with_flag(Arc::new(AtomicBool::new(true))))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if armed(&self.enabled) {
+            self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum over all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Point-in-time signed value (queue depths, live replica counts).
+#[derive(Debug)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn with_flag(enabled: Arc<AtomicBool>) -> Self {
+        Self { enabled, value: AtomicI64::new(0) }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if armed(&self.enabled) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if armed(&self.enabled) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of every histogram: 26 power-of-two upper bounds
+/// (1 µs … ~33.5 s) plus one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 27;
+const FINITE_BUCKETS: usize = HISTOGRAM_BUCKETS - 1;
+
+/// Upper bound (µs, inclusive) of finite bucket `i`: `2^i`.
+pub fn bucket_bound_micros(i: usize) -> u64 {
+    assert!(i < FINITE_BUCKETS, "bucket {i} out of range");
+    1u64 << i
+}
+
+/// The finite bucket holding `v`, or the overflow bucket.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let ceil_log2 = (64 - (v - 1).leading_zeros()) as usize;
+        ceil_log2.min(FINITE_BUCKETS)
+    }
+}
+
+/// Fixed-bucket latency histogram (microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn with_flag(enabled: Arc<AtomicBool>) -> Self {
+        Self {
+            enabled,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram not tied to any registry, always enabled.
+    pub fn standalone() -> Arc<Self> {
+        Arc::new(Self::with_flag(Arc::new(AtomicBool::new(true))))
+    }
+
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        if armed(&self.enabled) {
+            self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(micros, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a drop-timed span over this histogram. When the registry is
+    /// disabled the span is inert: no clock read, no record on drop.
+    pub fn span<'a>(&'a self, clock: &'a dyn Clock) -> Span<'a> {
+        let on = armed(&self.enabled);
+        Span { hist: self, clock, start: if on { clock.now_micros() } else { 0 }, armed: on }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Current plain-data contents.
+    pub fn data(&self) -> HistogramData {
+        HistogramData {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    /// See [`HistogramData::percentile`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.data().percentile(p)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+/// Drop guard that records elapsed time into a histogram.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    clock: &'a dyn Clock,
+    start: u64,
+    armed: bool,
+}
+
+impl Span<'_> {
+    /// Discards the span without recording.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.clock.now_micros().saturating_sub(self.start));
+        }
+    }
+}
+
+/// Plain-data histogram contents: per-bucket counts (length
+/// [`HISTOGRAM_BUCKETS`]), value sum, and total count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramData {
+    pub buckets: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramData {
+    pub fn new() -> Self {
+        Self { buckets: vec![0; HISTOGRAM_BUCKETS], sum: 0, count: 0 }
+    }
+
+    /// Records one value (used by the lock-protected kernel profiler,
+    /// which needs no atomics).
+    pub fn record(&mut self, micros: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+        }
+        self.buckets[bucket_index(micros)] += 1;
+        self.sum += micros;
+        self.count += 1;
+    }
+
+    /// Adds `other`'s buckets into this.
+    pub fn merge(&mut self, other: &HistogramData) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// The upper bound (µs) of the bucket containing rank
+    /// `ceil(p/100 · count)`. Values in the overflow bucket saturate to
+    /// the largest finite bound. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound_micros(i.min(FINITE_BUCKETS - 1));
+            }
+        }
+        bucket_bound_micros(FINITE_BUCKETS - 1)
+    }
+}
+
+/// Decode failure of a [`MetricsSnapshot`] wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    Truncated,
+    BadMagic,
+    BadVersion(u16),
+    BadName,
+}
+
+impl fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "snapshot payload truncated"),
+            Self::BadMagic => write!(f, "snapshot payload has wrong magic"),
+            Self::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            Self::BadName => write!(f, "snapshot metric name is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+const SNAPSHOT_MAGIC: [u8; 4] = *b"FQMS";
+const SNAPSHOT_VERSION: u16 = 1;
+
+/// Plain-data form of a registry: what the worker `STATS` frame carries
+/// and what the text exposition renders.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramData>,
+}
+
+impl MetricsSnapshot {
+    /// Adds `other` into this: counters and histogram buckets add, gauges
+    /// sum (a cluster-wide gauge is the sum of its members).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Versioned little-endian binary encoding, the `STATS` frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_name(out: &mut Vec<u8>, name: &str) {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (name, v) in &self.counters {
+            put_name(&mut out, name);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for (name, v) in &self.gauges {
+            put_name(&mut out, name);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for (name, h) in &self.histograms {
+            put_name(&mut out, name);
+            out.push(h.buckets.len() as u8);
+            for b in &h.buckets {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            out.extend_from_slice(&h.count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes an [`encode`](Self::encode) payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotDecodeError> {
+        struct Cursor<'a>(&'a [u8]);
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotDecodeError> {
+                if self.0.len() < n {
+                    return Err(SnapshotDecodeError::Truncated);
+                }
+                let (head, tail) = self.0.split_at(n);
+                self.0 = tail;
+                Ok(head)
+            }
+            fn u16(&mut self) -> Result<u16, SnapshotDecodeError> {
+                Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+            }
+            fn u32(&mut self) -> Result<u32, SnapshotDecodeError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+            }
+            fn u64(&mut self) -> Result<u64, SnapshotDecodeError> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+            }
+            fn name(&mut self) -> Result<String, SnapshotDecodeError> {
+                let len = self.u16()? as usize;
+                std::str::from_utf8(self.take(len)?)
+                    .map(str::to_owned)
+                    .map_err(|_| SnapshotDecodeError::BadName)
+            }
+        }
+        let mut c = Cursor(bytes);
+        if c.take(4)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotDecodeError::BadMagic);
+        }
+        let version = c.u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotDecodeError::BadVersion(version));
+        }
+        let mut snap = MetricsSnapshot::default();
+        for _ in 0..c.u32()? {
+            let name = c.name()?;
+            snap.counters.insert(name, c.u64()?);
+        }
+        for _ in 0..c.u32()? {
+            let name = c.name()?;
+            snap.gauges.insert(name, c.u64()? as i64);
+        }
+        for _ in 0..c.u32()? {
+            let name = c.name()?;
+            let n_buckets = c.take(1)?[0] as usize;
+            let mut h = HistogramData { buckets: Vec::with_capacity(n_buckets), sum: 0, count: 0 };
+            for _ in 0..n_buckets {
+                h.buckets.push(c.u64()?);
+            }
+            h.sum = c.u64()?;
+            h.count = c.u64()?;
+            snap.histograms.insert(name, h);
+        }
+        Ok(snap)
+    }
+
+    /// Prometheus-style text exposition: counters, then gauges, then
+    /// histograms, each sorted by name; histogram buckets are cumulative
+    /// with `le` upper-bound labels. This format is pinned by a golden
+    /// test — extend it by adding metrics, not by reshaping lines.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().take(FINITE_BUCKETS).enumerate() {
+                cum += c;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    bucket_bound_micros(i)
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+    /// Last snapshot scraped from each remote source (worker), replaced —
+    /// not accumulated — per scrape so re-scraping never double-counts.
+    remote: BTreeMap<String, MetricsSnapshot>,
+}
+
+/// Get-or-register home of every metric handle, plus the scraped remote
+/// snapshots that complete the cluster view.
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<RegistryInner>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry on the production monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A disabled registry: every handle it vends no-ops until
+    /// [`set_enabled`](Self::set_enabled)`(true)`. The default state of
+    /// every scheduler — instrumented but free.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.enabled.store(false, Ordering::Relaxed);
+        r
+    }
+
+    /// An enabled registry on an explicit clock ([`FakeClock`] in tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            enabled: Arc::new(AtomicBool::new(true)),
+            clock,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// One relaxed load (constant `false` when the `telemetry` feature is
+    /// compiled out).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        armed(&self.enabled)
+    }
+
+    pub fn now_micros(&self) -> u64 {
+        self.clock.now_micros()
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get-or-register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.lock();
+        inner
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Counter::with_flag(Arc::clone(&self.enabled))))
+            .clone()
+    }
+
+    /// Get-or-register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.lock();
+        inner
+            .gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Gauge::with_flag(Arc::clone(&self.enabled))))
+            .clone()
+    }
+
+    /// Get-or-register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Histogram::with_flag(Arc::clone(&self.enabled))))
+            .clone()
+    }
+
+    /// Installs (replacing any previous snapshot from the same `source`)
+    /// a scraped remote registry, e.g. one worker's `STATS` reply.
+    pub fn ingest_remote(&self, source: &str, snap: MetricsSnapshot) {
+        self.lock().remote.insert(source.to_owned(), snap);
+    }
+
+    /// Snapshot of this registry's own metrics only.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: inner.histograms.iter().map(|(k, v)| (k.clone(), v.data())).collect(),
+        }
+    }
+
+    /// Own metrics, plus the kernel profiler's (when enabled), plus every
+    /// ingested remote snapshot — the cluster view.
+    pub fn cluster_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.snapshot();
+        if KernelProfiler::enabled() {
+            snap.merge(&KernelProfiler::snapshot());
+        }
+        let inner = self.lock();
+        for remote in inner.remote.values() {
+            snap.merge(remote);
+        }
+        snap
+    }
+
+    /// The text exposition of [`cluster_snapshot`](Self::cluster_snapshot)
+    /// — what the scrape endpoint serves.
+    pub fn render_text(&self) -> String {
+        self.cluster_snapshot().render_text()
+    }
+}
+
+/// Minimal HTTP scrape endpoint: binds a `std::net::TcpListener`, answers
+/// every request with `render()` as `text/plain`, stops on drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves scrapes on a
+    /// background thread until the server is dropped.
+    pub fn serve<F>(addr: &str, render: F) -> std::io::Result<Self>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = std::net::TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut conn, _)) => {
+                        let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+                        let mut req = [0u8; 1024];
+                        let _ = conn.read(&mut req);
+                        let body = render();
+                        let head = format!(
+                            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                             Content-Length: {}\r\nConnection: close\r\n\r\n",
+                            body.len()
+                        );
+                        let _ = conn.write_all(head.as_bytes());
+                        let _ = conn.write_all(body.as_bytes());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+        Ok(Self { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves `:0` to the chosen port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-site kernel decode accounting, recorded under the profiler lock
+/// (sampled calls only — no atomics needed).
+#[derive(Debug, Clone, Default)]
+struct KernelSiteStats {
+    decode: HistogramData,
+    packed_bytes: u64,
+}
+
+static KERNEL_ENABLED: AtomicBool = AtomicBool::new(false);
+static KERNEL_SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
+static KERNEL_TICK: AtomicU64 = AtomicU64::new(0);
+
+fn kernel_sites() -> &'static Mutex<BTreeMap<&'static str, KernelSiteStats>> {
+    static SITES: OnceLock<Mutex<BTreeMap<&'static str, KernelSiteStats>>> = OnceLock::new();
+    SITES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn kernel_clock() -> &'static MonotonicClock {
+    static CLOCK: OnceLock<MonotonicClock> = OnceLock::new();
+    CLOCK.get_or_init(MonotonicClock::new)
+}
+
+/// Process-global, off-by-default kernel profiler for the
+/// `LinearWeight`/`PackedMatrix` decode seam. Disabled cost is one
+/// relaxed load per kernel call; enabled, every `sample_every`-th call is
+/// timed and its packed bytes charged to its site label.
+pub struct KernelProfiler;
+
+impl KernelProfiler {
+    /// Enables sampling: every `sample_every`-th kernel call is timed
+    /// (clamped to ≥ 1).
+    pub fn enable(sample_every: u64) {
+        KERNEL_SAMPLE_EVERY.store(sample_every.max(1), Ordering::Relaxed);
+        KERNEL_ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn disable() {
+        KERNEL_ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    /// One relaxed load — the whole disabled-path cost.
+    #[inline]
+    pub fn enabled() -> bool {
+        cfg!(feature = "telemetry") && KERNEL_ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// `Some(start_micros)` when this call is sampled; pass it to
+    /// [`record`](Self::record) after the kernel returns.
+    #[inline]
+    pub fn begin_sample() -> Option<u64> {
+        if !Self::enabled() {
+            return None;
+        }
+        let every = KERNEL_SAMPLE_EVERY.load(Ordering::Relaxed);
+        if !KERNEL_TICK.fetch_add(1, Ordering::Relaxed).is_multiple_of(every) {
+            return None;
+        }
+        Some(kernel_clock().now_micros())
+    }
+
+    /// Charges a sampled kernel call to `label`.
+    pub fn record(label: &'static str, started_at_micros: u64, packed_bytes: u64) {
+        let elapsed = kernel_clock().now_micros().saturating_sub(started_at_micros);
+        let mut sites = kernel_sites().lock().unwrap_or_else(|e| e.into_inner());
+        let s = sites.entry(label).or_default();
+        s.decode.record(elapsed);
+        s.packed_bytes += packed_bytes;
+    }
+
+    /// Snapshot as `fineq_kernel_<label>_decode_us` histograms and
+    /// `fineq_kernel_<label>_packed_bytes_total` counters.
+    pub fn snapshot() -> MetricsSnapshot {
+        let sites = kernel_sites().lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = MetricsSnapshot::default();
+        for (label, s) in sites.iter() {
+            snap.counters
+                .insert(format!("fineq_kernel_{label}_packed_bytes_total"), s.packed_bytes);
+            snap.histograms.insert(format!("fineq_kernel_{label}_decode_us"), s.decode.clone());
+        }
+        snap
+    }
+
+    /// Clears all recorded site stats and the sampling tick.
+    pub fn reset() {
+        kernel_sites().lock().unwrap_or_else(|e| e.into_inner()).clear();
+        KERNEL_TICK.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_picks_power_of_two_upper_bounds() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 25), FINITE_BUCKETS - 1);
+        assert_eq!(bucket_index((1 << 25) + 1), FINITE_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::disabled();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        c.add(5);
+        h.record(10);
+        drop(h.span(reg.clock().as_ref()));
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        reg.set_enabled(true);
+        c.add(5);
+        h.record(10);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(c.get(), 5);
+            assert_eq!(h.count(), 1);
+        } else {
+            assert_eq!(c.get(), 0);
+            assert_eq!(h.count(), 0);
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn fake_clock_drives_span_buckets_deterministically() {
+        let clock = Arc::new(FakeClock::new());
+        let reg = MetricsRegistry::with_clock(clock.clone());
+        let h = reg.histogram("lat");
+        {
+            let _s = h.span(reg.clock().as_ref());
+            clock.advance(100); // lands in the le="128" bucket
+        }
+        {
+            let _s = h.span(reg.clock().as_ref());
+            clock.advance(3000); // lands in the le="4096" bucket
+        }
+        let data = h.data();
+        assert_eq!(data.count, 2);
+        assert_eq!(data.sum, 3100);
+        assert_eq!(data.buckets[bucket_index(100)], 1);
+        assert_eq!(data.buckets[bucket_index(3000)], 1);
+        assert_eq!(h.p50(), 128);
+        assert_eq!(h.p99(), 4096);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let clock = Arc::new(FakeClock::new());
+        let reg = MetricsRegistry::with_clock(clock.clone());
+        let h = reg.histogram("lat");
+        let s = h.span(reg.clock().as_ref());
+        clock.advance(10);
+        s.cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let h = Histogram::standalone();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p95(), 1024);
+        assert_eq!(h.percentile(90.0), 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn snapshot_roundtrips_through_wire_encoding() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(7);
+        reg.gauge("g").set(-3);
+        reg.histogram("h_us").record(5);
+        let snap = reg.snapshot();
+        let decoded = MetricsSnapshot::decode(&snap.encode()).expect("roundtrip");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        assert_eq!(MetricsSnapshot::decode(b"FQ"), Err(SnapshotDecodeError::Truncated));
+        assert_eq!(MetricsSnapshot::decode(b"xxxx"), Err(SnapshotDecodeError::BadMagic));
+        let mut v = MetricsSnapshot::default().encode();
+        v[4] = 99;
+        assert_eq!(MetricsSnapshot::decode(&v), Err(SnapshotDecodeError::BadVersion(99)));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn merged_snapshots_add_counters_and_buckets() {
+        let a = MetricsRegistry::new();
+        a.counter("c").add(2);
+        a.histogram("h").record(1);
+        let b = MetricsRegistry::new();
+        b.counter("c").add(3);
+        b.histogram("h").record(1);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.histograms["h"].count, 2);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn ingest_remote_replaces_per_source() {
+        let reg = MetricsRegistry::new();
+        reg.counter("local_total").add(1);
+        let mut remote = MetricsSnapshot::default();
+        remote.counters.insert("remote_total".into(), 10);
+        reg.ingest_remote("w0", remote.clone());
+        // Re-scraping the same source replaces, never accumulates.
+        remote.counters.insert("remote_total".into(), 12);
+        reg.ingest_remote("w0", remote);
+        let cluster = reg.cluster_snapshot();
+        assert_eq!(cluster.counters["remote_total"], 12);
+        assert_eq!(cluster.counters["local_total"], 1);
+    }
+
+    /// Golden pin of the text exposition format. If this test needs
+    /// editing, the scrape format changed — bump deliberately.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn golden_text_exposition() {
+        let clock = Arc::new(FakeClock::new());
+        let reg = MetricsRegistry::with_clock(clock);
+        reg.counter("fineq_requests_finished_total").add(3);
+        reg.gauge("fineq_live_replicas").set(4);
+        let h = reg.histogram("fineq_ttft_us");
+        h.record(100);
+        h.record(3000);
+        let text = reg.render_text();
+        let expected = "\
+# TYPE fineq_requests_finished_total counter
+fineq_requests_finished_total 3
+# TYPE fineq_live_replicas gauge
+fineq_live_replicas 4
+# TYPE fineq_ttft_us histogram
+fineq_ttft_us_bucket{le=\"1\"} 0
+fineq_ttft_us_bucket{le=\"2\"} 0
+fineq_ttft_us_bucket{le=\"4\"} 0
+fineq_ttft_us_bucket{le=\"8\"} 0
+fineq_ttft_us_bucket{le=\"16\"} 0
+fineq_ttft_us_bucket{le=\"32\"} 0
+fineq_ttft_us_bucket{le=\"64\"} 0
+fineq_ttft_us_bucket{le=\"128\"} 1
+fineq_ttft_us_bucket{le=\"256\"} 1
+fineq_ttft_us_bucket{le=\"512\"} 1
+fineq_ttft_us_bucket{le=\"1024\"} 1
+fineq_ttft_us_bucket{le=\"2048\"} 1
+fineq_ttft_us_bucket{le=\"4096\"} 2
+fineq_ttft_us_bucket{le=\"8192\"} 2
+fineq_ttft_us_bucket{le=\"16384\"} 2
+fineq_ttft_us_bucket{le=\"32768\"} 2
+fineq_ttft_us_bucket{le=\"65536\"} 2
+fineq_ttft_us_bucket{le=\"131072\"} 2
+fineq_ttft_us_bucket{le=\"262144\"} 2
+fineq_ttft_us_bucket{le=\"524288\"} 2
+fineq_ttft_us_bucket{le=\"1048576\"} 2
+fineq_ttft_us_bucket{le=\"2097152\"} 2
+fineq_ttft_us_bucket{le=\"4194304\"} 2
+fineq_ttft_us_bucket{le=\"8388608\"} 2
+fineq_ttft_us_bucket{le=\"16777216\"} 2
+fineq_ttft_us_bucket{le=\"33554432\"} 2
+fineq_ttft_us_bucket{le=\"+Inf\"} 2
+fineq_ttft_us_sum 3100
+fineq_ttft_us_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_server_serves_the_rendered_text() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("fineq_scrapes_total").add(1);
+        let render_reg = Arc::clone(&reg);
+        let server =
+            MetricsServer::serve("127.0.0.1:0", move || render_reg.render_text()).expect("bind");
+        let mut conn = std::net::TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).expect("response");
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("fineq_scrapes_total 1"), "{resp}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn kernel_profiler_samples_when_enabled() {
+        // Global state: serialize against other tests via the lock itself.
+        KernelProfiler::reset();
+        assert!(KernelProfiler::begin_sample().is_none(), "off by default");
+        KernelProfiler::enable(1);
+        let start = KernelProfiler::begin_sample().expect("sampling every call");
+        KernelProfiler::record("test_site", start, 42);
+        KernelProfiler::disable();
+        let snap = KernelProfiler::snapshot();
+        assert_eq!(snap.counters["fineq_kernel_test_site_packed_bytes_total"], 42);
+        assert_eq!(snap.histograms["fineq_kernel_test_site_decode_us"].count, 1);
+        KernelProfiler::reset();
+    }
+}

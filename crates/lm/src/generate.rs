@@ -947,7 +947,12 @@ impl Transformer {
             slots,
             cache,
             pool,
-            |l, site, a| Ok(self.weight(l, site).matmul_t_with(a, scratch, pool)),
+            // The profiled form: a no-op unless KernelProfiler sampling
+            // is armed, in which case per-site decode time and packed
+            // bytes aggregate under the site's metric label.
+            |l, site, a| {
+                Ok(self.weight(l, site).matmul_t_profiled(site.metric_label(), a, scratch, pool))
+            },
         )
         .unwrap_or_else(|e| match e {})
     }

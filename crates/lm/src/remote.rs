@@ -25,6 +25,7 @@
 //! GATHER   -> site_id, t_len, cols, t_len*cols f32 | reply PARTIAL
 //! PARTIAL  <- site_id, row_start, rows, t_len, t_len*rows f32
 //! PING     -> echo payload                         | reply PONG(payload)
+//! STATS    -> empty payload                        | reply STATS(FQMS snapshot)
 //! SHUTDOWN -> worker exits cleanly                 | no reply
 //! ERROR    <- utf-8 message (malformed but well-framed request)
 //! ```
@@ -84,6 +85,25 @@
 //! [`RemoteShardedModel::transport_health`] exposes the counters
 //! (deaths, failovers, rejoins, retries, timeouts) that `SchedulerStats`
 //! republishes.
+//!
+//! ## Telemetry
+//!
+//! Installing a [`MetricsRegistry`] (via
+//! [`RemoteShardedModel::set_telemetry`], or transitively through
+//! `Scheduler::set_telemetry`) mirrors every robustness counter into the
+//! metrics plane (`fineq_transport_*_total`), tracks live replicas as a
+//! gauge, and records a per-site-kind gather-latency histogram
+//! (`fineq_gather_us_attn_q` … `fineq_gather_us_ffn_down`) around each
+//! distributed linear site. Workers keep their own registry —
+//! [`Worker::handle`] counts loads/gathers/pings and times each gather
+//! kernel — and answer `STATS` frames with an encoded
+//! [`MetricsSnapshot`], which
+//! [`RemoteShardedModel::scrape_worker_stats`] folds into the
+//! coordinator's registry under per-replica source keys so one scrape
+//! endpoint serves the whole cluster view. The counters are bumped at
+//! exactly the sites that mutate the existing [`TransportHealth`]
+//! numbers, so the two planes always agree — and seeded chaos runs
+//! reproduce the metrics bit-for-bit along with the output.
 
 use crate::config::ModelConfig;
 use crate::generate::{batched_step_body, BatchKvCache};
@@ -96,6 +116,7 @@ use fineq_core::frame::{
 };
 use fineq_core::retry::RetryPolicy;
 use fineq_core::serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};
+use fineq_core::telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use fineq_core::{matmul_t_sharded_into, KernelScratch, PackedMatrix};
 use fineq_tensor::Matrix;
 use std::collections::HashMap;
@@ -118,6 +139,9 @@ pub const KIND_PING: u8 = 5;
 pub const KIND_PONG: u8 = 6;
 /// Frame kind: ask the worker process to exit cleanly.
 pub const KIND_SHUTDOWN: u8 = 7;
+/// Frame kind: request (empty payload) or reply (encoded
+/// [`MetricsSnapshot`]) for a worker's local metrics registry.
+pub const KIND_STATS: u8 = 8;
 /// Frame kind: worker-side rejection of a well-framed but malformed
 /// request (payload is a utf-8 message).
 pub const KIND_ERROR: u8 = 0xEE;
@@ -296,21 +320,71 @@ pub enum WorkerReply {
     Shutdown,
 }
 
+/// A worker's local metrics handles: registered once at construction so
+/// the per-frame hot path touches only pre-resolved atomics.
+struct WorkerMetrics {
+    registry: Arc<MetricsRegistry>,
+    loads: Arc<Counter>,
+    gathers: Arc<Counter>,
+    pings: Arc<Counter>,
+    gather_us: Arc<Histogram>,
+    packed_bytes: Arc<Counter>,
+}
+
+impl WorkerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        WorkerMetrics {
+            loads: registry.counter("fineq_worker_loads_total"),
+            gathers: registry.counter("fineq_worker_gathers_total"),
+            pings: registry.counter("fineq_worker_pings_total"),
+            gather_us: registry.histogram("fineq_worker_gather_us"),
+            packed_bytes: registry.counter("fineq_worker_packed_bytes_streamed_total"),
+            registry,
+        }
+    }
+}
+
 /// Worker-side protocol state: the loaded slices plus reused kernel
 /// scratch. [`Worker::handle`] is the pure request → reply step, exposed
 /// so tests and examples can drive a worker in-process (including
 /// injecting failures between frames); [`run_worker`] is the process
-/// entry that wires it to a socket.
-#[derive(Default)]
+/// entry that wires it to a socket. Each worker owns a local
+/// [`MetricsRegistry`] (request counts, gather-kernel latency, packed
+/// bytes streamed) that a coordinator scrapes with a [`KIND_STATS`]
+/// frame — or an operator scrapes directly via the binary's
+/// `--metrics <addr>` endpoint.
 pub struct Worker {
     sites: HashMap<u32, SiteSlice>,
     scratch: KernelScratch,
+    metrics: WorkerMetrics,
+}
+
+impl Default for Worker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Worker {
-    /// An empty worker (no slices loaded).
+    /// An empty worker (no slices loaded) with a fresh enabled registry.
     pub fn new() -> Self {
-        Self { sites: HashMap::new(), scratch: KernelScratch::new() }
+        Self::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// An empty worker recording into `registry` — the form
+    /// [`run_worker_configured`] uses so a metrics endpoint can render
+    /// the same registry the serving loop writes to.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            sites: HashMap::new(),
+            scratch: KernelScratch::new(),
+            metrics: WorkerMetrics::new(registry),
+        }
+    }
+
+    /// The worker's local metrics registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
     }
 
     /// Number of weight-site slices loaded so far.
@@ -333,7 +407,19 @@ impl Worker {
         match kind {
             KIND_LOAD => Ok(self.load(payload)),
             KIND_GATHER => Ok(self.gather(payload)),
-            KIND_PING => Ok(WorkerReply::Frame(KIND_PONG, payload.to_vec())),
+            KIND_PING => {
+                self.metrics.pings.inc();
+                Ok(WorkerReply::Frame(KIND_PONG, payload.to_vec()))
+            }
+            KIND_STATS => {
+                // cluster_snapshot folds in this process's kernel-profile
+                // counters when sampling is on, so one STATS reply carries
+                // the worker's full local view.
+                Ok(WorkerReply::Frame(
+                    KIND_STATS,
+                    self.metrics.registry.cluster_snapshot().encode(),
+                ))
+            }
             KIND_SHUTDOWN => Ok(WorkerReply::Shutdown),
             other => Ok(error_reply(format!("unknown frame kind {other:#04x}"))),
         }
@@ -351,6 +437,7 @@ impl Worker {
             sid,
             SiteSlice { row_start: header.row_start as usize, gather: vec![(0, slice)] },
         );
+        self.metrics.loads.inc();
         WorkerReply::Frame(KIND_LOADED, sid.to_le_bytes().to_vec())
     }
 
@@ -384,8 +471,15 @@ impl Worker {
         // per-channel arithmetic identical to the in-process gather (and
         // therefore to the unsharded engine) at any execution shape.
         let rows = slice.rows();
+        let packed_bytes = slice.storage_bytes() as u64;
         let mut out = Matrix::zeros(a.rows(), rows);
+        let started = self.metrics.registry.enabled().then(|| self.metrics.registry.now_micros());
         matmul_t_sharded_into(&site.gather, &a, &mut out, &mut self.scratch, None);
+        if let Some(t0) = started {
+            self.metrics.gather_us.record(self.metrics.registry.now_micros().saturating_sub(t0));
+            self.metrics.gathers.inc();
+            self.metrics.packed_bytes.add(packed_bytes);
+        }
         let mut reply = Vec::with_capacity(16 + out.as_slice().len() * 4);
         reply.extend_from_slice(&sid.to_le_bytes());
         reply.extend_from_slice(&(site.row_start as u32).to_le_bytes());
@@ -459,12 +553,44 @@ pub fn run_worker(addr: &str) -> Result<(), TransportError> {
 ///
 /// As [`run_worker`].
 pub fn run_worker_with(addr: &str, idle_timeout: Option<Duration>) -> Result<(), TransportError> {
+    run_worker_configured(addr, idle_timeout, None)
+}
+
+/// [`run_worker_with`] plus an optional local metrics endpoint: when
+/// `metrics_addr` is `Some("host:port")`, the worker's registry is
+/// served as Prometheus-style text from that address for the life of
+/// the process (the `fineq-worker --metrics <addr>` flag). The endpoint
+/// renders the same registry [`Worker::handle`] writes to, so an
+/// operator scrape and a coordinator `STATS` scrape always agree.
+///
+/// # Errors
+///
+/// As [`run_worker`]; a metrics endpoint that fails to bind is also a
+/// hard error — an operator who asked for observability should not
+/// silently lose it.
+pub fn run_worker_configured(
+    addr: &str,
+    idle_timeout: Option<Duration>,
+    metrics_addr: Option<&str>,
+) -> Result<(), TransportError> {
     let listener = Listener::bind(addr).map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
     let bound = listener.local_addr().unwrap_or_else(|_| addr.to_string());
     // The parent process parses this line to learn an OS-assigned port.
     println!("fineq-worker listening on {bound}");
     let _ = std::io::stdout().flush();
     let mut worker = Worker::new();
+    let _metrics_server = match metrics_addr {
+        Some(maddr) => {
+            let registry = Arc::clone(worker.registry());
+            let server =
+                fineq_core::telemetry::MetricsServer::serve(maddr, move || registry.render_text())
+                    .map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
+            println!("fineq-worker metrics on {}", server.addr());
+            let _ = std::io::stdout().flush();
+            Some(server)
+        }
+        None => None,
+    };
     loop {
         let mut conn = listener.accept().map_err(|e| TransportError::Frame(FrameError::Io(e)))?;
         if let Some(t) = idle_timeout {
@@ -578,6 +704,42 @@ struct RejoinProbe {
     envelopes: Arc<Vec<Vec<u8>>>,
 }
 
+/// Coordinator-side metrics handles, mirroring every [`TransportHealth`]
+/// counter into an installed [`MetricsRegistry`]. Defaults to a disabled
+/// registry, so un-instrumented deployments pay one relaxed atomic load
+/// per bump. Handles are `Arc`s: cloning out of the state lock is cheap,
+/// which is how the gather path records latency without holding it.
+#[derive(Clone)]
+struct TransportMetrics {
+    registry: Arc<MetricsRegistry>,
+    deaths: Arc<Counter>,
+    failovers: Arc<Counter>,
+    rejoins: Arc<Counter>,
+    retry_attempts: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    live_replicas: Arc<Gauge>,
+    /// One gather-latency histogram per site kind, indexed by
+    /// [`WeightSite::index`] (`fineq_gather_us_attn_q` …).
+    gather_us: [Arc<Histogram>; 6],
+}
+
+impl TransportMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let gather_us = WeightSite::ALL
+            .map(|site| registry.histogram(&format!("fineq_gather_us_{}", site.metric_label())));
+        TransportMetrics {
+            deaths: registry.counter("fineq_transport_deaths_total"),
+            failovers: registry.counter("fineq_transport_failovers_total"),
+            rejoins: registry.counter("fineq_transport_rejoins_total"),
+            retry_attempts: registry.counter("fineq_transport_retry_attempts_total"),
+            timeouts: registry.counter("fineq_transport_timeouts_total"),
+            live_replicas: registry.gauge("fineq_live_replicas"),
+            gather_us,
+            registry,
+        }
+    }
+}
+
 struct RemoteState {
     groups: Vec<Group>,
     events: Vec<WorkerEvent>,
@@ -589,6 +751,9 @@ struct RemoteState {
     rejoins: u64,
     retry_attempts: u64,
     timeouts: u64,
+    /// Mirrors the counters above into the metrics plane; bumped at the
+    /// same sites so the two views can never drift.
+    metrics: TransportMetrics,
 }
 
 /// Connects to one replica and ships it the shard's envelopes: the whole
@@ -636,8 +801,11 @@ impl RemoteState {
             r.attempts = 0;
             r.next_attempt_tick = 0;
             self.deaths += 1;
+            self.metrics.deaths.inc();
+            self.metrics.live_replicas.add(-1);
             if matches!(error, TransportError::Frame(FrameError::TimedOut)) {
                 self.timeouts += 1;
+                self.metrics.timeouts.inc();
             }
             self.events.push(WorkerEvent::WorkerDied {
                 shard,
@@ -660,6 +828,7 @@ impl RemoteState {
             return Err(TransportError::NoLiveReplica { shard });
         };
         self.failovers += 1;
+        self.metrics.failovers.inc();
         self.events.push(WorkerEvent::FailedOver {
             shard,
             from_replica: group.primary,
@@ -691,6 +860,7 @@ impl RemoteState {
             }
         }
         self.retry_attempts += probes.len() as u64;
+        self.metrics.retry_attempts.add(probes.len() as u64);
         probes
     }
 
@@ -712,6 +882,7 @@ impl RemoteState {
             })
             .collect();
         self.retry_attempts += probes.len() as u64;
+        self.metrics.retry_attempts.add(probes.len() as u64);
         probes
     }
 
@@ -738,6 +909,8 @@ impl RemoteState {
                 r.attempts = 0;
                 r.next_attempt_tick = 0;
                 self.rejoins += 1;
+                self.metrics.rejoins.inc();
+                self.metrics.live_replicas.add(1);
                 self.events.push(WorkerEvent::Rejoined {
                     shard: probe.shard,
                     replica: probe.replica,
@@ -937,6 +1110,7 @@ impl RemoteShardedModel {
                 rejoins: 0,
                 retry_attempts: 0,
                 timeouts: 0,
+                metrics: TransportMetrics::new(Arc::new(MetricsRegistry::disabled())),
             }),
         })
     }
@@ -1016,6 +1190,73 @@ impl RemoteShardedModel {
     /// The deadlines and retry policy this coordinator runs under.
     pub fn transport_config(&self) -> &TransportConfig {
         &self.transport
+    }
+
+    /// Installs a [`MetricsRegistry`]: every future death, failover,
+    /// rejoin, retry attempt and timeout is mirrored into
+    /// `fineq_transport_*_total` counters, the `fineq_live_replicas`
+    /// gauge tracks connectivity from the current live count, and each
+    /// site gather records its latency into a per-site-kind histogram.
+    /// Counters in the registry start at zero — the pre-install history
+    /// stays visible through [`RemoteShardedModel::transport_health`].
+    pub fn set_telemetry(&self, registry: Arc<MetricsRegistry>) {
+        let mut st = self.lock_state();
+        let live = st
+            .groups
+            .iter()
+            .map(|g| g.replicas.iter().filter(|r| r.conn.is_some()).count())
+            .sum::<usize>();
+        st.metrics = TransportMetrics::new(registry);
+        st.metrics.live_replicas.set(live as i64);
+    }
+
+    /// Scrapes every live replica's local registry with a [`KIND_STATS`]
+    /// frame (under the heartbeat deadline) and folds the snapshots into
+    /// the installed registry as remote sources keyed
+    /// `shard{s}_replica{r}` — [`MetricsRegistry::cluster_snapshot`] /
+    /// `render_text` then serve the whole cluster from one endpoint.
+    /// Each scrape *replaces* that replica's previous snapshot, so
+    /// cumulative worker counters are never double-counted. A replica
+    /// that fails the scrape is marked dead (same path as a failed
+    /// heartbeat). No-op while telemetry is disabled. Returns the number
+    /// of replicas scraped.
+    pub fn scrape_worker_stats(&self) -> usize {
+        let _op = self.op.lock().expect("transport op");
+        let mut st = self.lock_state();
+        if !st.metrics.registry.enabled() {
+            return 0;
+        }
+        let registry = Arc::clone(&st.metrics.registry);
+        let timeout = self.transport.heartbeat_timeout;
+        let mut scraped = 0;
+        for shard in 0..st.groups.len() {
+            for replica in 0..st.groups[shard].replicas.len() {
+                let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
+                    continue;
+                };
+                let outcome = write_frame_deadline(conn, KIND_STATS, &[], timeout)
+                    .map_err(TransportError::from)
+                    .and_then(|()| Ok(read_frame_deadline(conn, timeout)?))
+                    .and_then(|(kind, payload)| {
+                        if kind != KIND_STATS {
+                            return Err(TransportError::Protocol(format!(
+                                "expected STATS reply, got kind {kind:#04x}"
+                            )));
+                        }
+                        MetricsSnapshot::decode(&payload).map_err(|e| {
+                            TransportError::Protocol(format!("stats snapshot rejected: {e}"))
+                        })
+                    });
+                match outcome {
+                    Ok(snap) => {
+                        registry.ingest_remote(&format!("shard{shard}_replica{replica}"), snap);
+                        scraped += 1;
+                    }
+                    Err(e) => st.mark_dead(shard, replica, &e),
+                }
+            }
+        }
+        scraped
     }
 
     /// Drains the failover/death events recorded since the last call.
@@ -1192,6 +1433,10 @@ impl RemoteShardedModel {
     ) -> Result<Matrix, TransportError> {
         let _op = self.op.lock().expect("transport op");
         self.maybe_rejoin();
+        // Clone the handles out of the state lock: recording must not
+        // hold it across the broadcast/gather I/O below.
+        let tm = self.lock_state().metrics.clone();
+        let started = tm.registry.enabled().then(|| tm.registry.now_micros());
         let sp = self.plan.site(layer, site);
         let sid = site_id(layer, site);
         let mut out = Matrix::zeros(a.rows(), sp.rows);
@@ -1219,6 +1464,9 @@ impl RemoteShardedModel {
         })();
         if result.is_err() {
             self.drain_abandoned(&involved, &senders, consumed);
+        }
+        if let (Ok(()), Some(t0)) = (&result, started) {
+            tm.gather_us[site.index()].record(tm.registry.now_micros().saturating_sub(t0));
         }
         result.map(|()| out)
     }
@@ -1277,6 +1525,10 @@ impl ServeModel for RemoteShardedModel {
 
     fn transport_health(&self) -> Option<TransportHealth> {
         Some(RemoteShardedModel::transport_health(self))
+    }
+
+    fn install_telemetry(&self, registry: &Arc<MetricsRegistry>) {
+        RemoteShardedModel::set_telemetry(self, Arc::clone(registry));
     }
 
     fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>> {

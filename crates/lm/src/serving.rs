@@ -55,9 +55,11 @@ use crate::generate::{sample_token, BatchKvCache};
 use crate::memory::ServingMemory;
 use crate::model::Transformer;
 use crate::shard::ShardedModel;
+use fineq_core::telemetry::{Counter, Histogram, MetricsRegistry};
 use fineq_core::KernelScratch;
 use fineq_tensor::{Matrix, Rng};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One generation request submitted to a [`BatchScheduler`].
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +130,14 @@ struct ActiveSeq {
     /// the sequence with the largest stamp — first, so the oldest work
     /// keeps its cache and finishes.
     admitted_at: u64,
+    /// Registry-clock submission time (0 when telemetry is disabled):
+    /// anchors the queue-wait and TTFT histograms.
+    submitted_us: u64,
+    /// Registry-clock time of the last sampled token (0 until the first):
+    /// anchors the inter-token-latency histogram. Survives preemption, so
+    /// a resumed sequence's first new token records the real gap the
+    /// eviction cost it.
+    last_token_us: u64,
 }
 
 impl ActiveSeq {
@@ -356,6 +366,114 @@ pub struct SchedulerStats {
     pub transport: Option<crate::remote::TransportHealth>,
 }
 
+impl SchedulerStats {
+    /// A stable single-line JSON rendering for the metrics plane: fixed
+    /// field order, integers only, `null` for absent optionals. Pinned by
+    /// tests alongside the Prometheus text exposition — dashboards may
+    /// parse it.
+    pub fn to_json(&self) -> String {
+        let free_pages = self.free_pages.map_or_else(|| "null".to_owned(), |p| p.to_string());
+        let transport = self.transport.as_ref().map_or_else(
+            || "null".to_owned(),
+            |t| {
+                format!(
+                    "{{\"live_replicas\":{},\"dead_replicas\":{},\"deaths\":{},\
+                     \"failovers\":{},\"rejoins\":{},\"retry_attempts\":{},\
+                     \"timeouts\":{},\"deadline_ms\":{}}}",
+                    t.live_replicas,
+                    t.dead_replicas,
+                    t.deaths,
+                    t.failovers,
+                    t.rejoins,
+                    t.retry_attempts,
+                    t.timeouts,
+                    t.deadline_ms
+                )
+            },
+        );
+        format!(
+            "{{\"queued\":{},\"active\":{},\"preempted\":{},\"preemptions\":{},\
+             \"finished\":{},\"allocated_pages\":{},\"free_pages\":{free_pages},\
+             \"shared_pages\":{},\"cow_copies\":{},\"page_tokens\":{},\
+             \"shared_prefix_tokens\":{},\"failed\":{},\"transport\":{transport}}}",
+            self.queued,
+            self.active,
+            self.preempted,
+            self.preemptions,
+            self.finished,
+            self.allocated_pages,
+            self.shared_pages,
+            self.cow_copies,
+            self.page_tokens,
+            self.shared_prefix_tokens,
+            self.failed,
+        )
+    }
+}
+
+/// A queued request plus its registry-clock submission stamp (0 when
+/// telemetry was disabled at submit time).
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    req: ServeRequest,
+    submitted_us: u64,
+}
+
+/// The scheduler's handles into a [`MetricsRegistry`]: request-lifecycle
+/// counters (queued → admitted → finished / failed / preempted) and the
+/// serving latency histograms. Every handle embeds the registry's enabled
+/// flag, so the default disabled registry costs one relaxed load per
+/// record site and **zero clock reads** (time is only sampled when
+/// [`ServingMetrics::now`] returns `Some`). Telemetry never feeds back
+/// into scheduling decisions — it is output-invisible by construction.
+#[derive(Debug, Clone)]
+struct ServingMetrics {
+    registry: Arc<MetricsRegistry>,
+    submitted: Arc<Counter>,
+    admitted: Arc<Counter>,
+    resumed: Arc<Counter>,
+    finished: Arc<Counter>,
+    failed: Arc<Counter>,
+    preempted: Arc<Counter>,
+    steps: Arc<Counter>,
+    stepped_tokens: Arc<Counter>,
+    queue_wait_us: Arc<Histogram>,
+    ttft_us: Arc<Histogram>,
+    inter_token_us: Arc<Histogram>,
+    step_us: Arc<Histogram>,
+}
+
+impl ServingMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            submitted: registry.counter("fineq_requests_submitted_total"),
+            admitted: registry.counter("fineq_requests_admitted_total"),
+            resumed: registry.counter("fineq_requests_resumed_total"),
+            finished: registry.counter("fineq_requests_finished_total"),
+            failed: registry.counter("fineq_requests_failed_total"),
+            preempted: registry.counter("fineq_preemptions_total"),
+            steps: registry.counter("fineq_steps_total"),
+            stepped_tokens: registry.counter("fineq_stepped_tokens_total"),
+            queue_wait_us: registry.histogram("fineq_queue_wait_us"),
+            ttft_us: registry.histogram("fineq_ttft_us"),
+            inter_token_us: registry.histogram("fineq_inter_token_us"),
+            step_us: registry.histogram("fineq_step_us"),
+            registry,
+        }
+    }
+
+    /// The registry clock, read only when telemetry is live — the
+    /// disabled path never touches a clock.
+    #[inline]
+    fn now(&self) -> Option<u64> {
+        if self.registry.enabled() {
+            Some(self.registry.now_micros())
+        } else {
+            None
+        }
+    }
+}
+
 /// The engine-independent half of a continuous-batching scheduler: the
 /// request queue, sequence slots, sampling state and retirement logic.
 /// [`BatchScheduler`] and [`ShardedScheduler`] both drive this exact state
@@ -364,7 +482,7 @@ pub struct SchedulerStats {
 #[derive(Debug, Clone)]
 struct SchedulerCore {
     slots: Vec<Option<ActiveSeq>>,
-    queue: VecDeque<ServeRequest>,
+    queue: VecDeque<QueuedRequest>,
     /// Sequences evicted under pool pressure, in eviction order. Resumes
     /// take priority over the FIFO queue so preempted work cannot starve.
     preempted: VecDeque<ActiveSeq>,
@@ -385,6 +503,10 @@ struct SchedulerCore {
     preemption_events: Vec<PreemptionEvent>,
     /// Monotonic admission stamp source (counts re-admissions too).
     admit_counter: u64,
+    /// Registry handles for lifecycle counters and latency histograms;
+    /// points at a disabled registry until `set_telemetry` installs a
+    /// live one.
+    metrics: ServingMetrics,
 }
 
 impl SchedulerCore {
@@ -405,6 +527,7 @@ impl SchedulerCore {
             preemptions: 0,
             preemption_events: Vec::new(),
             admit_counter: 0,
+            metrics: ServingMetrics::new(Arc::new(MetricsRegistry::disabled())),
         }
     }
 
@@ -431,7 +554,9 @@ impl SchedulerCore {
                 budget_pages,
             )?;
         }
-        self.queue.push_back(request);
+        self.metrics.submitted.inc();
+        let submitted_us = self.metrics.now().unwrap_or(0);
+        self.queue.push_back(QueuedRequest { req: request, submitted_us });
         Ok(())
     }
 
@@ -466,8 +591,8 @@ impl SchedulerCore {
         // already-queued impossible request would block the FIFO head
         // forever and `run` would spin without progress. Rejecting the
         // installation leaves the scheduler exactly as it was.
-        for req in &self.queue {
-            kv.check_request_feasible(req, page_tokens)?;
+        for queued in &self.queue {
+            kv.check_request_feasible(&queued.req, page_tokens)?;
         }
         self.kv_budget = Some(kv);
         Ok(())
@@ -485,7 +610,7 @@ impl SchedulerCore {
         let bounds = self
             .queue
             .iter()
-            .map(|r| (r.id, KvBudget::bound_tokens(r.prompt.len(), r.max_new_tokens)))
+            .map(|q| (q.req.id, KvBudget::bound_tokens(q.req.prompt.len(), q.req.max_new_tokens)))
             .chain(
                 self.preempted
                     .iter()
@@ -566,6 +691,7 @@ impl SchedulerCore {
     /// the FIFO queue; under a budget the head waits — no skip-ahead —
     /// until headroom opens up.
     fn admit(&mut self, cache: &mut BatchKvCache) {
+        let now = self.metrics.now();
         for slot in 0..self.slots.len() {
             if self.slots[slot].is_some() {
                 continue;
@@ -575,14 +701,20 @@ impl SchedulerCore {
                     break;
                 }
                 let seq = self.preempted.pop_front().expect("peeked head exists");
+                self.metrics.resumed.inc();
                 self.install(slot, seq, cache);
                 continue;
             }
             let Some(head) = self.queue.front() else { break };
-            if !self.fits_budgets(head.prompt.len(), head.max_new_tokens, cache) {
+            if !self.fits_budgets(head.req.prompt.len(), head.req.max_new_tokens, cache) {
                 break;
             }
-            let req = self.queue.pop_front().expect("peeked head exists");
+            let queued = self.queue.pop_front().expect("peeked head exists");
+            self.metrics.admitted.inc();
+            if let Some(now) = now {
+                self.metrics.queue_wait_us.record(now.saturating_sub(queued.submitted_us));
+            }
+            let req = queued.req;
             self.install(
                 slot,
                 ActiveSeq {
@@ -596,6 +728,8 @@ impl SchedulerCore {
                     eos: req.eos,
                     rng: Rng::seed_from(req.seed),
                     admitted_at: 0,
+                    submitted_us: queued.submitted_us,
+                    last_token_us: 0,
                 },
                 cache,
             );
@@ -634,6 +768,7 @@ impl SchedulerCore {
             cache.reset_slot(victim);
             self.preempted.push_back(seq);
             self.preemptions += 1;
+            self.metrics.preempted.inc();
         }
     }
 
@@ -656,6 +791,12 @@ impl SchedulerCore {
     fn finish_step(&mut self, logits: &Matrix, slot_ids: &[usize], cache: &mut BatchKvCache) {
         self.steps += 1;
         self.stepped_tokens += slot_ids.len() as u64;
+        self.metrics.steps.inc();
+        self.metrics.stepped_tokens.add(slot_ids.len() as u64);
+        // One clock read per step, shared by every row below — per-token
+        // latency resolution is the step, which is exactly the grain the
+        // batched engine schedules at.
+        let now = self.metrics.now();
         for (row, &slot) in slot_ids.iter().enumerate() {
             let seq = self.slots[slot].as_mut().expect("stepped slot is occupied");
             seq.fed += 1;
@@ -680,6 +821,16 @@ impl SchedulerCore {
             // helper `Transformer::generate` uses.
             let tok = sample_token(logits.row(row), seq.temperature, &mut seq.rng);
             seq.generated.push(tok);
+            if let Some(now) = now {
+                if seq.generated.len() == 1 {
+                    // First token of the request (a resumed sequence replays
+                    // past this branch): TTFT from submission.
+                    self.metrics.ttft_us.record(now.saturating_sub(seq.submitted_us));
+                } else if seq.last_token_us > 0 {
+                    self.metrics.inter_token_us.record(now.saturating_sub(seq.last_token_us));
+                }
+                seq.last_token_us = now;
+            }
             let hit_eos = seq.eos == Some(tok);
             let spent = seq.generated.len() >= seq.max_new_tokens;
             if hit_eos || spent {
@@ -688,6 +839,7 @@ impl SchedulerCore {
                 // no cache, and KV-headroom accounting sees only live
                 // sequences.
                 cache.reset_slot(slot);
+                self.metrics.finished.inc();
                 self.finished.push(FinishedSequence {
                     id: seq.id,
                     prompt_len: seq.prompt.len(),
@@ -709,6 +861,8 @@ impl SchedulerCore {
     fn fail_step(&mut self, slot_ids: &[usize], error: &StepError, cache: &mut BatchKvCache) {
         self.steps += 1;
         self.failed_steps += 1;
+        self.metrics.steps.inc();
+        self.metrics.failed.add(slot_ids.len() as u64);
         for &slot in slot_ids {
             let seq = self.slots[slot].take().expect("stepped slot is occupied");
             cache.reset_slot(slot);
@@ -776,6 +930,13 @@ pub trait ServeModel {
     fn transport_health(&self) -> Option<crate::remote::TransportHealth> {
         None
     }
+
+    /// Hands the model the scheduler's metrics registry so engine-side
+    /// layers (the distributed transport) can fold their own counters and
+    /// histograms into the same plane. In-process engines have nothing to
+    /// report beyond what the scheduler already records — the default is
+    /// a no-op.
+    fn install_telemetry(&self, _registry: &Arc<MetricsRegistry>) {}
 
     /// The execution thread pool, if one is installed.
     fn thread_pool(&self) -> Option<&std::sync::Arc<fineq_core::ThreadPool>>;
@@ -1030,6 +1191,25 @@ impl<M: ServeModel> Scheduler<M> {
         std::mem::take(&mut self.core.preemption_events)
     }
 
+    /// Installs a [`MetricsRegistry`] as this scheduler's telemetry
+    /// plane: request-lifecycle counters, queue-wait/TTFT/inter-token/
+    /// step-latency histograms, and (through
+    /// [`ServeModel::install_telemetry`]) whatever the engine itself
+    /// records — the distributed transport folds its per-site gather
+    /// histograms and death/failover/rejoin counters into the same
+    /// registry. Telemetry is pure observation: enabling it never changes
+    /// served tokens (the repo-wide determinism contract).
+    pub fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        self.model.install_telemetry(&registry);
+        self.core.metrics = ServingMetrics::new(registry);
+    }
+
+    /// The scheduler's metrics registry (the default is a disabled one:
+    /// instrumented but free).
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.core.metrics.registry
+    }
+
     /// A point-in-time occupancy snapshot: request states and page-pool
     /// spend. Cheap — counters and free-list arithmetic only.
     pub fn stats(&self) -> SchedulerStats {
@@ -1082,6 +1262,7 @@ impl<M: ServeModel> Scheduler<M> {
     ///
     /// Returns the number of sequences stepped (0 when idle).
     pub fn step(&mut self) -> usize {
+        let step_started = self.core.metrics.now();
         self.core.admit(&mut self.cache);
         self.core.preempt_for_headroom(&mut self.cache);
         let (tokens, slot_ids) = self.core.step_inputs();
@@ -1096,6 +1277,10 @@ impl<M: ServeModel> Scheduler<M> {
         ) {
             Ok(logits) => self.core.finish_step(&logits, &slot_ids, &mut self.cache),
             Err(e) => self.core.fail_step(&slot_ids, &e, &mut self.cache),
+        }
+        if let Some(t0) = step_started {
+            let elapsed = self.core.metrics.registry.now_micros().saturating_sub(t0);
+            self.core.metrics.step_us.record(elapsed);
         }
         tokens.len()
     }

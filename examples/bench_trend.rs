@@ -10,8 +10,13 @@
 //! fresh report (`gate_*_enforced: true` — gates self-disable on hosts
 //! that cannot support them, e.g. thread scaling on 1 CPU) emits a GitHub
 //! `::warning` annotation; regressions on unenforced rows emit `::notice`.
-//! Always exits 0 — the trend step is an early-warning light, not a gate;
-//! the hard gates live in the bench itself.
+//! Latency rows (`*_us`: TTFT and inter-token percentiles from the
+//! telemetry histograms) are diffed too, with the direction inverted —
+//! *growth* is the regression — and a coarser threshold: the histograms
+//! bucket by powers of two, so anything short of a full bucket step
+//! (2x) is within measurement grain. Always exits 0 — the trend step is
+//! an early-warning light, not a gate; the hard gates live in the bench
+//! itself.
 
 use std::collections::BTreeMap;
 
@@ -21,10 +26,18 @@ const GATED_ROWS: &[(&str, &str)] = &[
     ("swar_gemv_weights_per_sec", "gate_swar_gemv_enforced"),
     ("threads_tokens_per_sec.4", "gate_thread_scaling_enforced"),
     ("paged_burst_tokens_per_sec", "gate_paged_burst_enforced"),
+    ("ttft_us", "gate_latency_rows_enforced"),
+    ("decode_p50_us", "gate_latency_rows_enforced"),
+    ("decode_p95_us", "gate_latency_rows_enforced"),
+    ("decode_p99_us", "gate_latency_rows_enforced"),
 ];
 
-/// Regression depth that triggers an annotation.
+/// Regression depth that triggers an annotation on throughput rows.
 const THRESHOLD: f64 = 0.10;
+
+/// Growth factor that triggers an annotation on latency (`*_us`) rows:
+/// one full power-of-two histogram bucket.
+const LATENCY_FACTOR: f64 = 2.0;
 
 /// A minimal JSON reader for the bench report's shape: objects, strings,
 /// numbers, booleans. Numeric leaves are flattened to dotted keys
@@ -177,7 +190,42 @@ fn main() {
             );
         }
     }
+    for (key, &before) in &committed.nums {
+        if !key.ends_with("_us") || before <= 0.0 {
+            continue;
+        }
+        let Some(&after) = fresh.nums.get(key) else {
+            println!("::notice title=bench row vanished::{key} is in the committed report only");
+            continue;
+        };
+        let enforced = GATED_ROWS
+            .iter()
+            .find(|(row, _)| row == key)
+            .is_none_or(|(_, flag)| fresh.bools.get(*flag).copied().unwrap_or(false));
+        // Latency: growth is the regression, and the histograms quantize
+        // to power-of-two buckets, so only a full bucket step is signal.
+        let grew = after >= before * LATENCY_FACTOR;
+        let marker = if grew { " <-- latency regression" } else { "" };
+        println!(
+            "  {key:<38} {before:>14.0} -> {after:>14.0}  ({:+.1}%){marker}",
+            (after / before - 1.0) * 100.0
+        );
+        if grew {
+            regressions += 1;
+            let level = if enforced { "warning" } else { "notice" };
+            println!(
+                "::{level} title=bench trend: {key} grew {:.1}x::\
+                 {key} rose from {before:.0}us to {after:.0}us vs the committed report \
+                 ({}). A full histogram bucket of latency appeared — investigate.",
+                after / before,
+                if enforced { "enforced row" } else { "gate self-disabled on this host" },
+            );
+        }
+    }
     if regressions == 0 {
-        println!("no throughput row regressed more than {:.0}%", THRESHOLD * 100.0);
+        println!(
+            "no throughput row regressed more than {:.0}% and no latency row grew a full bucket",
+            THRESHOLD * 100.0
+        );
     }
 }

@@ -5,36 +5,54 @@
 //! port `0` picks a free one — or `unix:/path`), announces the bound
 //! address on stdout, then serves coordinator connections: `LOAD` frames
 //! ship FNQS weight-slice envelopes, `GATHER` frames request batched
-//! partial matmuls, `PING` health-checks, `SHUTDOWN` exits (removing a
-//! Unix socket file on the way out). An optional second argument sets a
-//! per-connection idle deadline in milliseconds — a coordinator that
-//! hangs mid-frame longer than that gets its connection dropped instead
-//! of wedging the worker forever (`0` disables the deadline, the
-//! default). See `fineq_lm::remote` for the protocol and the
-//! failover/replay contract.
+//! partial matmuls, `PING` health-checks, `STATS` snapshots the worker's
+//! local metrics registry, `SHUTDOWN` exits (removing a Unix socket file
+//! on the way out). An optional second argument sets a per-connection
+//! idle deadline in milliseconds — a coordinator that hangs mid-frame
+//! longer than that gets its connection dropped instead of wedging the
+//! worker forever (`0` disables the deadline, the default).
+//! `--metrics <host:port>` additionally serves the registry as
+//! Prometheus-style text from that address, announced on stdout, for
+//! direct operator scrapes. See `fineq_lm::remote` for the protocol and
+//! the failover/replay contract.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
     let usage = || {
-        eprintln!("usage: fineq-worker <tcp:host:port | unix:/path> [idle-timeout-ms]");
+        eprintln!(
+            "usage: fineq-worker <tcp:host:port | unix:/path> [idle-timeout-ms] \
+             [--metrics <host:port>]"
+        );
         ExitCode::from(2)
     };
-    let Some(addr) = args.next() else {
+    let mut addr = None;
+    let mut idle = None;
+    let mut metrics = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            match (metrics.is_none(), args.next()) {
+                (true, Some(m)) => metrics = Some(m),
+                _ => return usage(),
+            }
+        } else if addr.is_none() {
+            addr = Some(arg);
+        } else if idle.is_none() {
+            match arg.parse::<u64>() {
+                Ok(0) => idle = Some(None),
+                Ok(ms) => idle = Some(Some(Duration::from_millis(ms))),
+                Err(_) => return usage(),
+            }
+        } else {
+            return usage();
+        }
+    }
+    let Some(addr) = addr else {
         return usage();
     };
-    let idle = match (args.next(), args.next()) {
-        (None, _) => None,
-        (Some(ms), None) => match ms.parse::<u64>() {
-            Ok(0) => None,
-            Ok(ms) => Some(Duration::from_millis(ms)),
-            Err(_) => return usage(),
-        },
-        (Some(_), Some(_)) => return usage(),
-    };
-    match fineq_lm::run_worker_with(&addr, idle) {
+    match fineq_lm::run_worker_configured(&addr, idle.flatten(), metrics.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("fineq-worker: {e}");

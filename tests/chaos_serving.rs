@@ -437,3 +437,72 @@ fn seeded_fault_scripts_reproduce() {
     let (kind, payload) = fineq::core::frame::read_frame(&mut conn).expect("pong");
     assert_eq!((kind, payload.as_slice()), (KIND_PONG, b"through the proxy".as_slice()));
 }
+
+/// Telemetry determinism: the same seeded fault scenario, run twice
+/// against fresh worker fleets with fresh registries, produces the exact
+/// same robustness counters — deaths, failovers, rejoins, retry
+/// attempts, timeouts — and the registry's mirrored counters never drift
+/// from [`TransportHealth`]'s. Fault scripts are byte-deterministic and
+/// retry/rejoin scheduling is tick-based, so observability inherits the
+/// transport's reproducibility.
+#[test]
+fn telemetry_counters_reproduce_by_seed() {
+    use fineq::core::MetricsRegistry;
+    use std::sync::Arc;
+
+    fn run_once(model: &Transformer) -> (Vec<FinishedSequence>, [u64; 5]) {
+        let vocab = model.config().vocab;
+        let mut workers: Vec<ChaosWorker> = Vec::new();
+        let mut addrs: Vec<String> = Vec::new();
+        for r in 0..2 {
+            let plan =
+                (r == 0).then(|| FaultPlan::first_connection(FaultScript::cut_after(FAULT_AFTER)));
+            let w = ChaosWorker::spawn(plan);
+            addrs.push(w.dial_addr());
+            workers.push(w);
+        }
+        let remote = RemoteShardedModel::connect_with(model, &[addrs], chaos_transport())
+            .expect("connect through the fault proxy");
+        let mut sched = DistributedScheduler::new(remote, 4);
+        let registry = Arc::new(MetricsRegistry::new());
+        sched.set_telemetry(Arc::clone(&registry));
+        chaos_workload(vocab, |r| sched.submit(r).expect("no KV budget"));
+        let done = sched.run();
+        assert_eq!(sched.take_failed(), vec![], "the spare must mask the cut");
+        let th = sched.stats().transport.expect("transport health");
+        for (counter, want) in [
+            ("fineq_transport_deaths_total", th.deaths),
+            ("fineq_transport_failovers_total", th.failovers),
+            ("fineq_transport_rejoins_total", th.rejoins),
+            ("fineq_transport_retry_attempts_total", th.retry_attempts),
+            ("fineq_transport_timeouts_total", th.timeouts),
+        ] {
+            assert_eq!(
+                registry.counter(counter).get(),
+                want,
+                "{counter} must never drift from TransportHealth: {th:?}"
+            );
+        }
+        sched.model().shutdown_workers();
+        (done, [th.deaths, th.failovers, th.rejoins, th.retry_attempts, th.timeouts])
+    }
+
+    let model = packed_model(9);
+
+    let limit = Duration::from_secs(120);
+    let (first, counters_a) = with_watchdog("telemetry-determinism-run1", limit, {
+        let model = model.clone();
+        move || run_once(&model)
+    });
+    let (second, counters_b) = with_watchdog("telemetry-determinism-run2", limit, {
+        let model = model.clone();
+        move || run_once(&model)
+    });
+    assert_eq!(first, second, "seeded chaos must serve bit-identically across runs");
+    assert_eq!(
+        counters_a, counters_b,
+        "deaths/failovers/rejoins/retries/timeouts must reproduce exactly by seed"
+    );
+    assert!(counters_a[0] >= 1, "the scripted cut must register as a death: {counters_a:?}");
+    assert_eq!(counters_a[1], 1, "exactly one failover to the spare: {counters_a:?}");
+}
