@@ -48,13 +48,21 @@
 //!   fault proxy must reproduce the unsharded output hash exactly, and
 //!   the death/failover/rejoin/retry counters (recorded as rows) must
 //!   each show the recovery actually happened (enforced on every host —
-//!   robustness is semantics, not throughput).
+//!   robustness is semantics, not throughput);
+//! * pipelined gathers: serving the gate workload through two worker
+//!   shards with the nonce-tagged in-flight window at depth 3 must beat
+//!   the same run forced to depth 1 (serial send→recv per site) by
+//!   ≥ 1.15× (enforced on ≥ 4-CPU hosts, recorded-only on narrower
+//!   containers), and both depths must reproduce the unsharded output
+//!   hash exactly (enforced everywhere — window depth is execution
+//!   configuration, never semantics).
 
 use fineq::core::{FaultPlan, FaultProxy, FaultScript, FineQuantizer, ThreadPool};
 use fineq::lm::builder::{llm_like_matrix, BuilderSpec};
 use fineq::lm::{
     run_worker_with, BatchKvCache, BatchScheduler, DistributedScheduler, KvCache, ModelConfig,
-    RemoteShardedModel, ServeRequest, ShardedModel, ShardedScheduler, Transformer, WeightSite,
+    RemoteShardedModel, ServeRequest, ShardedModel, ShardedScheduler, Transformer, TransportConfig,
+    WeightSite,
 };
 use fineq::tensor::{Matrix, Rng};
 use fineq_bench::report::{JsonValue, Report};
@@ -502,6 +510,71 @@ fn main() {
     let (chaos_hash, chaos_th) = chaos_health;
     let chaos_matches_unsharded = chaos_hash == unsharded_hash;
 
+    section("pipelined gather overlap (nonce-tagged window vs serial, runs on any host)");
+    // The same gate workload served through two single-replica shard
+    // groups on unix-socket workers, once with the in-flight window
+    // forced to depth 1 (strictly serial send->recv per weight site) and
+    // once at depth 3 (the Q/K/V gathers ride each connection back to
+    // back and complete out of order by nonce). Output must be
+    // bit-identical to the unsharded scheduler at both depths — overlap
+    // is execution configuration, never semantics — and the depth-3 run
+    // should beat serial wherever coordinator and worker compute can
+    // actually overlap (enforced at >= 4 CPUs, recorded-only below).
+    let (pipe0_addr, pipe0_handle) = spawn_unix_worker("pipe-0");
+    let (pipe1_addr, pipe1_handle) = spawn_unix_worker("pipe-1");
+    let pipe_groups = vec![vec![pipe0_addr.clone()], vec![pipe1_addr.clone()]];
+    let serve_at_depth = |depth: usize| -> (u64, f64) {
+        let remote = RemoteShardedModel::connect_with(
+            &packed,
+            &pipe_groups,
+            TransportConfig { pipeline_depth: depth, ..TransportConfig::default() },
+        )
+        .expect("connect pipelined-gather bench coordinator");
+        let mut sched = DistributedScheduler::new(remote, 4);
+        let mut hash = 0u64;
+        let tps = tokens_per_sec(|| {
+            submit_gate_workload(packed.config().vocab, |r| {
+                sched.submit(r).expect("no KV budget configured");
+            });
+            let done = sched.run();
+            let tokens = delivered_tokens(&done);
+            hash = finished_hash(done);
+            tokens
+        });
+        // Drop the connections without shutting the workers down — the
+        // other depth reconnects through the same accept loops.
+        drop(sched);
+        (hash, tps)
+    };
+    let (serial_hash, serial_gather_tps) = serve_at_depth(1);
+    let (pipelined_hash, pipelined_gather_tps) = serve_at_depth(3);
+    for addr in [&pipe0_addr, &pipe1_addr] {
+        if let Ok(mut conn) = fineq::core::frame::Stream::connect(addr) {
+            const KIND_SHUTDOWN: u8 = 7;
+            let _ = fineq::core::frame::write_frame(&mut conn, KIND_SHUTDOWN, &[]);
+        }
+    }
+    pipe0_handle.join().expect("pipelined bench worker 0");
+    pipe1_handle.join().expect("pipelined bench worker 1");
+    let pipelined_gather_speedup = pipelined_gather_tps / serial_gather_tps;
+    let pipelined_gate_enforced = host_cpus >= 4;
+    let pipelined_matches_unsharded =
+        serial_hash == unsharded_hash && pipelined_hash == unsharded_hash;
+    println!(
+        "   depth 1 (serial)              {serial_gather_tps:>10.0} tok/s  hash \
+         {serial_hash:016x}  {}",
+        if serial_hash == unsharded_hash { "== unsharded" } else { "MISMATCH" }
+    );
+    println!(
+        "   depth 3 (pipelined)           {pipelined_gather_tps:>10.0} tok/s  hash \
+         {pipelined_hash:016x}  {}",
+        if pipelined_hash == unsharded_hash { "== unsharded" } else { "MISMATCH" }
+    );
+    println!(
+        "   pipelined / serial: {pipelined_gather_speedup:.2}x   (gate >= 1.15x, {})",
+        if pipelined_gate_enforced { "enforced" } else { "recorded only: host has < 4 CPUs" }
+    );
+
     section("paged-KV burst (shared-prefix prompts through a tight page pool)");
     let plan = fineq::lm::ServingMemory::from_model(&packed, 1e12);
     let burst = burst_requests(packed.config().vocab);
@@ -638,6 +711,12 @@ fn main() {
         .push("chaos_retry_attempts", chaos_th.retry_attempts as usize)
         .push("chaos_timeouts", chaos_th.timeouts as usize)
         .push("gate_chaos_matches_unsharded", chaos_matches_unsharded)
+        .push("serial_gather_tokens_per_sec", serial_gather_tps)
+        .push("pipelined_gather_tokens_per_sec", pipelined_gather_tps)
+        .push("pipelined_gather_speedup_vs_serial", pipelined_gather_speedup)
+        .push("gate_pipelined_speedup_min", 1.15)
+        .push("gate_pipelined_enforced", pipelined_gate_enforced)
+        .push("gate_pipelined_matches_unsharded", pipelined_matches_unsharded)
         .push("paged_burst_tokens_per_sec", paged_burst_tps)
         .push("fifo_burst_tokens_per_sec", fifo_burst_tps)
         .push("kv_bytes_saved_by_sharing", kv_bytes_saved.max(0) as usize)
@@ -725,6 +804,23 @@ fn main() {
         chaos_th.rejoins >= 1 && chaos_th.retry_attempts >= 1,
         "the cut replica must have rejoined through the healed proxy: {chaos_th:?}"
     );
+    // Pipelined-gather determinism gate: window depth is execution
+    // configuration, never semantics — enforced on every host. The
+    // overlap *speedup* is a perf property, enforced only where the host
+    // can actually overlap coordinator and worker compute.
+    assert!(
+        pipelined_matches_unsharded,
+        "pipelined gather output diverged from the unsharded scheduler (serial \
+         {serial_hash:016x}, pipelined {pipelined_hash:016x}, reference {unsharded_hash:016x})"
+    );
+    if pipelined_gate_enforced {
+        assert!(
+            pipelined_gather_speedup >= 1.15,
+            "depth-3 pipelined gathers must deliver >=1.15x serial site round trips, got \
+             {pipelined_gather_speedup:.2}x ({pipelined_gather_tps:.0} vs \
+             {serial_gather_tps:.0} tok/s) on {host_cpus} CPUs"
+        );
+    }
     // Paged-KV determinism and accounting gates: scheduling policy is
     // execution configuration, never semantics, and the shared-prefix
     // bytes saved must be real. All deterministic — enforced on any host.
@@ -761,7 +857,7 @@ fn main() {
     println!(
         "packed_batch: all gate assertions passed ({speedup16:.2}x at batch 16, \
          {thread_scaling:.2}x at 4 threads, {swar_gemv_speedup:.2}x SWAR GEMV, \
-         {paged_burst_speedup:.2}x paged burst, sharded and chaos-failover output \
-         bit-identical)"
+         {paged_burst_speedup:.2}x paged burst, {pipelined_gather_speedup:.2}x pipelined \
+         gathers, sharded and chaos-failover output bit-identical)"
     );
 }

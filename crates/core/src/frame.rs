@@ -32,6 +32,13 @@
 //! the std-only socket layer beneath them: one address syntax
 //! (`tcp:host:port`, `unix:/path`) covering both `std::net` TCP and
 //! Unix domain sockets.
+//!
+//! The frame layer itself carries no version or correlation fields —
+//! `kind` and the payload are opaque here. Payload-level protocols
+//! version themselves on top: the serving transport stamps its payloads
+//! (see `PROTOCOL_VERSION` in `fineq-lm`'s `remote` module, whose v2
+//! `GATHER`/`PARTIAL` payloads lead with a `u64` request nonce so
+//! replies are self-identifying and may be pipelined per connection).
 
 use crate::serialize::fnv1a32_chain;
 use std::io::{self, Read, Write};

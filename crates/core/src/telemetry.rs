@@ -692,6 +692,13 @@ impl MetricsRegistry {
 
 /// Minimal HTTP scrape endpoint: binds a `std::net::TcpListener`, answers
 /// every request with `render()` as `text/plain`, stops on drop.
+///
+/// Each accepted request is **drained** before the reply: the server
+/// reads until the `\r\n\r\n` header terminator (or EOF, an 8 KiB cap,
+/// or a 250 ms absolute deadline) so a segmented or slow-writing scraper
+/// cannot race its own request against the response — replying with
+/// unread request bytes in the socket risks a TCP `RST` that discards
+/// the buffered response on close.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: std::net::SocketAddr,
@@ -715,9 +722,11 @@ impl MetricsServer {
             while !flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((mut conn, _)) => {
-                        let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
-                        let mut req = [0u8; 1024];
-                        let _ = conn.read(&mut req);
+                        // Some platforms hand the accepted socket the
+                        // listener's nonblocking flag; the drain below
+                        // needs real blocking reads under a deadline.
+                        let _ = conn.set_nonblocking(false);
+                        drain_request(&mut conn, Duration::from_millis(250));
                         let body = render();
                         let head = format!(
                             "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
@@ -748,6 +757,45 @@ impl Drop for MetricsServer {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+    }
+}
+
+/// Reads the HTTP request off `conn` until the `\r\n\r\n` header
+/// terminator, EOF, an 8 KiB cap, or the absolute `deadline` — whichever
+/// comes first. The remaining deadline is re-armed as the socket read
+/// timeout before every read, so one slow scraper costs at most
+/// `deadline`, never a hang. Best-effort by design: a request that never
+/// terminates still gets a reply, just a possibly-raced one.
+fn drain_request(conn: &mut std::net::TcpStream, deadline: Duration) {
+    let start = Instant::now();
+    let mut buf = [0u8; 1024];
+    let mut tail = [0u8; 4]; // last 4 bytes seen, across read boundaries
+    let mut total = 0usize;
+    loop {
+        let Some(remaining) = deadline.checked_sub(start.elapsed()).filter(|d| !d.is_zero()) else {
+            return;
+        };
+        if conn.set_read_timeout(Some(remaining)).is_err() {
+            return;
+        }
+        match conn.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => {
+                total += n;
+                // Slide the terminator window over the new bytes; the
+                // carried tail catches a `\r\n\r\n` split across reads.
+                for &b in &buf[..n] {
+                    tail.rotate_left(1);
+                    tail[3] = b;
+                    if tail == *b"\r\n\r\n" {
+                        return;
+                    }
+                }
+                if total >= 8 * 1024 {
+                    return;
+                }
+            }
         }
     }
 }

@@ -736,6 +736,13 @@ pub(crate) fn attend_batch(
 /// callers recover with `reset_slot` alone. In-process engines use an
 /// infallible closure (`E = Infallible`-like: any error type, never
 /// constructed) and unwrap.
+///
+/// Sites that share one input arrive as a **group** (`&[WeightSite]`):
+/// Q/K/V are requested together so a transport-backed engine can keep
+/// all three gathers in flight on each connection, while in-process
+/// engines simply run the group in order — the closure must return one
+/// output per site, in group order, making the arithmetic identical
+/// either way.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn batched_step_body<E>(
     cfg: &ModelConfig,
@@ -745,7 +752,7 @@ pub(crate) fn batched_step_body<E>(
     slots: &[usize],
     cache: &mut BatchKvCache,
     pool: Option<&fineq_core::ThreadPool>,
-    mut site_forward: impl FnMut(usize, WeightSite, &Matrix) -> Result<Matrix, E>,
+    mut site_forward: impl FnMut(usize, &[WeightSite], &Matrix) -> Result<Vec<Matrix>, E>,
 ) -> Result<Matrix, E> {
     validate_batch_step(cfg, tokens, slots, cache);
     // Reserve every slot's write target up front (fresh pages, CoW tail
@@ -760,20 +767,31 @@ pub(crate) fn batched_step_body<E>(
         h.row_mut(i).copy_from_slice(embedding.row(tok));
     }
 
+    fn one<E>(mut outs: Vec<Matrix>) -> Result<Matrix, E> {
+        debug_assert_eq!(outs.len(), 1, "site group of one expects one output");
+        Ok(outs.pop().expect("site group of one"))
+    }
+
     for l in 0..cfg.n_layers {
         // ---- attention ----
         let x = rmsnorm_rows(&h);
-        let q = site_forward(l, WeightSite::AttnQ, &x)?;
-        let k = site_forward(l, WeightSite::AttnK, &x)?;
-        let v = site_forward(l, WeightSite::AttnV, &x)?;
+        // Q/K/V consume the same normalized residual, so they form one
+        // site group: a pipelined transport can have all three gathers
+        // in flight per connection before the first reply lands.
+        let mut qkv =
+            site_forward(l, &[WeightSite::AttnQ, WeightSite::AttnK, WeightSite::AttnV], &x)?;
+        debug_assert_eq!(qkv.len(), 3, "q/k/v group expects three outputs");
+        let v = qkv.pop().expect("v output");
+        let k = qkv.pop().expect("k output");
+        let q = qkv.pop().expect("q output");
         let mut ctx = Matrix::zeros(b, d);
         attend_batch(cfg, l, &q, &k, &v, slots, cache, &mut ctx, pool);
-        let attn_out = site_forward(l, WeightSite::AttnO, &ctx)?;
+        let attn_out = one(site_forward(l, &[WeightSite::AttnO], &ctx)?)?;
         h.add_in_place(&attn_out);
 
         // ---- FFN ----
         let x2 = rmsnorm_rows(&h);
-        let mut mid = site_forward(l, WeightSite::FfnUp, &x2)?;
+        let mut mid = one(site_forward(l, &[WeightSite::FfnUp], &x2)?)?;
         match cfg.activation {
             Activation::Relu => {
                 mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::relu(*m))
@@ -782,7 +800,7 @@ pub(crate) fn batched_step_body<E>(
                 mid.as_mut_slice().iter_mut().for_each(|m| *m = activation::silu(*m))
             }
         }
-        let ffn_out = site_forward(l, WeightSite::FfnDown, &mid)?;
+        let ffn_out = one(site_forward(l, &[WeightSite::FfnDown], &mid)?)?;
         h.add_in_place(&ffn_out);
     }
     cache.commit_step(slots, tokens);
@@ -949,9 +967,20 @@ impl Transformer {
             pool,
             // The profiled form: a no-op unless KernelProfiler sampling
             // is armed, in which case per-site decode time and packed
-            // bytes aggregate under the site's metric label.
-            |l, site, a| {
-                Ok(self.weight(l, site).matmul_t_profiled(site.metric_label(), a, scratch, pool))
+            // bytes aggregate under the site's metric label. Site groups
+            // run in order — in-process there is nothing to overlap.
+            |l, sites, a| {
+                Ok(sites
+                    .iter()
+                    .map(|&site| {
+                        self.weight(l, site).matmul_t_profiled(
+                            site.metric_label(),
+                            a,
+                            scratch,
+                            pool,
+                        )
+                    })
+                    .collect())
             },
         )
         .unwrap_or_else(|e| match e {})

@@ -11,24 +11,41 @@
 //! keeps the embedding, readout head and every sequence's KV cache, and
 //! implements the same gather interface the in-process engine consumes:
 //! each linear site broadcasts the batch's activations to every involved
-//! shard's primary replica first, then gathers their partial outputs —
-//! one in-flight request per connection, so the workers compute in
-//! parallel while the coordinator waits on the slowest.
+//! shard's primary replica, then gathers their partial outputs. Sites
+//! that share one input (Q/K/V) are **pipelined**: up to
+//! [`TransportConfig::pipeline_depth`] nonce-tagged requests ride each
+//! connection at once, and replies complete out of order into their
+//! slots — the workers compute in parallel across shards *and* across
+//! sites, while the coordinator waits only on the slowest chain.
 //!
-//! ## Protocol
+//! ## Protocol (version 2)
 //!
-//! Every message is one frame (`kind`, payload). Integers are u32 LE,
-//! activations/partials are f32 LE, row-major:
+//! Every message is one frame (`kind`, payload). Integers are u32 LE
+//! (the nonce is u64 LE), activations/partials are f32 LE, row-major:
 //!
 //! ```text
 //! LOAD     -> payload = FNQS shard envelope        | reply LOADED(site_id)
-//! GATHER   -> site_id, t_len, cols, t_len*cols f32 | reply PARTIAL
-//! PARTIAL  <- site_id, row_start, rows, t_len, t_len*rows f32
+//! GATHER   -> nonce u64, site_id, t_len, cols,
+//!             t_len*cols f32                       | reply PARTIAL
+//! PARTIAL  <- nonce u64 (request's, echoed verbatim), site_id,
+//!             row_start, rows, t_len, t_len*rows f32
 //! PING     -> echo payload                         | reply PONG(payload)
 //! STATS    -> empty payload                        | reply STATS(FQMS snapshot)
 //! SHUTDOWN -> worker exits cleanly                 | no reply
 //! ERROR    <- utf-8 message (malformed but well-framed request)
 //! ```
+//!
+//! The nonce ([`PROTOCOL_VERSION`] 2) is what makes every `PARTIAL`
+//! **self-identifying**: the coordinator assigns a fresh u64 per gather
+//! request and the worker echoes it untouched, so a reply can be matched
+//! to its request no matter how requests and replies interleave on a
+//! connection. That turns two things from heuristics into structure:
+//! out-of-order pipelined completion (a reply fills exactly the slot its
+//! nonce names), and abort hygiene (a request abandoned mid-operation
+//! leaves its nonce on the replica's *abandoned* list — whatever read
+//! next touches that connection discards the stale reply by nonce match
+//! instead of blindly swallowing one frame and hoping it was the right
+//! one).
 //!
 //! A corrupt frame (checksum/magic/length failure) is not answerable — a
 //! length-prefixed stream cannot resynchronize after corruption — so the
@@ -42,8 +59,10 @@
 //! [`RemoteShardedModel::heartbeat`]. When any send or receive fails, the
 //! coordinator marks that replica dead (a [`WorkerEvent::WorkerDied`]
 //! event), promotes the next live replica
-//! ([`WorkerEvent::FailedOver`]), and **replays the in-flight gather
-//! request** there. Replay is deterministic because workers are
+//! ([`WorkerEvent::FailedOver`]), and **replays every in-flight gather
+//! request** there — the full pipelined window, not just the one that
+//! failed, each under its original nonce so completed slots are never
+//! re-filled. Replay is deterministic because workers are
 //! stateless: a partial output is a pure function of the shipped slice
 //! bytes and the broadcast activations, both byte-identical across
 //! replicas, and the kernels are bit-exact at any execution shape. All
@@ -75,12 +94,17 @@
 //! recovery attempts (the policy's `max_attempts`), then returns
 //! [`TransportError::NoLiveReplica`] instead of panicking — the
 //! scheduler above fails only the affected in-flight requests and keeps
-//! serving, and any surviving shard that was already sent its half of
-//! the aborted broadcast has the reply it owes read out and discarded,
-//! so an abort can never leave a stale `PARTIAL` to be misread as the
-//! answer to a later request. Reconnect probes and recovery backoff
-//! sleeps run with **no state lock held**: a dead-but-slow replica never
-//! blocks [`RemoteShardedModel::transport_health`] or
+//! serving, and any surviving shard that was already sent part of the
+//! aborted broadcast keeps the owed nonces on its abandoned list — the
+//! stale `PARTIAL`s are discarded by nonce match on the next read, so an
+//! abort can never leave one to be misread as the answer to a later
+//! request. Setup and rejoin ship FNQS envelopes to all replicas **in
+//! parallel** on the coordinator's thread pool, so a fleet connects (and
+//! a healed partition re-ships) in one slowest-replica round instead of
+//! the sum. Reconnect probes, recovery backoff sleeps, heartbeat probes
+//! and STATS scrapes all run with **no state lock held**: a
+//! dead-but-slow replica never blocks
+//! [`RemoteShardedModel::transport_health`] or
 //! [`RemoteShardedModel::take_events`] readers.
 //! [`RemoteShardedModel::transport_health`] exposes the counters
 //! (deaths, failovers, rejoins, retries, timeouts) that `SchedulerStats`
@@ -114,15 +138,22 @@ use fineq_core::frame::{
     read_frame, read_frame_deadline, write_frame, write_frame_deadline, FrameError, Listener,
     Stream,
 };
+use fineq_core::pool::default_threads;
 use fineq_core::retry::RetryPolicy;
 use fineq_core::serialize::{shard_from_bytes, shard_to_bytes, DecodeError, ShardHeader};
 use fineq_core::telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
-use fineq_core::{matmul_t_sharded_into, KernelScratch, PackedMatrix};
+use fineq_core::{matmul_t_sharded_into, KernelScratch, PackedMatrix, ThreadPool};
 use fineq_tensor::Matrix;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Write as _;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Version of the coordinator/worker payload protocol. Version 2 added
+/// the u64 request nonce to `GATHER`/`PARTIAL` (echoed verbatim by the
+/// worker), which is what makes pipelined out-of-order completion and
+/// nonce-matched abort draining structural rather than heuristic.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame kind: ship one FNQS shard envelope to a worker.
 pub const KIND_LOAD: u8 = 1;
@@ -180,6 +211,25 @@ pub struct TransportConfig {
     /// blocking recovery a single gather may attempt when a whole group
     /// is dead before surfacing [`TransportError::NoLiveReplica`].
     pub retry: RetryPolicy,
+    /// Maximum nonce-tagged `GATHER` requests kept in flight per replica
+    /// connection. `1` restores strictly serial request/reply; the
+    /// default `3` lets the Q/K/V site group (which shares one broadcast
+    /// input) ride each connection together, with replies completing
+    /// out of order into their slots by nonce. Output is bit-identical
+    /// at any depth — the oracle the `distributed-gate` overlap gate
+    /// enforces. Depth > 1 relies on OS socket buffering to absorb the
+    /// in-flight window; with the activation/partial sizes this repo
+    /// serves, the window is orders of magnitude below buffer limits.
+    /// `0` is treated as `1`.
+    pub pipeline_depth: usize,
+    /// When `true` (the default) and a [`MetricsRegistry`] is installed,
+    /// heartbeat probes use a `STATS` round-trip instead of `PING`:
+    /// liveness is proven by the same exchange that refreshes the
+    /// worker's metrics snapshot, so a heartbeat cadence gets cluster
+    /// scrapes for free instead of paying dedicated
+    /// [`RemoteShardedModel::scrape_worker_stats`] round-trips. With
+    /// telemetry disabled (or `false`) heartbeats stay PING/PONG.
+    pub scrape_stats_on_heartbeat: bool,
 }
 
 impl Default for TransportConfig {
@@ -190,6 +240,8 @@ impl Default for TransportConfig {
             gather_timeout: Duration::from_secs(30),
             heartbeat_timeout: Duration::from_secs(2),
             retry: RetryPolicy::default(),
+            pipeline_depth: 3,
+            scrape_stats_on_heartbeat: true,
         }
     }
 }
@@ -278,6 +330,13 @@ fn get_u32(payload: &[u8], off: usize) -> Result<u32, TransportError> {
         .ok_or_else(|| TransportError::Protocol(format!("payload truncated at offset {off}")))
 }
 
+fn get_u64(payload: &[u8], off: usize) -> Result<u64, TransportError> {
+    payload
+        .get(off..off + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .ok_or_else(|| TransportError::Protocol(format!("payload truncated at offset {off}")))
+}
+
 fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
     out.reserve(values.len() * 4);
     for &v in values {
@@ -292,11 +351,14 @@ fn get_f32s(payload: &[u8], off: usize, n: usize) -> Result<Vec<f32>, TransportE
     Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
 }
 
-/// One gather request's wire payload: site id, activation shape, then the
-/// activations row-major f32 LE. f32 round-trips `to_le_bytes` exactly,
-/// so the broadcast is bit-faithful.
-fn encode_gather(sid: u32, a: &Matrix) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(12 + a.as_slice().len() * 4);
+/// One gather request's wire payload (protocol v2): request nonce, site
+/// id, activation shape, then the activations row-major f32 LE. f32
+/// round-trips `to_le_bytes` exactly, so the broadcast is bit-faithful,
+/// and the bytes are nonce-complete — a failover replays this exact
+/// buffer, so the replayed reply carries the original nonce.
+fn encode_gather(nonce: u64, sid: u32, a: &Matrix) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(20 + a.as_slice().len() * 4);
+    payload.extend_from_slice(&nonce.to_le_bytes());
     payload.extend_from_slice(&sid.to_le_bytes());
     payload.extend_from_slice(&(a.rows() as u32).to_le_bytes());
     payload.extend_from_slice(&(a.cols() as u32).to_le_bytes());
@@ -443,18 +505,22 @@ impl Worker {
 
     fn gather(&mut self, payload: &[u8]) -> WorkerReply {
         let parsed = (|| {
-            let sid = get_u32(payload, 0)?;
-            let t_len = get_u32(payload, 4)? as usize;
-            let cols = get_u32(payload, 8)? as usize;
+            // Protocol v2 layout: the request nonce leads the payload and
+            // is echoed verbatim in the reply — the worker never
+            // interprets it.
+            let nonce = get_u64(payload, 0)?;
+            let sid = get_u32(payload, 8)?;
+            let t_len = get_u32(payload, 12)? as usize;
+            let cols = get_u32(payload, 16)? as usize;
             if t_len == 0 || cols == 0 {
                 return Err(TransportError::Protocol("empty gather batch".into()));
             }
-            let data = get_f32s(payload, 12, t_len * cols)?;
-            Ok((sid, Matrix::from_vec(t_len, cols, data)))
+            let data = get_f32s(payload, 20, t_len * cols)?;
+            Ok((nonce, sid, Matrix::from_vec(t_len, cols, data)))
         })();
-        let (sid, a) = match parsed {
+        let (nonce, sid, a) = match parsed {
             Ok(p) => p,
-            Err(e) => return error_reply(format!("malformed gather: {e}")),
+            Err(e) => return error_reply(format!("malformed gather (protocol v2): {e}")),
         };
         let Some(site) = self.sites.get(&sid) else {
             return error_reply(format!("gather for unloaded site {sid}"));
@@ -480,7 +546,8 @@ impl Worker {
             self.metrics.gathers.inc();
             self.metrics.packed_bytes.add(packed_bytes);
         }
-        let mut reply = Vec::with_capacity(16 + out.as_slice().len() * 4);
+        let mut reply = Vec::with_capacity(24 + out.as_slice().len() * 4);
+        reply.extend_from_slice(&nonce.to_le_bytes());
         reply.extend_from_slice(&sid.to_le_bytes());
         reply.extend_from_slice(&(site.row_start as u32).to_le_bytes());
         reply.extend_from_slice(&(rows as u32).to_le_bytes());
@@ -676,12 +743,36 @@ impl HealthReport {
 
 struct Replica {
     addr: String,
-    /// `None` once the replica is marked dead.
+    /// `None` once the replica is marked dead — or while the connection
+    /// is checked out (`borrowed`) for unlocked I/O.
     conn: Option<Stream>,
+    /// The connection is temporarily out of the table for lock-free
+    /// frame I/O (a pipelined gather, heartbeat probe or STATS scrape).
+    /// A borrowed replica is live: health counting and probe planning
+    /// treat it as connected, and only the borrower may kill it.
+    borrowed: bool,
     /// Failed reconnect attempts since the replica died.
     attempts: u32,
     /// Earliest tick at which the next background rejoin probe may run.
     next_attempt_tick: u64,
+    /// Tick of the last successful frame exchange on this connection.
+    /// Heartbeats skip replicas with traffic since the previous
+    /// heartbeat — serving gathers double as keep-alives.
+    last_ok_tick: u64,
+    /// Nonces of `GATHER` requests sent on this connection whose replies
+    /// were abandoned (the operation aborted before reading them). The
+    /// worker still owes each one a `PARTIAL`; whatever read next
+    /// touches the connection discards those replies by nonce match.
+    /// Cleared on death — a dead connection's owed replies die with it.
+    abandoned: HashSet<u64>,
+}
+
+impl Replica {
+    /// Live = reachable: either the connection is in the table or a
+    /// borrower is currently doing I/O on it.
+    fn is_live(&self) -> bool {
+        self.conn.is_some() || self.borrowed
+    }
 }
 
 struct Group {
@@ -746,6 +837,12 @@ struct RemoteState {
     /// Retry clock: one tick per gather or heartbeat — rejoin pacing
     /// without a wall clock.
     tick: u64,
+    /// Coordinator-assigned request nonce source: one fresh u64 per
+    /// gather request, never reused for the life of the deployment.
+    next_nonce: u64,
+    /// Tick at which the previous heartbeat ran — replicas whose
+    /// `last_ok_tick` is later had traffic since and are skipped.
+    last_heartbeat_tick: u64,
     deaths: u64,
     failovers: u64,
     rejoins: u64,
@@ -796,10 +893,22 @@ fn connect_replica(
 impl RemoteState {
     fn mark_dead(&mut self, shard: usize, replica: usize, error: &TransportError) {
         let r = &mut self.groups[shard].replicas[replica];
-        if let Some(conn) = r.conn.take() {
-            let _ = conn.shutdown();
+        let had_conn = match r.conn.take() {
+            Some(conn) => {
+                let _ = conn.shutdown();
+                true
+            }
+            // A borrower shuts its checked-out stream down itself before
+            // reporting the death; the table just records it.
+            None => std::mem::take(&mut r.borrowed),
+        };
+        if had_conn {
+            r.borrowed = false;
             r.attempts = 0;
             r.next_attempt_tick = 0;
+            // A dead connection owes nothing: its buffered replies died
+            // with the stream, so the abandoned nonces are moot.
+            r.abandoned.clear();
             self.deaths += 1;
             self.metrics.deaths.inc();
             self.metrics.live_replicas.add(-1);
@@ -814,6 +923,39 @@ impl RemoteState {
                 error: error.to_string(),
             });
         }
+    }
+
+    /// Takes `shard`'s primary connection out of the table for unlocked
+    /// frame I/O. The replica stays accounted live (`borrowed`); the op
+    /// lock plus the one-checkout-per-shard-per-operation discipline
+    /// guarantee the elected primary's connection is present.
+    fn checkout_primary(&mut self, shard: usize) -> Result<(usize, Stream), TransportError> {
+        let replica = self.elect_primary(shard)?;
+        let r = &mut self.groups[shard].replicas[replica];
+        let conn = r.conn.take().expect("elected primary carries a connection");
+        r.borrowed = true;
+        Ok((replica, conn))
+    }
+
+    /// [`RemoteState::checkout_primary`] for a *specific* live replica —
+    /// heartbeat probes and STATS scrapes visit spares too, not just the
+    /// primary. The caller verified `conn` is present.
+    fn checkout_primary_at(&mut self, shard: usize, replica: usize) -> (usize, Stream) {
+        let r = &mut self.groups[shard].replicas[replica];
+        let conn = r.conn.take().expect("checkout of a live replica");
+        r.borrowed = true;
+        (replica, conn)
+    }
+
+    /// Returns a borrowed connection to the table after successful I/O,
+    /// stamping the traffic tick heartbeats key their piggyback skip on.
+    fn checkin(&mut self, shard: usize, replica: usize, conn: Stream) {
+        let tick = self.tick;
+        let r = &mut self.groups[shard].replicas[replica];
+        debug_assert!(r.borrowed, "checkin without checkout");
+        r.borrowed = false;
+        r.conn = Some(conn);
+        r.last_ok_tick = tick;
     }
 
     /// The replica the next request for `shard` should use: the current
@@ -849,7 +991,7 @@ impl RemoteState {
         let mut probes = Vec::new();
         for (shard, group) in self.groups.iter().enumerate() {
             for (replica, r) in group.replicas.iter().enumerate() {
-                if r.conn.is_none() && self.tick >= r.next_attempt_tick {
+                if !r.is_live() && self.tick >= r.next_attempt_tick {
                     probes.push(RejoinProbe {
                         shard,
                         replica,
@@ -873,7 +1015,7 @@ impl RemoteState {
             .replicas
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.conn.is_none())
+            .filter(|(_, r)| !r.is_live())
             .map(|(replica, r)| RejoinProbe {
                 shard,
                 replica,
@@ -897,7 +1039,7 @@ impl RemoteState {
     ) -> bool {
         let tick = self.tick;
         let r = &mut self.groups[probe.shard].replicas[probe.replica];
-        if r.conn.is_some() {
+        if r.is_live() {
             // Revived by someone else while the probe was in flight (the
             // op lock makes this unreachable today; kept as a guard so a
             // duplicate connection is dropped, never double-installed).
@@ -908,6 +1050,9 @@ impl RemoteState {
                 r.conn = Some(conn);
                 r.attempts = 0;
                 r.next_attempt_tick = 0;
+                // The LOAD handshake just proved liveness: fresh traffic
+                // for the heartbeat piggyback clock.
+                r.last_ok_tick = tick;
                 self.rejoins += 1;
                 self.metrics.rejoins.inc();
                 self.metrics.live_replicas.add(1);
@@ -931,7 +1076,7 @@ impl RemoteState {
         let live_replicas = self
             .groups
             .iter()
-            .map(|g| g.replicas.iter().filter(|r| r.conn.is_some()).count())
+            .map(|g| g.replicas.iter().filter(|r| r.is_live()).count())
             .sum::<usize>();
         let total = self.groups.iter().map(|g| g.replicas.len()).sum::<usize>();
         TransportHealth {
@@ -947,35 +1092,22 @@ impl RemoteState {
     }
 }
 
-/// Decodes one `PARTIAL` reply into `out`'s columns `range`, reading it
-/// under an absolute `timeout` (zero disarms).
-fn read_partial(
-    conn: &mut Stream,
+/// Decodes one already-read `PARTIAL` payload (protocol v2: the nonce
+/// occupies bytes 0..8 and was matched by the caller) into `out`'s
+/// columns `range`, validating the header against the request it
+/// answers. A mismatch is a protocol violation: the nonce said this
+/// reply is ours, so the worker is confused and the connection dies.
+fn decode_partial(
+    payload: &[u8],
     sid: u32,
     range: (usize, usize),
     out: &mut Matrix,
-    timeout: Duration,
 ) -> Result<(), TransportError> {
-    let (kind, payload) = read_frame_deadline(conn, timeout)?;
-    match kind {
-        KIND_PARTIAL => {}
-        KIND_ERROR => {
-            return Err(TransportError::Protocol(format!(
-                "worker rejected gather: {}",
-                String::from_utf8_lossy(&payload)
-            )))
-        }
-        other => {
-            return Err(TransportError::Protocol(format!(
-                "expected PARTIAL, got frame kind {other:#04x}"
-            )))
-        }
-    }
     let (start, end) = range;
-    let got_sid = get_u32(&payload, 0)?;
-    let row_start = get_u32(&payload, 4)? as usize;
-    let rows = get_u32(&payload, 8)? as usize;
-    let t_len = get_u32(&payload, 12)? as usize;
+    let got_sid = get_u32(payload, 8)?;
+    let row_start = get_u32(payload, 12)? as usize;
+    let rows = get_u32(payload, 16)? as usize;
+    let t_len = get_u32(payload, 20)? as usize;
     if got_sid != sid || row_start != start || rows != end - start || t_len != out.rows() {
         return Err(TransportError::Protocol(format!(
             "misrouted partial: site {got_sid} rows {row_start}..{} x{t_len}, \
@@ -984,11 +1116,59 @@ fn read_partial(
             out.rows()
         )));
     }
-    let data = get_f32s(&payload, 16, t_len * rows)?;
+    let data = get_f32s(payload, 24, t_len * rows)?;
     for t in 0..t_len {
         out.row_mut(t)[start..end].copy_from_slice(&data[t * rows..(t + 1) * rows]);
     }
     Ok(())
+}
+
+/// One site's request within a pipelined gather group: the encoded
+/// (nonce-complete) wire bytes, the output it fills, and the shards it
+/// involves.
+struct SiteReq {
+    sid: u32,
+    nonce: u64,
+    req: Vec<u8>,
+    out: Matrix,
+    involved: Vec<(usize, (usize, usize))>,
+}
+
+/// One pipelined request's place in a shard link's in-flight window.
+/// `sent` is per-*connection*: a failover resets it for unreceived
+/// entries so the whole window replays on the replacement replica.
+struct PendingReply {
+    /// Index into the group's [`SiteReq`] list.
+    site: usize,
+    sent: bool,
+    received: bool,
+}
+
+/// A shard's checked-out primary connection plus the ordered in-flight
+/// window riding it. Requests are written in window order; replies may
+/// complete out of order — the nonce says which entry each one fills.
+struct ShardLink {
+    replica: usize,
+    conn: Stream,
+    pending: Vec<PendingReply>,
+}
+
+/// What [`RemoteShardedModel::match_partial`] decided about one
+/// `PARTIAL` frame.
+enum MatchOutcome {
+    /// The reply filled a pending slot of this operation.
+    Filled,
+    /// A stale reply from an aborted earlier operation, identified and
+    /// discarded by its abandoned nonce; read again.
+    Stale,
+}
+
+/// One heartbeat/STATS probe's checked-out connection, carried through
+/// the plan → unlocked I/O → install sequence.
+struct ControlProbe {
+    shard: usize,
+    replica: usize,
+    conn: Stream,
 }
 
 /// The coordinator of a multi-process sharded deployment: embedding,
@@ -1014,6 +1194,10 @@ pub struct RemoteShardedModel {
     head: Matrix,
     plan: ShardPlan,
     transport: TransportConfig,
+    /// Ships LOAD envelopes to replicas in parallel at connect and
+    /// rejoin (sized to the fleet, capped by the host's cores). Never
+    /// used on the gather hot path.
+    pool: Arc<ThreadPool>,
     op: Mutex<()>,
     state: Mutex<RemoteState>,
 }
@@ -1056,7 +1240,7 @@ impl RemoteShardedModel {
     ) -> Result<Self, TransportError> {
         let n_shards = replica_addrs.len();
         let plan = ShardPlan::new(model, n_shards);
-        let mut groups = Vec::with_capacity(n_shards);
+        let mut shard_envelopes = Vec::with_capacity(n_shards);
         for (shard, addrs) in replica_addrs.iter().enumerate() {
             assert!(!addrs.is_empty(), "shard {shard} needs at least one replica address");
             // Slice once per shard; every replica receives the identical
@@ -1082,17 +1266,51 @@ impl RemoteShardedModel {
                     shard_to_bytes(&p.slice_rows(start, end), &header)
                 })
                 .collect();
+            shard_envelopes.push(Arc::new(envelopes));
+        }
+        // Connect + LOAD every replica of every shard in parallel: the
+        // fleet is up after one slowest-replica handshake instead of the
+        // sum of all of them. The pool is kept for rejoin re-ships.
+        let jobs: Vec<(usize, String)> = replica_addrs
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, addrs)| addrs.iter().map(move |a| (shard, a.clone())))
+            .collect();
+        let pool = Arc::new(ThreadPool::new(default_threads().min(jobs.len()).max(1)));
+        let slots: Vec<Mutex<Option<Result<Stream, TransportError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        pool.run(jobs.len(), 1, &|_, start, end| {
+            for i in start..end {
+                let (shard, addr) = &jobs[i];
+                let outcome = connect_replica(addr, &shard_envelopes[*shard], &transport);
+                *slots[i].lock().expect("connect slot") = Some(outcome);
+            }
+        });
+        // Assemble in deterministic (shard, replica) order; the first
+        // failure in that order is the reported one.
+        let mut outcomes = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("connect slot").expect("connect job ran"));
+        let mut groups = Vec::with_capacity(n_shards);
+        for (shard, addrs) in replica_addrs.iter().enumerate() {
             let mut replicas = Vec::with_capacity(addrs.len());
             for addr in addrs {
-                let conn = connect_replica(addr, &envelopes, &transport)?;
+                let conn = outcomes.next().expect("one outcome per job")?;
                 replicas.push(Replica {
                     addr: addr.clone(),
                     conn: Some(conn),
+                    borrowed: false,
                     attempts: 0,
                     next_attempt_tick: 0,
+                    last_ok_tick: 0,
+                    abandoned: HashSet::new(),
                 });
             }
-            groups.push(Group { replicas, primary: 0, envelopes: Arc::new(envelopes) });
+            groups.push(Group {
+                replicas,
+                primary: 0,
+                envelopes: Arc::clone(&shard_envelopes[shard]),
+            });
         }
         Ok(Self {
             cfg: model.config().clone(),
@@ -1100,11 +1318,14 @@ impl RemoteShardedModel {
             head: model.head().clone(),
             plan,
             transport,
+            pool,
             op: Mutex::new(()),
             state: Mutex::new(RemoteState {
                 groups,
                 events: Vec::new(),
                 tick: 0,
+                next_nonce: 1,
+                last_heartbeat_tick: 0,
                 deaths: 0,
                 failovers: 0,
                 rejoins: 0,
@@ -1130,49 +1351,83 @@ impl RemoteShardedModel {
         &self.plan
     }
 
-    /// Pings every live replica under the heartbeat deadline, marking
+    /// Probes live replicas under the heartbeat deadline, marking
     /// non-responders (including *hung* ones) dead and re-pointing each
     /// group's primary at a live spare, so the next step pays no
     /// failover latency. Also probes dead replicas whose backoff is due
     /// — heartbeats drive rejoin even when no traffic flows. Returns the
     /// liveness snapshot.
     ///
-    /// Heartbeats double as keep-alives: a cadence shorter than the
-    /// workers' idle deadline stops idle workers from hanging up between
-    /// requests (the coupling [`run_worker_with`] documents).
+    /// Two round-trip economies ride along. **Piggyback skip:** a
+    /// replica with successful traffic since the previous heartbeat
+    /// (gathers are keep-alives too) already proved liveness, so it is
+    /// not probed — during steady serving only idle spares pay a
+    /// round-trip. **STATS-as-heartbeat:** with telemetry installed and
+    /// [`TransportConfig::scrape_stats_on_heartbeat`] on, the probe is a
+    /// `STATS` exchange whose reply refreshes that worker's metrics
+    /// snapshot — liveness and cluster scraping share one round-trip.
+    /// Probe I/O runs with the connections checked out and **no state
+    /// lock held**, so observability readers never stall behind a slow
+    /// replica.
+    ///
+    /// Heartbeats double as keep-alives: a cadence shorter than **half**
+    /// the workers' idle deadline stops idle workers from hanging up
+    /// between requests (the coupling [`run_worker_with`] documents —
+    /// half, because the piggyback skip may leave a just-active replica
+    /// unprobed for one extra heartbeat interval).
     pub fn heartbeat(&self) -> HealthReport {
         let _op = self.op.lock().expect("transport op");
         self.maybe_rejoin();
-        let mut st = self.lock_state();
-        let token: &[u8] = b"fineq-heartbeat";
-        for shard in 0..st.groups.len() {
-            for replica in 0..st.groups[shard].replicas.len() {
-                let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
-                    continue;
-                };
-                let timeout = self.transport.heartbeat_timeout;
-                let outcome = write_frame_deadline(conn, KIND_PING, token, timeout)
-                    .map_err(TransportError::from)
-                    .and_then(|()| Ok(read_frame_deadline(conn, timeout)?))
-                    .and_then(|(kind, payload)| {
-                        if kind == KIND_PONG && payload == token {
-                            Ok(())
-                        } else {
-                            Err(TransportError::Protocol(format!(
-                                "expected PONG echo, got kind {kind:#04x}"
-                            )))
-                        }
-                    });
-                if let Err(e) = outcome {
-                    st.mark_dead(shard, replica, &e);
+        // Plan under the state lock: decide who needs probing, check
+        // their connections out.
+        let (mut probes, scrape) = {
+            let mut st = self.lock_state();
+            let floor = st.last_heartbeat_tick;
+            st.last_heartbeat_tick = st.tick;
+            let scrape = self.transport.scrape_stats_on_heartbeat && st.metrics.registry.enabled();
+            let mut probes = Vec::new();
+            for shard in 0..st.groups.len() {
+                for replica in 0..st.groups[shard].replicas.len() {
+                    let r = &st.groups[shard].replicas[replica];
+                    if r.conn.is_none() || r.last_ok_tick > floor {
+                        // Dead (rejoin probes own it) or recently active
+                        // (its traffic already proved liveness).
+                        continue;
+                    }
+                    let (rep, conn) = st.checkout_primary_at(shard, replica);
+                    probes.push(ControlProbe { shard, replica: rep, conn });
                 }
             }
+            (probes, scrape)
+        };
+        // Probe I/O, unlocked.
+        let outcomes: Vec<Result<Option<MetricsSnapshot>, TransportError>> =
+            probes.iter_mut().map(|p| self.probe_replica(p, scrape)).collect();
+        // Install outcomes and build the report under the lock.
+        let mut st = self.lock_state();
+        for (p, outcome) in probes.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(snap) => {
+                    if let Some(snap) = snap {
+                        st.metrics
+                            .registry
+                            .ingest_remote(&format!("shard{}_replica{}", p.shard, p.replica), snap);
+                    }
+                    st.checkin(p.shard, p.replica, p.conn);
+                }
+                Err(e) => {
+                    let _ = p.conn.shutdown();
+                    st.mark_dead(p.shard, p.replica, &e);
+                }
+            }
+        }
+        for shard in 0..st.groups.len() {
             let _ = st.elect_primary(shard);
         }
         let live_per_shard = st
             .groups
             .iter()
-            .map(|g| g.replicas.iter().filter(|r| r.conn.is_some()).count())
+            .map(|g| g.replicas.iter().filter(|r| r.is_live()).count())
             .collect::<Vec<_>>();
         let dead = st.groups.iter().map(|g| g.replicas.len()).sum::<usize>()
             - live_per_shard.iter().sum::<usize>();
@@ -1204,7 +1459,7 @@ impl RemoteShardedModel {
         let live = st
             .groups
             .iter()
-            .map(|g| g.replicas.iter().filter(|r| r.conn.is_some()).count())
+            .map(|g| g.replicas.iter().filter(|r| r.is_live()).count())
             .sum::<usize>();
         st.metrics = TransportMetrics::new(registry);
         st.metrics.live_replicas.set(live as i64);
@@ -1217,46 +1472,119 @@ impl RemoteShardedModel {
     /// `render_text` then serve the whole cluster from one endpoint.
     /// Each scrape *replaces* that replica's previous snapshot, so
     /// cumulative worker counters are never double-counted. A replica
-    /// that fails the scrape is marked dead (same path as a failed
-    /// heartbeat). No-op while telemetry is disabled. Returns the number
-    /// of replicas scraped.
+    /// that fails (or hangs on) the scrape is marked dead via the normal
+    /// failover path — the next gather elects a spare, rejoin probes
+    /// bring it back. No-op while telemetry is disabled. Returns the
+    /// number of replicas scraped.
+    ///
+    /// Scrape I/O runs with the connections checked out and **no state
+    /// lock held** (the rejoin-probe plan/IO/install pattern): a slow or
+    /// hung replica stalls only this call, never
+    /// [`RemoteShardedModel::transport_health`] or
+    /// [`RemoteShardedModel::take_events`] readers on other threads.
     pub fn scrape_worker_stats(&self) -> usize {
         let _op = self.op.lock().expect("transport op");
-        let mut st = self.lock_state();
-        if !st.metrics.registry.enabled() {
-            return 0;
-        }
-        let registry = Arc::clone(&st.metrics.registry);
-        let timeout = self.transport.heartbeat_timeout;
-        let mut scraped = 0;
-        for shard in 0..st.groups.len() {
-            for replica in 0..st.groups[shard].replicas.len() {
-                let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
-                    continue;
-                };
-                let outcome = write_frame_deadline(conn, KIND_STATS, &[], timeout)
-                    .map_err(TransportError::from)
-                    .and_then(|()| Ok(read_frame_deadline(conn, timeout)?))
-                    .and_then(|(kind, payload)| {
-                        if kind != KIND_STATS {
-                            return Err(TransportError::Protocol(format!(
-                                "expected STATS reply, got kind {kind:#04x}"
-                            )));
-                        }
-                        MetricsSnapshot::decode(&payload).map_err(|e| {
-                            TransportError::Protocol(format!("stats snapshot rejected: {e}"))
-                        })
-                    });
-                match outcome {
-                    Ok(snap) => {
-                        registry.ingest_remote(&format!("shard{shard}_replica{replica}"), snap);
-                        scraped += 1;
+        // Plan under the lock: check out every live connection.
+        let mut probes = {
+            let mut st = self.lock_state();
+            if !st.metrics.registry.enabled() {
+                return 0;
+            }
+            let mut probes = Vec::new();
+            for shard in 0..st.groups.len() {
+                for replica in 0..st.groups[shard].replicas.len() {
+                    if st.groups[shard].replicas[replica].conn.is_none() {
+                        continue;
                     }
-                    Err(e) => st.mark_dead(shard, replica, &e),
+                    let (rep, conn) = st.checkout_primary_at(shard, replica);
+                    probes.push(ControlProbe { shard, replica: rep, conn });
+                }
+            }
+            probes
+        };
+        // STATS I/O, unlocked.
+        let outcomes: Vec<Result<Option<MetricsSnapshot>, TransportError>> =
+            probes.iter_mut().map(|p| self.probe_replica(p, true)).collect();
+        // Install: fold snapshots in, fail hung replicas over.
+        let mut st = self.lock_state();
+        let mut scraped = 0;
+        for (p, outcome) in probes.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(snap) => {
+                    let snap = snap.expect("STATS probe returns a snapshot");
+                    st.metrics
+                        .registry
+                        .ingest_remote(&format!("shard{}_replica{}", p.shard, p.replica), snap);
+                    st.checkin(p.shard, p.replica, p.conn);
+                    scraped += 1;
+                }
+                Err(e) => {
+                    let _ = p.conn.shutdown();
+                    st.mark_dead(p.shard, p.replica, &e);
                 }
             }
         }
         scraped
+    }
+
+    /// One heartbeat/scrape round-trip on a checked-out connection:
+    /// `STATS` (returning the decoded snapshot) when `scrape`, else
+    /// `PING`/`PONG` echo. Reads skip stale `PARTIAL`s by abandoned
+    /// nonce ([`RemoteShardedModel::read_control`]).
+    fn probe_replica(
+        &self,
+        p: &mut ControlProbe,
+        scrape: bool,
+    ) -> Result<Option<MetricsSnapshot>, TransportError> {
+        let timeout = self.transport.heartbeat_timeout;
+        if scrape {
+            write_frame_deadline(&mut p.conn, KIND_STATS, &[], timeout)?;
+            let (kind, payload) = self.read_control(&mut p.conn, p.shard, p.replica, timeout)?;
+            if kind != KIND_STATS {
+                return Err(TransportError::Protocol(format!(
+                    "expected STATS reply, got kind {kind:#04x}"
+                )));
+            }
+            let snap = MetricsSnapshot::decode(&payload)
+                .map_err(|e| TransportError::Protocol(format!("stats snapshot rejected: {e}")))?;
+            Ok(Some(snap))
+        } else {
+            let token: &[u8] = b"fineq-heartbeat";
+            write_frame_deadline(&mut p.conn, KIND_PING, token, timeout)?;
+            let (kind, payload) = self.read_control(&mut p.conn, p.shard, p.replica, timeout)?;
+            if kind == KIND_PONG && payload == token {
+                Ok(None)
+            } else {
+                Err(TransportError::Protocol(format!("expected PONG echo, got kind {kind:#04x}")))
+            }
+        }
+    }
+
+    /// Reads one non-stale frame from a checked-out connection: a
+    /// `PARTIAL` whose nonce is on the replica's abandoned list is the
+    /// owed reply of an aborted operation — discarded, read again. A
+    /// `PARTIAL` with any other nonce is a protocol breach (nothing else
+    /// may be in flight on a checked-out control connection).
+    fn read_control(
+        &self,
+        conn: &mut Stream,
+        shard: usize,
+        replica: usize,
+        timeout: Duration,
+    ) -> Result<(u8, Vec<u8>), TransportError> {
+        loop {
+            let (kind, payload) = read_frame_deadline(conn, timeout)?;
+            if kind != KIND_PARTIAL {
+                return Ok((kind, payload));
+            }
+            let nonce = get_u64(&payload, 0)?;
+            if self.lock_state().groups[shard].replicas[replica].abandoned.remove(&nonce) {
+                continue;
+            }
+            return Err(TransportError::Protocol(format!(
+                "unsolicited PARTIAL (nonce {nonce:#018x}) on a control read"
+            )));
+        }
     }
 
     /// Drains the failover/death events recorded since the last call.
@@ -1285,11 +1613,27 @@ impl RemoteShardedModel {
 
     /// Runs reconnect probes with **no lock held** during the connect +
     /// envelope re-ship, reacquiring the state lock only to install each
-    /// outcome. Returns whether any probe revived its replica.
+    /// outcome. Probes run in parallel on the coordinator's pool — a
+    /// rejoin sweep over many due replicas costs one slowest-replica
+    /// handshake, not the sum — and outcomes install in probe order, so
+    /// the event log stays deterministic. Returns whether any probe
+    /// revived its replica.
     fn run_probes(&self, probes: Vec<RejoinProbe>) -> bool {
+        if probes.is_empty() {
+            return false;
+        }
+        let slots: Vec<Mutex<Option<Result<Stream, TransportError>>>> =
+            probes.iter().map(|_| Mutex::new(None)).collect();
+        self.pool.run(probes.len(), 1, &|_, start, end| {
+            for i in start..end {
+                let outcome =
+                    connect_replica(&probes[i].addr, &probes[i].envelopes, &self.transport);
+                *slots[i].lock().expect("probe slot") = Some(outcome);
+            }
+        });
         let mut any = false;
-        for probe in probes {
-            let outcome = connect_replica(&probe.addr, &probe.envelopes, &self.transport);
+        for (probe, slot) in probes.into_iter().zip(slots) {
+            let outcome = slot.into_inner().expect("probe slot").expect("probe ran");
             any |= self.lock_state().install_probe(probe, outcome, &self.transport.retry);
         }
         any
@@ -1322,102 +1666,248 @@ impl RemoteShardedModel {
         Err(TransportError::NoLiveReplica { shard })
     }
 
-    /// Sends `req` to `shard`'s primary, failing over across spares until
-    /// a send succeeds. Returns the replica the request landed on. An
-    /// exhausted group triggers bounded blocking recovery before the
-    /// typed [`TransportError::NoLiveReplica`] gives up.
-    fn send_gather(
+    /// Checks out `shard`'s primary connection, electing (and recording
+    /// a failover to) a spare when the primary is dead, with bounded
+    /// blocking recovery when the whole group is exhausted.
+    fn checkout_recovering(
         &self,
         shard: usize,
-        req: &[u8],
         budget: &mut u32,
-    ) -> Result<usize, TransportError> {
+    ) -> Result<(usize, Stream), TransportError> {
         loop {
-            {
-                let mut st = self.lock_state();
-                if let Ok(replica) = st.elect_primary(shard) {
-                    let conn =
-                        st.groups[shard].replicas[replica].conn.as_mut().expect("elected live");
-                    match write_frame_deadline(
-                        conn,
-                        KIND_GATHER,
-                        req,
-                        self.transport.gather_timeout,
-                    ) {
-                        Ok(()) => return Ok(replica),
-                        Err(e) => st.mark_dead(shard, replica, &TransportError::Frame(e)),
-                    }
-                    continue;
+            // Bind the attempt first: a `match` on `self.lock_state().…`
+            // would keep the state guard alive across the arms, and the
+            // recovery arm re-locks state — instant self-deadlock.
+            let attempt = self.lock_state().checkout_primary(shard);
+            match attempt {
+                Ok(pair) => return Ok(pair),
+                Err(TransportError::NoLiveReplica { .. }) => {
+                    self.blocking_recover(shard, budget)?;
                 }
+                Err(e) => return Err(e),
             }
-            self.blocking_recover(shard, budget)?;
         }
     }
 
-    /// Reads `shard`'s partial from `replica`, validating the reply
-    /// against the plan's range. Any failure — stream, corrupt frame,
-    /// expired deadline, worker `ERROR`, misrouted reply — kills the
-    /// replica and **replays the in-flight request** on the next live
-    /// spare: workers are stateless, so the replayed partial is
-    /// bit-identical.
-    #[allow(clippy::too_many_arguments)]
-    fn recv_partial(
+    /// Reports a checked-out connection's death: shuts the stream down,
+    /// records the death (and timeout) against the replica.
+    fn return_dead(&self, shard: usize, replica: usize, conn: Stream, error: &TransportError) {
+        let _ = conn.shutdown();
+        self.lock_state().mark_dead(shard, replica, error);
+    }
+
+    /// Kills `shard`'s current link and fails the window over: the dead
+    /// replica is recorded, a replacement primary is checked out
+    /// (blocking recovery when the group is exhausted), and every
+    /// pending entry not yet received is marked unsent — the **full
+    /// in-flight window replays** on the replacement under the original
+    /// nonces, so already-received slots are never re-filled and the
+    /// replayed replies match their requests exactly.
+    fn fail_link(
         &self,
         shard: usize,
-        mut replica: usize,
-        req: &[u8],
-        sid: u32,
-        range: (usize, usize),
-        out: &mut Matrix,
+        links: &mut HashMap<usize, ShardLink>,
+        error: &TransportError,
+        budget: &mut u32,
+    ) -> Result<(), TransportError> {
+        let ShardLink { replica, conn, mut pending } =
+            links.remove(&shard).expect("failing a live link");
+        self.return_dead(shard, replica, conn, error);
+        for e in pending.iter_mut().filter(|e| !e.received) {
+            e.sent = false;
+        }
+        let (replica, conn) = self.checkout_recovering(shard, budget)?;
+        links.insert(shard, ShardLink { replica, conn, pending });
+        Ok(())
+    }
+
+    /// Writes every unsent pending request of `shard`'s link, in window
+    /// order, failing over (and replaying the window) on any write
+    /// error. The requests' bytes are nonce-complete, so a replayed
+    /// write is byte-identical to the original.
+    fn flush_link(
+        &self,
+        shard: usize,
+        reqs: &[SiteReq],
+        links: &mut HashMap<usize, ShardLink>,
         budget: &mut u32,
     ) -> Result<(), TransportError> {
         loop {
-            {
-                let mut st = self.lock_state();
-                let conn = st.groups[shard].replicas[replica].conn.as_mut().expect("sender live");
-                match read_partial(conn, sid, range, out, self.transport.gather_timeout) {
-                    Ok(()) => return Ok(()),
-                    Err(e) => st.mark_dead(shard, replica, &e),
+            let link = links.get_mut(&shard).expect("flushing a live link");
+            let mut failure = None;
+            for e in link.pending.iter_mut() {
+                if e.received || e.sent {
+                    continue;
+                }
+                match write_frame_deadline(
+                    &mut link.conn,
+                    KIND_GATHER,
+                    &reqs[e.site].req,
+                    self.transport.gather_timeout,
+                ) {
+                    Ok(()) => e.sent = true,
+                    Err(err) => {
+                        failure = Some(TransportError::Frame(err));
+                        break;
+                    }
                 }
             }
-            replica = self.send_gather(shard, req, budget)?;
-        }
-    }
-
-    /// The abort half of the one-in-flight-request invariant: when a
-    /// site gather dies partway, every surviving shard that was already
-    /// sent its half of the broadcast still *owes* a reply — `PARTIAL`s
-    /// carry no request nonce, so leaving one unread would let the next
-    /// same-shaped step consume it as its own (silent corruption) or
-    /// kill a healthy replica as "misrouted" when shapes differ. Read
-    /// and discard the owed reply under the gather deadline; a
-    /// connection that cannot produce it is torn down instead.
-    fn drain_abandoned(
-        &self,
-        involved: &[(usize, (usize, usize))],
-        senders: &[usize],
-        consumed: usize,
-    ) {
-        for (&(shard, _), &replica) in involved.iter().zip(senders).skip(consumed) {
-            let mut st = self.lock_state();
-            let Some(conn) = st.groups[shard].replicas[replica].conn.as_mut() else {
-                continue;
-            };
-            match read_frame_deadline(conn, self.transport.gather_timeout) {
-                Ok(_) => {} // owed reply consumed and discarded; connection clean
-                Err(e) => st.mark_dead(shard, replica, &TransportError::Frame(e)),
+            match failure {
+                None => return Ok(()),
+                Some(err) => self.fail_link(shard, links, &err, budget)?,
             }
         }
     }
 
-    /// One linear site, distributed: broadcast the activations to every
-    /// involved shard's primary first (one in-flight request per
-    /// connection — the workers overlap), then gather the partials in
-    /// shard order, failing over and replaying on any error. Each call
-    /// ticks the rejoin clock, so dead replicas whose backoff is due get
-    /// probed on the way in. On abort, surviving shards' in-flight
-    /// replies are drained ([`RemoteShardedModel::drain_abandoned`]) so
-    /// no stale `PARTIAL` can leak into a later step.
+    /// Routes one `PARTIAL` payload by its nonce: a sent-unreceived
+    /// window entry's nonce fills that slot ([`MatchOutcome::Filled`]);
+    /// an abandoned nonce from an aborted earlier operation is discarded
+    /// ([`MatchOutcome::Stale`] — the structural replacement for the old
+    /// blind drain-on-abort); any other nonce is a protocol breach.
+    fn match_partial(
+        &self,
+        shard: usize,
+        link: &mut ShardLink,
+        reqs: &mut [SiteReq],
+        payload: &[u8],
+    ) -> Result<MatchOutcome, TransportError> {
+        let nonce = get_u64(payload, 0)?;
+        let Some(entry) =
+            link.pending.iter_mut().find(|e| e.sent && !e.received && reqs[e.site].nonce == nonce)
+        else {
+            let stale =
+                self.lock_state().groups[shard].replicas[link.replica].abandoned.remove(&nonce);
+            return if stale {
+                Ok(MatchOutcome::Stale)
+            } else {
+                Err(TransportError::Protocol(format!(
+                    "PARTIAL carries unknown nonce {nonce:#018x}"
+                )))
+            };
+        };
+        let r = &mut reqs[entry.site];
+        let range = r.involved.iter().find(|&&(s, _)| s == shard).expect("involved shard").1;
+        decode_partial(payload, r.sid, range, &mut r.out)?;
+        entry.received = true;
+        Ok(MatchOutcome::Filled)
+    }
+
+    /// Receives until exactly one pending window entry of `shard`'s link
+    /// fills. Stale (abandoned-nonce) replies are discarded along the
+    /// way; every failure — stream, deadline, worker `ERROR`, misrouted
+    /// or unknown-nonce reply — kills the replica and replays the whole
+    /// unreceived window on a spare.
+    fn recv_one(
+        &self,
+        shard: usize,
+        reqs: &mut [SiteReq],
+        links: &mut HashMap<usize, ShardLink>,
+        budget: &mut u32,
+    ) -> Result<(), TransportError> {
+        loop {
+            // (Re)send anything the current connection still owes the
+            // worker — after a failover this is the replayed window.
+            self.flush_link(shard, reqs, links, budget)?;
+            let link = links.get_mut(&shard).expect("receiving on a live link");
+            let failure = match read_frame_deadline(&mut link.conn, self.transport.gather_timeout) {
+                Ok((KIND_PARTIAL, payload)) => {
+                    match self.match_partial(shard, link, reqs, &payload) {
+                        Ok(MatchOutcome::Filled) => return Ok(()),
+                        Ok(MatchOutcome::Stale) => continue,
+                        Err(e) => e,
+                    }
+                }
+                Ok((KIND_ERROR, payload)) => TransportError::Protocol(format!(
+                    "worker rejected gather: {}",
+                    String::from_utf8_lossy(&payload)
+                )),
+                Ok((other, _)) => TransportError::Protocol(format!(
+                    "expected PARTIAL, got frame kind {other:#04x}"
+                )),
+                Err(e) => TransportError::Frame(e),
+            };
+            self.fail_link(shard, links, &failure, budget)?;
+        }
+    }
+
+    /// Enqueues request `j` on every involved shard's link (checking the
+    /// primary out on first touch) and flushes immediately, so the wire
+    /// carries it while earlier requests are still computing.
+    fn dispatch_req(
+        &self,
+        j: usize,
+        reqs: &[SiteReq],
+        links: &mut HashMap<usize, ShardLink>,
+        budget: &mut u32,
+    ) -> Result<(), TransportError> {
+        for idx in 0..reqs[j].involved.len() {
+            let shard = reqs[j].involved[idx].0;
+            if let std::collections::hash_map::Entry::Vacant(slot) = links.entry(shard) {
+                let (replica, conn) = self.checkout_recovering(shard, budget)?;
+                slot.insert(ShardLink { replica, conn, pending: Vec::new() });
+            }
+            let link = links.get_mut(&shard).expect("just inserted");
+            link.pending.push(PendingReply { site: j, sent: false, received: false });
+            self.flush_link(shard, reqs, links, budget)?;
+        }
+        Ok(())
+    }
+
+    /// Completes request `j`: receives (in any order) until every
+    /// involved shard has delivered `j`'s partial.
+    fn complete_req(
+        &self,
+        j: usize,
+        reqs: &mut [SiteReq],
+        links: &mut HashMap<usize, ShardLink>,
+        budget: &mut u32,
+    ) -> Result<(), TransportError> {
+        for idx in 0..reqs[j].involved.len() {
+            let shard = reqs[j].involved[idx].0;
+            while !links[&shard].pending.iter().any(|e| e.site == j && e.received) {
+                self.recv_one(shard, reqs, links, budget)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns every checked-out connection to the state table. Entries
+    /// sent but never received still owe a `PARTIAL` on that connection:
+    /// their nonces go on the replica's abandoned list, and whatever
+    /// read next touches the connection (gather, heartbeat, scrape)
+    /// discards the stale replies by nonce match — the structural
+    /// guarantee that replaced `drain_abandoned`'s blind
+    /// read-and-discard.
+    fn release_links(&self, links: HashMap<usize, ShardLink>, reqs: &[SiteReq]) {
+        if links.is_empty() {
+            return;
+        }
+        let mut st = self.lock_state();
+        for (shard, link) in links {
+            for e in link.pending.iter().filter(|e| e.sent && !e.received) {
+                st.groups[shard].replicas[link.replica].abandoned.insert(reqs[e.site].nonce);
+            }
+            st.checkin(shard, link.replica, link.conn);
+        }
+    }
+
+    /// One *group* of linear sites sharing the same broadcast input,
+    /// distributed and pipelined: each site becomes a nonce-tagged
+    /// request, up to [`TransportConfig::pipeline_depth`] of them ride
+    /// every involved shard's connection at once, and replies complete
+    /// out of order into their slots by nonce — Q/K/V overlap on the
+    /// wire and on the workers while the coordinator waits only on the
+    /// slowest chain. Outputs are returned in `sites` order and are
+    /// bit-identical to serial execution at any depth (nothing about
+    /// scheduling touches arithmetic).
+    ///
+    /// Each call ticks the rejoin clock, so dead replicas whose backoff
+    /// is due get probed on the way in. Any mid-flight failure replays
+    /// the **entire unreceived window** on a spare under the original
+    /// nonces ([`RemoteShardedModel::fail_link`]). On abort, owed
+    /// replies become abandoned nonces
+    /// ([`RemoteShardedModel::release_links`]) and can never be misread
+    /// by a later operation.
     ///
     /// # Errors
     ///
@@ -1425,50 +1915,70 @@ impl RemoteShardedModel {
     /// and bounded blocking recovery could not revive any member — the
     /// one failure replication cannot mask. Everything short of that is
     /// handled internally (failover, replay, rejoin).
-    fn try_site_gather(
+    fn try_site_gather_group(
         &self,
         layer: usize,
-        site: WeightSite,
+        sites: &[WeightSite],
         a: &Matrix,
-    ) -> Result<Matrix, TransportError> {
+    ) -> Result<Vec<Matrix>, TransportError> {
         let _op = self.op.lock().expect("transport op");
         self.maybe_rejoin();
         // Clone the handles out of the state lock: recording must not
         // hold it across the broadcast/gather I/O below.
         let tm = self.lock_state().metrics.clone();
         let started = tm.registry.enabled().then(|| tm.registry.now_micros());
-        let sp = self.plan.site(layer, site);
-        let sid = site_id(layer, site);
-        let mut out = Matrix::zeros(a.rows(), sp.rows);
-        let req = encode_gather(sid, a);
-        let involved: Vec<(usize, (usize, usize))> = (0..self.plan.n_shards())
-            .map(|s| (s, sp.range(s)))
-            .filter(|&(_, (start, end))| start < end)
-            .collect();
-        // One blocking-recovery budget for the whole site gather: a
-        // repeatedly-failing group cannot stall a step forever.
+        let depth = self.transport.pipeline_depth.max(1);
+        // One blocking-recovery budget for the whole group: a
+        // repeatedly-failing fleet cannot stall a step forever.
         let mut budget = self.transport.retry.max_attempts;
-        let mut senders = Vec::with_capacity(involved.len());
-        let mut consumed = 0usize;
+        let mut reqs: Vec<SiteReq> = {
+            let mut st = self.lock_state();
+            sites
+                .iter()
+                .map(|&site| {
+                    let sp = self.plan.site(layer, site);
+                    let sid = site_id(layer, site);
+                    let nonce = st.next_nonce;
+                    st.next_nonce += 1;
+                    SiteReq {
+                        sid,
+                        nonce,
+                        req: encode_gather(nonce, sid, a),
+                        out: Matrix::zeros(a.rows(), sp.rows),
+                        involved: (0..self.plan.n_shards())
+                            .map(|s| (s, sp.range(s)))
+                            .filter(|&(_, (start, end))| start < end)
+                            .collect(),
+                    }
+                })
+                .collect()
+        };
+        let mut links: HashMap<usize, ShardLink> = HashMap::new();
         let result: Result<(), TransportError> = (|| {
-            // Broadcast half: all sends before any receive.
-            for &(shard, _) in &involved {
-                senders.push(self.send_gather(shard, &req, &mut budget)?);
+            let mut window: VecDeque<usize> = VecDeque::new();
+            for j in 0..reqs.len() {
+                if window.len() >= depth {
+                    let done = window.pop_front().expect("non-empty window");
+                    self.complete_req(done, &mut reqs, &mut links, &mut budget)?;
+                    if let Some(t0) = started {
+                        tm.gather_us[sites[done].index()]
+                            .record(tm.registry.now_micros().saturating_sub(t0));
+                    }
+                }
+                self.dispatch_req(j, &reqs, &mut links, &mut budget)?;
+                window.push_back(j);
             }
-            // Gather half: collect partials; errors replay on spares.
-            for (&(shard, range), &replica) in involved.iter().zip(&senders) {
-                self.recv_partial(shard, replica, &req, sid, range, &mut out, &mut budget)?;
-                consumed += 1;
+            while let Some(done) = window.pop_front() {
+                self.complete_req(done, &mut reqs, &mut links, &mut budget)?;
+                if let Some(t0) = started {
+                    tm.gather_us[sites[done].index()]
+                        .record(tm.registry.now_micros().saturating_sub(t0));
+                }
             }
             Ok(())
         })();
-        if result.is_err() {
-            self.drain_abandoned(&involved, &senders, consumed);
-        }
-        if let (Ok(()), Some(t0)) = (&result, started) {
-            tm.gather_us[site.index()].record(tm.registry.now_micros().saturating_sub(t0));
-        }
-        result.map(|()| out)
+        self.release_links(links, &reqs);
+        result.map(|()| reqs.into_iter().map(|r| r.out).collect())
     }
 }
 
@@ -1519,7 +2029,7 @@ impl ServeModel for RemoteShardedModel {
             slots,
             cache,
             None,
-            |l, site, a| self.try_site_gather(l, site, a).map_err(StepError::from),
+            |l, sites, a| self.try_site_gather_group(l, sites, a).map_err(StepError::from),
         )
     }
 
@@ -1792,7 +2302,7 @@ mod tests {
         assert_eq!(kind, KIND_ERROR);
         assert!(String::from_utf8_lossy(&msg).contains("unknown frame kind"));
         // Gather before load.
-        let req = encode_gather(7, &Matrix::zeros(1, 4));
+        let req = encode_gather(0xA1, 7, &Matrix::zeros(1, 4));
         let WorkerReply::Frame(kind, msg) = worker.handle(KIND_GATHER, &req).expect("handled")
         else {
             panic!("expected a frame reply");
@@ -1839,12 +2349,16 @@ mod tests {
         assert_eq!((kind, get_u32(&ack, 0).expect("ack")), (KIND_LOADED, header.site_id));
         let mut rng = Rng::seed_from(5);
         let a = Matrix::from_fn(3, sp.cols, |_, _| rng.normal(0.0, 1.0));
-        let WorkerReply::Frame(kind, reply) =
-            worker.handle(KIND_GATHER, &encode_gather(header.site_id, &a)).expect("gather")
+        let WorkerReply::Frame(kind, reply) = worker
+            .handle(KIND_GATHER, &encode_gather(0xDEAD_BEEF_CAFE, header.site_id, &a))
+            .expect("gather")
         else {
             panic!("expected PARTIAL");
         };
         assert_eq!(kind, KIND_PARTIAL);
+        // Protocol v2: the worker echoes the request nonce verbatim, so
+        // the reply is self-identifying.
+        assert_eq!(get_u64(&reply, 0).expect("nonce"), 0xDEAD_BEEF_CAFE);
         // The partial equals the matching columns of the local gather.
         let local = ShardedModel::new(&model, 2);
         let mut full = Matrix::zeros(3, sp.rows);
@@ -1857,7 +2371,7 @@ mod tests {
             None,
         );
         let rows = end - start;
-        let data = get_f32s(&reply, 16, 3 * rows).expect("payload");
+        let data = get_f32s(&reply, 24, 3 * rows).expect("payload");
         for t in 0..3 {
             assert_eq!(
                 &data[t * rows..(t + 1) * rows],
@@ -1886,12 +2400,14 @@ mod tests {
         })
     }
 
-    /// The REVIEW drain-on-abort contract: when one shard's group is
-    /// exhausted mid-gather, surviving shards that were already sent the
-    /// broadcast owe a `PARTIAL` — the abort path must read it out, or a
-    /// later step consumes it as its own (`PARTIAL`s carry no nonce).
-    /// Shard 0 must survive the abort unharmed and the fleet must serve
-    /// bit-identically once shard 1 comes back.
+    /// The abort contract, protocol v2 edition: when one shard's group
+    /// is exhausted mid-gather, surviving shards that were already sent
+    /// the broadcast still owe a `PARTIAL`. The abort records those owed
+    /// nonces as abandoned ([`RemoteShardedModel::release_links`]), and
+    /// whatever reads the connection next — heartbeat or gather —
+    /// discards the stale reply by nonce match instead of consuming it
+    /// as its own. Shard 0 must survive the abort unharmed and the
+    /// fleet must serve bit-identically once shard 1 comes back.
     #[cfg(unix)]
     #[test]
     fn aborted_site_gather_drains_owed_replies_from_surviving_shards() {
@@ -1941,8 +2457,9 @@ mod tests {
             "expected NoLiveReplica for shard 1, got {err}"
         );
         // The surviving shard must come through the abort clean: its
-        // owed PARTIAL was drained, so the PING reads a PONG — not the
-        // stale reply — and no shard-0 death is recorded.
+        // owed PARTIAL is an abandoned nonce now, so the next control
+        // read discards it by nonce match and still reaches its PONG —
+        // no shard-0 death is recorded.
         let health = remote.heartbeat();
         assert_eq!(health.live_per_shard, vec![1, 0], "shard 0 must survive the abort");
         let events = remote.take_events();

@@ -1011,11 +1011,15 @@ pub type ShardedScheduler = Scheduler<ShardedModel>;
 /// The multi-process scheduler: a [`Scheduler`] over a
 /// [`RemoteShardedModel`](crate::remote::RemoteShardedModel) — each step's
 /// linear sites broadcast activations to remote worker processes over the
-/// checksummed frame protocol and gather their partial outputs, with
-/// replica failover replaying any in-flight request. Output is
-/// **bit-identical** to [`BatchScheduler`] for the same requests at any
-/// shard and replica count, worker crashes included (the `distributed-gate`
-/// CI job enforces this with real subprocesses).
+/// checksummed frame protocol and gather their partial outputs. Sites
+/// sharing one input (Q/K/V) are **pipelined**: up to
+/// `TransportConfig::pipeline_depth` nonce-tagged requests ride each
+/// worker connection at once, replies complete out of order into their
+/// slots, and replica failover replays the full in-flight window under
+/// the original nonces. Output is **bit-identical** to [`BatchScheduler`]
+/// for the same requests at any shard, replica count, *and* pipeline
+/// depth, worker crashes included (the `distributed-gate` CI job enforces
+/// this with real subprocesses).
 pub type DistributedScheduler = Scheduler<crate::remote::RemoteShardedModel>;
 
 impl<M: ServeModel> Scheduler<M> {

@@ -413,7 +413,9 @@ impl ShardedModel {
             slots,
             cache,
             pool,
-            |l, site, a| Ok(self.site_matmul_t(l, site, a, scratch)),
+            |l, sites, a| {
+                Ok(sites.iter().map(|&site| self.site_matmul_t(l, site, a, scratch)).collect())
+            },
         )
         .unwrap_or_else(|e| match e {})
     }

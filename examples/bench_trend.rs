@@ -26,6 +26,8 @@ const GATED_ROWS: &[(&str, &str)] = &[
     ("swar_gemv_weights_per_sec", "gate_swar_gemv_enforced"),
     ("threads_tokens_per_sec.4", "gate_thread_scaling_enforced"),
     ("paged_burst_tokens_per_sec", "gate_paged_burst_enforced"),
+    ("serial_gather_tokens_per_sec", "gate_pipelined_enforced"),
+    ("pipelined_gather_tokens_per_sec", "gate_pipelined_enforced"),
     ("ttft_us", "gate_latency_rows_enforced"),
     ("decode_p50_us", "gate_latency_rows_enforced"),
     ("decode_p95_us", "gate_latency_rows_enforced"),

@@ -187,6 +187,7 @@ fn chaos_transport() -> TransportConfig {
             max_attempts: 3,
             jitter_seed: 0xC4A0_5EED,
         },
+        ..TransportConfig::default()
     }
 }
 
@@ -505,4 +506,129 @@ fn telemetry_counters_reproduce_by_seed() {
     );
     assert!(counters_a[0] >= 1, "the scripted cut must register as a death: {counters_a:?}");
     assert_eq!(counters_a[1], 1, "exactly one failover to the spare: {counters_a:?}");
+}
+
+/// A replica that hangs mid-STATS must stall only the scrape call that
+/// probed it — never cross-thread observability — and must then die and
+/// rejoin through the normal failover machinery. The spare (which sees
+/// no gather traffic, so the proxy's byte budget lands on control
+/// probes) is fronted by a `Delay` longer than the heartbeat deadline:
+/// the scrape's read deadline expires, the spare is marked dead, and a
+/// concurrent observer thread hammering `transport_health()` the whole
+/// time must never block behind the scrape's I/O — the regression this
+/// pins is the scrape holding the coordinator state lock across
+/// per-replica reads.
+#[test]
+fn hung_stats_scrape_never_blocks_health_readers_and_replica_rejoins() {
+    use fineq::core::MetricsRegistry;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    with_watchdog("hung-stats-scrape", Duration::from_secs(120), || {
+        let model = packed_model(11);
+        let vocab = model.config().vocab;
+        let reference = {
+            let mut sched = BatchScheduler::new(model.clone(), 4);
+            chaos_workload(vocab, |r| sched.submit(r).expect("no KV budget"));
+            sched.run()
+        };
+        // Replica 0 is the clean primary; replica 1 (the spare) sits
+        // behind a proxy that passes the LOAD envelopes plus a run of
+        // STATS exchanges, then sleeps one relay for 2s — far past the
+        // 300ms heartbeat deadline, so the probed read must expire.
+        let primary = ChaosWorker::spawn(None);
+        let spare = ChaosWorker::spawn(Some(FaultPlan::first_connection(
+            FaultScript::delay_after(FAULT_AFTER, Duration::from_secs(2)),
+        )));
+        let remote = RemoteShardedModel::connect_with(
+            &model,
+            &[vec![primary.addr.clone(), spare.dial_addr()]],
+            chaos_transport(),
+        )
+        .expect("connect through the delay proxy");
+        let registry = Arc::new(MetricsRegistry::new());
+        remote.set_telemetry(Arc::clone(&registry));
+
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            // The observer: hammer transport_health() on another thread
+            // for the whole scrape phase. Every call must return without
+            // queueing behind scrape I/O (the delayed probe alone holds
+            // its read open for the full 300ms deadline).
+            let observer = {
+                let remote = &remote;
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    let mut calls = 0u64;
+                    let mut max_latency = Duration::ZERO;
+                    while !done.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        let th = remote.transport_health();
+                        max_latency = max_latency.max(t0.elapsed());
+                        assert!(th.deadline_ms > 0, "health must stay readable: {th:?}");
+                        calls += 1;
+                    }
+                    (calls, max_latency)
+                })
+            };
+            // Scrape until the byte budget crosses into the Delay and
+            // the spare dies on its expired STATS read. Each round
+            // passes a request plus a snapshot reply through the proxy.
+            let mut scrapes = 0usize;
+            for _ in 0..2_000 {
+                scrapes = remote.scrape_worker_stats();
+                if remote.transport_health().deaths >= 1 {
+                    break;
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+            let (calls, max_latency) = observer.join().expect("observer thread");
+            let th = remote.transport_health();
+            assert!(th.deaths >= 1, "the delayed STATS read must kill the spare: {th:?}");
+            assert_eq!(th.dead_replicas, 1, "{th:?}");
+            assert_eq!(scrapes, 1, "the dying round must still scrape the healthy primary");
+            assert!(th.timeouts >= 1, "the death must be a deadline expiry: {th:?}");
+            // The responsiveness claim: the delayed scrape blocked for
+            // ~300ms of probe I/O, and the observer kept reading health
+            // throughout. With the state lock held across that I/O
+            // (the old bug) max_latency would sit at the full deadline.
+            assert!(calls >= 10, "the observer must have run during the scrapes, got {calls}");
+            assert!(
+                max_latency < Duration::from_millis(250),
+                "transport_health() must never queue behind scrape I/O, worst call took \
+                 {max_latency:?} across {calls} calls"
+            );
+        });
+
+        // The death is observable as an event, and the spare rejoins
+        // through the proxy's clean second connection on later probes.
+        let events = remote.take_events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                fineq::lm::WorkerEvent::WorkerDied { shard: 0, replica: 1, .. }
+            )),
+            "the spare's death must be recorded: {events:?}"
+        );
+        let mut rejoined = false;
+        for _ in 0..200 {
+            remote.heartbeat();
+            if remote.transport_health().dead_replicas == 0 {
+                rejoined = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(rejoined, "the spare must rejoin once the delay has drained");
+        assert!(remote.transport_health().rejoins >= 1);
+        assert_eq!(remote.scrape_worker_stats(), 2, "both replicas must answer STATS again");
+
+        // And none of it is allowed to touch output: the workload served
+        // after the scrape saga is bit-identical to in-process serving.
+        let mut sched = DistributedScheduler::new(remote, 4);
+        chaos_workload(vocab, |r| sched.submit(r).expect("no KV budget"));
+        assert_eq!(sched.run(), reference, "scrape faults must be output-invisible");
+        assert_eq!(sched.take_failed(), vec![], "no request may fail");
+        sched.model().shutdown_workers();
+    });
 }

@@ -15,7 +15,7 @@ use fineq::core::FineQuantizer;
 use fineq::lm::builder::{llm_like_matrix, BuilderSpec};
 use fineq::lm::{
     BatchScheduler, DistributedScheduler, FinishedSequence, ModelConfig, RemoteShardedModel,
-    ServeRequest, Transformer, WeightSite, WorkerEvent,
+    ServeRequest, Transformer, TransportConfig, WeightSite, WorkerEvent,
 };
 use fineq::tensor::{Matrix, Rng};
 use std::path::PathBuf;
@@ -206,8 +206,12 @@ fn multi_process_stream_matches_in_process() {
 
 /// SIGKILL one worker mid-run with replicas enabled: the token stream is
 /// still byte-identical, and the death + failover are reported as typed
-/// events. This is the failover oracle the `distributed-gate` CI job
-/// enforces on every host.
+/// events. The transport runs at pipeline depth 3 (set explicitly here,
+/// also the default), so the kill lands with **multiple nonce-tagged
+/// gathers in flight** on the dying connection — failover must replay
+/// the entire unreceived window on the spare under the original nonces.
+/// This is the failover oracle the `distributed-gate` CI job enforces on
+/// every host.
 #[test]
 fn sigkilled_worker_is_output_invisible_with_replicas() {
     let model = packed_model(16, 4);
@@ -223,7 +227,9 @@ fn sigkilled_worker_is_output_invisible_with_replicas() {
         vec![workers[0].addr.clone(), workers[1].addr.clone()],
         vec![workers[2].addr.clone(), workers[3].addr.clone()],
     ];
-    let remote = RemoteShardedModel::connect(&model, &groups).expect("connect coordinator");
+    let tc = TransportConfig { pipeline_depth: 3, ..TransportConfig::default() };
+    let remote =
+        RemoteShardedModel::connect_with(&model, &groups, tc).expect("connect coordinator");
     let mut sched = DistributedScheduler::new(remote, 4);
     submit_gate_workload(vocab, |r| sched.submit(r).expect("no KV budget"));
     // Let the run get under way, then kill shard 0's primary replica.
@@ -282,6 +288,33 @@ fn distributed_gate_hash_matches_committed_bench() {
         "3 worker processes must reproduce the committed gate hash"
     );
     sched.model().shutdown_workers();
+}
+
+/// The overlap gate: the same bench workload at pipeline depth 1
+/// (serial request/reply per site) and at a deep window must produce the
+/// **identical output hash** — and it must be the committed
+/// `BENCH_packed.json` hash, tying pipelining to the same determinism
+/// contract as sharding itself. Scheduling must never touch arithmetic.
+#[test]
+fn pipeline_depth_overlap_gate_hashes_are_identical() {
+    let packed = bench_packed_model();
+    let vocab = packed.config().vocab;
+    let committed = committed_bench_hash();
+    for depth in [1usize, 3, 8] {
+        let workers = spawn_workers(2);
+        let tc = TransportConfig { pipeline_depth: depth, ..TransportConfig::default() };
+        let remote = RemoteShardedModel::connect_with(&packed, &solo_groups(&workers), tc)
+            .expect("connect coordinator");
+        let mut sched = DistributedScheduler::new(remote, 4);
+        submit_gate_workload(vocab, |r| sched.submit(r).expect("no KV budget"));
+        let hash = finished_hash(sched.run());
+        assert_eq!(
+            format!("{hash:016x}"),
+            format!("{committed:016x}"),
+            "pipeline depth {depth} must reproduce the committed gate hash"
+        );
+        sched.model().shutdown_workers();
+    }
 }
 
 /// Transport abuse against a live worker process: corrupt bytes drop the

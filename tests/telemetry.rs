@@ -161,6 +161,7 @@ fn fast_transport() -> TransportConfig {
             max_attempts: 3,
             jitter_seed: 0xC4A0_5EED,
         },
+        ..TransportConfig::default()
     }
 }
 
@@ -451,4 +452,34 @@ fn telemetry_is_output_invisible_in_process() {
     let clock = Arc::new(FakeClock::new());
     assert_eq!(bare, run(Some(MetricsRegistry::with_clock(clock))), "enabled registry");
     assert_eq!(bare, run(Some(MetricsRegistry::disabled())), "disabled registry");
+}
+
+/// The scrape endpoint must serve clients that dribble their request:
+/// `MetricsServer` reads until the blank line that ends the HTTP headers
+/// (bounded by its drain deadline) before answering, rather than
+/// replying to whatever the first `read` happened to return. A request
+/// written one byte at a time — dozens of reads' worth of segmentation —
+/// still gets the full exposition back.
+#[test]
+fn metrics_server_drains_segmented_requests() {
+    use std::io::{Read as _, Write as _};
+
+    let registry = MetricsRegistry::new();
+    registry.counter("fineq_segmented_scrapes_total").inc();
+    let server = MetricsServer::serve("127.0.0.1:0", move || registry.render_text())
+        .expect("bind metrics endpoint");
+    let mut conn = std::net::TcpStream::connect(server.addr()).expect("connect scrape");
+    conn.set_nodelay(true).expect("disable Nagle so each byte is its own segment");
+    for &b in b"GET /metrics HTTP/1.0\r\nUser-Agent: dribble\r\n\r\n".iter() {
+        conn.write_all(&[b]).expect("send one byte");
+        conn.flush().expect("flush the byte");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut body = String::new();
+    conn.read_to_string(&mut body).expect("read scrape");
+    assert!(body.starts_with("HTTP/1.0 200 OK"), "segmented scrape must answer 200: {body:?}");
+    assert!(
+        body.contains("fineq_segmented_scrapes_total 1"),
+        "segmented scrape must carry the full exposition:\n{body}"
+    );
 }
